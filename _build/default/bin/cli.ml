@@ -1,0 +1,128 @@
+(* bss — command-line interface to the scheduling library.
+
+   Subcommands:
+     solve     solve an instance file with a chosen variant and algorithm
+     generate  emit a random instance from a workload family
+     check     validate an instance file and print its statistics
+
+   Instance file format (see Instance.of_string):
+     m 4
+     setups 10 3
+     job 0 7
+     job 1 2 *)
+
+open Bss_util
+open Bss_instances
+open Bss_core
+open Bss_workloads
+open Cmdliner
+
+let read_instance path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  Instance.of_string s
+
+let variant_conv =
+  let parse = function
+    | "nonp" | "non-preemptive" -> Ok Variant.Nonpreemptive
+    | "pmtn" | "preemptive" -> Ok Variant.Preemptive
+    | "split" | "splittable" -> Ok Variant.Splittable
+    | s -> Error (`Msg ("unknown variant: " ^ s))
+  in
+  Arg.conv (parse, fun fmt v -> Format.pp_print_string fmt (Variant.to_string v))
+
+let algorithm_conv =
+  let parse = function
+    | "2" -> Ok Solver.Approx2
+    | "3/2" -> Ok Solver.Approx3_2
+    | s -> (
+      match String.index_opt s '+' with
+      | Some _ -> (
+        try
+          Scanf.sscanf s "3/2+1/%d" (fun d -> Ok (Solver.Approx3_2_eps (Rat.of_ints 1 d)))
+        with _ -> Error (`Msg ("bad algorithm: " ^ s)))
+      | None -> Error (`Msg ("unknown algorithm: " ^ s ^ " (use 2, 3/2 or 3/2+1/k)")))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt a ->
+        Format.pp_print_string fmt
+          (match a with
+          | Solver.Approx2 -> "2"
+          | Solver.Approx3_2 -> "3/2"
+          | Solver.Approx3_2_eps e -> "3/2+" ^ Rat.to_string e) )
+
+let solve_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Instance file.") in
+  let variant =
+    Arg.(value & opt variant_conv Variant.Nonpreemptive & info [ "variant"; "v" ] ~doc:"Problem variant: nonp, pmtn or split.")
+  in
+  let algorithm =
+    Arg.(value & opt algorithm_conv Solver.Approx3_2 & info [ "algorithm"; "a" ] ~doc:"Algorithm: 2, 3/2 or 3/2+1/k.")
+  in
+  let gantt = Arg.(value & flag & info [ "gantt"; "g" ] ~doc:"Render an ASCII Gantt chart.") in
+  let svg_out =
+    Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc:"Write an SVG Gantt chart to $(docv).")
+  in
+  let csv_out =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write the schedule as CSV to $(docv).")
+  in
+  let run file variant algorithm gantt svg_out csv_out =
+    let inst = read_instance file in
+    let r = Solver.solve ~algorithm variant inst in
+    Checker.check_exn variant inst r.Solver.schedule;
+    Printf.printf "%s / %s\n" (Variant.to_string variant) (Solver.algorithm_name ~algorithm variant);
+    Printf.printf "makespan    %s\n" (Rat.to_string (Schedule.makespan r.Solver.schedule));
+    Printf.printf "certificate %s (makespan <= %s * OPT)\n" (Rat.to_string r.Solver.certificate)
+      (Rat.to_string r.Solver.guarantee);
+    Printf.printf "lower bound %s\n" (Rat.to_string (Lower_bounds.lower_bound variant inst));
+    Printf.printf "dual calls  %d\n" r.Solver.dual_calls;
+    if gantt then print_endline (Render.gantt ~width:76 inst r.Solver.schedule);
+    let write path content =
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc
+    in
+    Option.iter (fun path -> write path (Render.svg inst r.Solver.schedule)) svg_out;
+    Option.iter (fun path -> write path (Trace.to_csv inst r.Solver.schedule)) csv_out
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Solve an instance file.")
+    Term.(const run $ file $ variant $ algorithm $ gantt $ svg_out $ csv_out)
+
+let generate_cmd =
+  let family =
+    Arg.(value & opt string "uniform" & info [ "family"; "f" ] ~doc:"Workload family (see DESIGN.md).")
+  in
+  let m = Arg.(value & opt int 8 & info [ "machines"; "m" ] ~doc:"Machine count.") in
+  let n = Arg.(value & opt int 64 & info [ "jobs"; "n" ] ~doc:"Approximate job count.") in
+  let seed = Arg.(value & opt int 0 & info [ "seed"; "s" ] ~doc:"PRNG seed.") in
+  let run family m n seed =
+    match Generator.by_name family with
+    | spec ->
+      let inst = spec.Generator.generate (Prng.create seed) ~m ~n in
+      print_string (Instance.to_string inst)
+    | exception Not_found ->
+      prerr_endline
+        ("unknown family; available: " ^ String.concat ", " (List.map (fun s -> s.Generator.name) Generator.all));
+      exit 1
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a random instance.") Term.(const run $ family $ m $ n $ seed)
+
+let check_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Instance file.") in
+  let run file =
+    let inst = read_instance file in
+    print_endline (Instance.describe inst);
+    List.iter
+      (fun v ->
+        Printf.printf "%-15s T_min = %s\n" (Variant.to_string v)
+          (Rat.to_string (Lower_bounds.t_min v inst)))
+      Variant.all
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Validate an instance file and print statistics.") Term.(const run $ file)
+
+let () =
+  let doc = "near-linear approximation algorithms for scheduling with batch setup times" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "bss" ~doc) [ solve_cmd; generate_cmd; check_cmd ]))

@@ -1,0 +1,227 @@
+(* figures — regenerate the paper's schedule figures as ASCII Gantt charts.
+
+   Usage: dune exec bin/figures.exe [-- fig1 fig2 ...]   (default: all)
+
+   The paper's figures are illustrations of algorithm output shapes rather
+   than measured data; each command below builds an instance with the same
+   structure as the figure's caption, runs the corresponding algorithm,
+   verifies the result with the exact checker, and renders it. The
+   EXPERIMENTS.md table records the structural properties asserted here. *)
+
+open Bss_util
+open Bss_instances
+open Bss_core
+
+let tee_guides tee =
+  [
+    ("T/4", Rat.div_int tee 4);
+    ("T/2", Rat.div_int tee 2);
+    ("3T/4", Rat.mul_int (Rat.div_int tee 4) 3);
+    ("T", tee);
+    ("3T/2", Rat.mul_int (Rat.div_int tee 2) 3);
+  ]
+
+let banner title = Printf.printf "\n=== %s ===\n" title
+
+let render ~variant ~tee inst sched =
+  Checker.check_exn variant inst sched;
+  print_endline (Render.gantt ~width:72 ~guides:(tee_guides tee) inst sched);
+  Printf.printf "makespan %s <= 3/2 T = %s\n" (Rat.to_string (Schedule.makespan sched))
+    (Rat.to_string (Rat.mul_int (Rat.div_int tee 2) 3))
+
+(* Figure 1: splittable algorithm, 4 expensive + 4 cheap classes. *)
+let fig1 () =
+  banner "Figure 1: splittable 3/2-dual, I_exp = {a,b,c,d}, I_chp = {e,f,g,h}";
+  let inst =
+    Instance.make ~m:10
+      ~setups:[| 12; 13; 11; 14; 3; 4; 2; 5 |]
+      ~jobs:
+        [|
+          (0, 14); (0, 13); (1, 9); (1, 8); (2, 6); (3, 11);
+          (4, 7); (4, 6); (5, 9); (6, 4); (7, 8); (7, 2);
+        |]
+  in
+  let tee = Rat.of_int 26 in
+  (* 1(a): only the expensive classes wrapped (steps 1) — shown by running
+     the dual on the expensive-only sub-instance. *)
+  let exp_only =
+    Instance.make ~m:10 ~setups:[| 12; 13; 11; 14 |]
+      ~jobs:[| (0, 14); (0, 13); (1, 9); (1, 8); (2, 6); (3, 11) |]
+  in
+  print_endline "(a) after step 1 — every expensive class on its own beta_i machines:";
+  (match Splittable_dual.run exp_only tee with
+  | Dual.Accepted s -> render ~variant:Variant.Splittable ~tee exp_only s
+  | Dual.Rejected r -> Format.printf "unexpected: %a@." Dual.pp_rejection r);
+  print_endline "(b) after step 2 — cheap classes wrapped into the leftovers:";
+  match Splittable_dual.run inst tee with
+  | Dual.Accepted s -> render ~variant:Variant.Splittable ~tee inst s
+  | Dual.Rejected r -> Format.printf "unexpected: %a@." Dual.pp_rejection r
+
+(* Figure 2: Algorithm 2 on a nice instance, I+exp = {a, b}. *)
+let nice_instance () =
+  Instance.make ~m:7
+    ~setups:[| 10; 9; 9; 8; 4; 1 |]
+    ~jobs:
+      [|
+        (0, 6); (0, 6); (0, 6) (* I+exp: s+P = 28 >= 16, s+tmax = 16 <= T *);
+        (1, 4); (1, 4) (* I+exp: s+P = 17 >= 16 *);
+        (2, 2) (* I-exp: 11 <= 12 *);
+        (3, 3) (* I-exp: 11 <= 12 *);
+        (4, 6); (4, 2); (5, 8); (5, 1);
+      |]
+
+let fig2 () =
+  banner "Figure 2: Algorithm 2 (nice instance), alpha'-machines for I+exp";
+  let inst = nice_instance () in
+  let tee = Rat.of_int 16 in
+  match Pmtn_nice.run_instance inst tee with
+  | Dual.Accepted s -> render ~variant:Variant.Preemptive ~tee inst s
+  | Dual.Rejected r -> Format.printf "rejected: %a@." Dual.pp_rejection r
+
+(* Figures 3/4/9: Algorithm 3 with large machines and the knapsack. *)
+let general_instance () =
+  Instance.make ~m:5
+    ~setups:[| 13; 12; 3; 2; 1 |]
+    ~jobs:
+      [|
+        (0, 2) (* I0exp at T=16: 3/4T < 15 < T *);
+        (1, 2) (* I0exp: 14 *);
+        (2, 7); (2, 6); (2, 2) (* I-chp with big jobs (3+7, 3+6 > 8) *);
+        (3, 7); (3, 3) (* I-chp, big job 2+7 > 8 *);
+        (4, 5); (4, 4); (4, 2) (* plain cheap *);
+      |]
+
+let fig3_4_9 () =
+  banner "Figures 3, 4, 9: Algorithm 3 — large machines, knapsack, K at the bottom";
+  let inst = general_instance () in
+  let tee = Rat.of_int 16 in
+  match Pmtn_dual.run inst tee with
+  | Dual.Accepted s ->
+    render ~variant:Variant.Preemptive ~tee inst s;
+    print_endline "large machines carry their I0exp class from T/2 up; K pieces sit below T/2."
+  | Dual.Rejected r -> Format.printf "rejected: %a@." Dual.pp_rejection r
+
+(* Figure 5: the gamma-mode modification used by preemptive class jumping. *)
+let fig5 () =
+  banner "Figure 5: gamma-mode step 1 (T/2 gaps above each setup)";
+  let inst = nice_instance () in
+  let tee = Rat.of_int 16 in
+  match Pmtn_nice.run_instance ~mode:Pmtn_nice.Gamma inst tee with
+  | Dual.Accepted s -> render ~variant:Variant.Preemptive ~tee inst s
+  | Dual.Rejected r -> Format.printf "rejected (gamma mode is stricter): %a@." Dual.pp_rejection r
+
+(* Figure 6: anatomy of a wrap template. *)
+let fig6 () =
+  banner "Figure 6: a wrap template (4 gaps) and a wrapped sequence";
+  let inst = Instance.make ~m:4 ~setups:[| 2 |] ~jobs:[| (0, 6); (0, 5); (0, 7); (0, 4) |] in
+  let omega =
+    Bss_wrap.Template.make
+      [
+        { Bss_wrap.Template.machine = 0; lo = Rat.of_int 2; hi = Rat.of_int 9 };
+        { Bss_wrap.Template.machine = 1; lo = Rat.of_int 4; hi = Rat.of_int 10 };
+        { Bss_wrap.Template.machine = 2; lo = Rat.of_int 3; hi = Rat.of_int 8 };
+        { Bss_wrap.Template.machine = 3; lo = Rat.of_int 5; hi = Rat.of_int 12 };
+      ]
+  in
+  let sched = Schedule.create 4 in
+  let q = Bss_wrap.Sequence.of_classes inst [ 0 ] in
+  let _ = Bss_wrap.Wrap.wrap inst sched q omega in
+  Checker.check_exn Variant.Splittable inst sched;
+  Printf.printf "S(omega) = %s, L(Q) = %s\n"
+    (Rat.to_string (Bss_wrap.Template.span omega))
+    (Rat.to_string (Bss_wrap.Sequence.load inst q));
+  print_endline (Render.gantt ~width:72 inst sched)
+
+(* Figure 7: the 2-approximation's next-fit with border repair, m = c = 5. *)
+let fig7 () =
+  banner "Figure 7: 2-approx next-fit with threshold T_min (m = c = 5)";
+  let inst =
+    Instance.make ~m:5
+      ~setups:[| 3; 4; 2; 5; 3 |]
+      ~jobs:
+        [|
+          (0, 6); (0, 5); (1, 7); (1, 4); (2, 6); (2, 5); (3, 8); (3, 3); (4, 7); (4, 4);
+        |]
+  in
+  let s = Two_approx.nonpreemptive inst in
+  Checker.check_exn Variant.Nonpreemptive inst s;
+  let tmin = Lower_bounds.t_min Variant.Nonpreemptive inst in
+  print_endline
+    (Render.gantt ~width:72
+       ~guides:[ ("Tmin", tmin); ("2Tmin", Rat.mul_int tmin 2) ]
+       inst s);
+  Printf.printf "makespan %s <= 2 T_min = %s\n" (Rat.to_string (Schedule.makespan s))
+    (Rat.to_string (Rat.mul_int tmin 2))
+
+(* Figure 8: Lemma 11's large-machine normal form: content from T/2 up. *)
+let fig8 () =
+  banner "Figure 8: large-machine normal form (content parked at T/2)";
+  let inst = general_instance () in
+  let tee = Rat.of_int 16 in
+  (match Pmtn_dual.run inst tee with
+  | Dual.Accepted s ->
+    for u = 0 to 1 do
+      Printf.printf "machine %d (large):\n" u;
+      List.iter
+        (fun (seg : Schedule.seg) ->
+          let kind =
+            match seg.Schedule.content with
+            | Schedule.Setup i -> Printf.sprintf "setup s%d" i
+            | Schedule.Work j -> Printf.sprintf "job %d" j
+          in
+          Printf.printf "  [%s, %s) %s\n" (Rat.to_string seg.Schedule.start)
+            (Rat.to_string (Rat.add seg.Schedule.start seg.Schedule.dur))
+            kind)
+        (Schedule.segments s u)
+    done
+  | Dual.Rejected r -> Format.printf "rejected: %a@." Dual.pp_rejection r)
+
+(* Figures 10-13: Algorithm 6 for the non-preemptive case. *)
+let fig10_13 () =
+  banner "Figures 10-13: Algorithm 6 (non-preemptive), 1 expensive + cheap classes";
+  let inst =
+    Instance.make ~m:12
+      ~setups:[| 11; 3; 2; 2; 2 |]
+      ~jobs:
+        [|
+          (0, 8); (0, 8); (0, 7); (0, 5);
+          (1, 12); (1, 11); (1, 9); (1, 8); (1, 4);
+          (2, 5); (2, 4); (3, 6); (4, 3); (4, 2);
+        |]
+  in
+  let r = Nonp_search.solve inst in
+  Checker.check_exn Variant.Nonpreemptive inst r.Nonp_search.schedule;
+  let tee = r.Nonp_search.accepted in
+  Printf.printf "T* = %s (smallest accepted integer)\n" (Rat.to_string tee);
+  render ~variant:Variant.Nonpreemptive ~tee inst r.Nonp_search.schedule
+
+let all_figs =
+  [
+    ("fig1", fig1);
+    ("fig2", fig2);
+    ("fig3", fig3_4_9);
+    ("fig4", fig3_4_9);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig3_4_9);
+    ("fig10", fig10_13);
+    ("fig11", fig10_13);
+    ("fig12", fig10_13);
+    ("fig13", fig10_13);
+  ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let unique_runs = [ fig1; fig2; fig3_4_9; fig5; fig6; fig7; fig8; fig10_13 ] in
+  if requested = [] then List.iter (fun f -> f ()) unique_runs
+  else
+    List.iter
+      (fun name ->
+        match List.assoc_opt name all_figs with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown figure %s (fig1..fig13)\n" name;
+          exit 1)
+      requested

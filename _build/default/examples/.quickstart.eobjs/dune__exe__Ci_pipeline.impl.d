@@ -1,0 +1,1 @@
+examples/ci_pipeline.ml: Array Bss_baselines Bss_core Bss_instances Bss_util Checker Instance Lower_bounds Metrics Monma_potts Pmtn_cj Printf Rat Render Schedule Variant

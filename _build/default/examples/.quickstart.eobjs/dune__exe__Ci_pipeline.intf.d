@@ -1,0 +1,1 @@
+examples/ci_pipeline.mli:

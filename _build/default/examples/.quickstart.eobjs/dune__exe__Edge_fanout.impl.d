@@ -1,0 +1,1 @@
+examples/edge_fanout.ml: Bss_core Bss_instances Bss_util Checker Config_schedule Instance List Printf Rat Schedule Splittable_compact Sys

@@ -1,0 +1,1 @@
+examples/print_shop.ml: Array Bss_baselines Bss_core Bss_instances Bss_util Checker Instance List_scheduling Metrics Printf Prng Rat Render Schedule Solver Variant

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bss_core Bss_instances Bss_util Checker Instance List Lower_bounds Printf Rat Render Schedule Solver Variant

@@ -1,0 +1,1 @@
+examples/video_transcode.ml: Array Bss_baselines Bss_core Bss_instances Bss_util Checker Instance List_scheduling Lower_bounds Metrics Printf Rat Render Schedule Splittable_cj Variant

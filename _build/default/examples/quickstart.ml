@@ -1,0 +1,31 @@
+(* Quickstart: build an instance, run the paper's 3/2-approximation for
+   each variant, verify feasibility with the exact checker, and render the
+   schedules.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Bss_util
+open Bss_instances
+open Bss_core
+
+let () =
+  (* 3 machines; class 0 has setup 4, class 1 has setup 2. *)
+  let inst =
+    Instance.make ~m:3 ~setups:[| 4; 2 |]
+      ~jobs:[| (0, 5); (1, 7); (0, 3); (1, 1); (1, 1) |]
+  in
+  print_endline (Instance.describe inst);
+  print_newline ();
+  List.iter
+    (fun variant ->
+      let r = Solver.solve ~algorithm:Solver.Approx3_2 variant inst in
+      (* every example double-checks feasibility with the exact checker *)
+      Checker.check_exn variant inst r.Solver.schedule;
+      Printf.printf "%s — %s\n" (Variant.to_string variant)
+        (Solver.algorithm_name ~algorithm:Solver.Approx3_2 variant);
+      Printf.printf "  makespan   : %s\n" (Rat.to_string (Schedule.makespan r.Solver.schedule));
+      Printf.printf "  certificate: makespan <= %s <= 3/2 * OPT\n" (Rat.to_string r.Solver.certificate);
+      Printf.printf "  lower bound: OPT >= %s\n"
+        (Rat.to_string (Lower_bounds.lower_bound variant inst));
+      print_endline (Render.gantt ~width:60 inst r.Solver.schedule))
+    Variant.all

@@ -1,0 +1,1 @@
+lib/baselines/batch_split.ml: Array Bss_instances Bss_util Instance List Rat Schedule

@@ -1,0 +1,1 @@
+lib/baselines/batch_split.mli: Bss_instances Instance Schedule

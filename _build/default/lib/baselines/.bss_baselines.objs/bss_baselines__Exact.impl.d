@@ -1,0 +1,1 @@
+lib/baselines/exact.ml: Array Bss_instances Bss_util Instance List Rat

@@ -1,0 +1,1 @@
+lib/baselines/exact.mli: Bss_instances Bss_util Instance

@@ -1,0 +1,1 @@
+lib/baselines/list_scheduling.ml: Array Bss_instances Bss_util Instance List Rat Schedule

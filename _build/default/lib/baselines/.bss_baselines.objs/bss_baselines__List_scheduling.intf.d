@@ -1,0 +1,1 @@
+lib/baselines/list_scheduling.mli: Bss_instances Instance Schedule

@@ -1,0 +1,1 @@
+lib/baselines/mcnaughton.ml: Array Bss_util Intmath List Rat

@@ -1,0 +1,1 @@
+lib/baselines/mcnaughton.mli: Bss_util Rat

@@ -1,0 +1,1 @@
+lib/baselines/monma_potts.ml: Array Bss_instances Bss_util Instance Lower_bounds Rat Schedule

@@ -1,0 +1,1 @@
+lib/baselines/monma_potts.mli: Bss_instances Bss_util Instance Schedule

@@ -1,0 +1,172 @@
+open Bss_util
+open Bss_instances
+
+type piece = { job : int; dur : Rat.t }
+
+type chunk = {
+  cls : int;
+  pieces : piece list;  (** bottom-to-top *)
+  splittable : bool;
+  shift : Rat.t;  (** idle inserted below the chunk (job-sequencing guard) *)
+}
+
+let chunk_work c = List.fold_left (fun acc p -> Rat.add acc p.dur) Rat.zero c.pieces
+
+let chunk_span inst c = Rat.add c.shift (Rat.add (Rat.of_int inst.Instance.setups.(c.cls)) (chunk_work c))
+
+let load inst chunks = List.fold_left (fun acc c -> Rat.add acc (chunk_span inst c)) Rat.zero chunks
+
+(* split the chunk's job list so that the moved suffix carries work [x];
+   returns (kept pieces, moved pieces, split_job_end_offset option) where
+   the offset is the kept part's work after which the cut job's first
+   piece ends (None when the cut lands on a job boundary). *)
+let cut_suffix pieces x =
+  let total = List.fold_left (fun acc p -> Rat.add acc p.dur) Rat.zero pieces in
+  let keep_work = Rat.sub total x in
+  let rec go acc_work acc_kept = function
+    | [] -> (List.rev acc_kept, [], false)
+    | p :: rest ->
+      let after = Rat.add acc_work p.dur in
+      if Rat.( <= ) after keep_work then go after (p :: acc_kept) rest
+      else if Rat.equal acc_work keep_work then (List.rev acc_kept, p :: rest, false)
+      else begin
+        (* p is cut into two sequential pieces of one job *)
+        let head = Rat.sub keep_work acc_work in
+        let tail = Rat.sub p.dur head in
+        (List.rev ({ p with dur = head } :: acc_kept), { p with dur = tail } :: rest, true)
+      end
+  in
+  go Rat.zero [] pieces
+
+let schedule inst =
+  let m = inst.Instance.m in
+  let machines = Array.make m ([] : chunk list (* bottom-to-top *)) in
+  let loads = Array.make m Rat.zero in
+  (* phase 1: LPT over whole batches *)
+  let size i = inst.Instance.setups.(i) + inst.Instance.class_load.(i) in
+  let order =
+    List.sort (fun a b -> compare (size b, a) (size a, b)) (List.init (Instance.c inst) (fun i -> i))
+  in
+  List.iter
+    (fun i ->
+      let u = ref 0 in
+      for v = 1 to m - 1 do
+        if Rat.( < ) loads.(v) loads.(!u) then u := v
+      done;
+      let pieces =
+        Array.to_list (Instance.jobs_of_class inst i)
+        |> List.map (fun j -> { job = j; dur = Rat.of_int inst.Instance.job_time.(j) })
+      in
+      let c = { cls = i; pieces; splittable = true; shift = Rat.zero } in
+      machines.(!u) <- machines.(!u) @ [ c ];
+      loads.(!u) <- Rat.add loads.(!u) (chunk_span inst c))
+    order;
+  (* phase 2: relieve the makespan machine by splitting its last batch *)
+  let argmax () =
+    let u = ref 0 in
+    for v = 1 to m - 1 do
+      if Rat.( > ) loads.(v) loads.(!u) then u := v
+    done;
+    !u
+  in
+  let argmin_except u0 =
+    let u = ref (if u0 = 0 then min 1 (m - 1) else 0) in
+    for v = 0 to m - 1 do
+      if v <> u0 && Rat.( < ) loads.(v) loads.(!u) then u := v
+    done;
+    !u
+  in
+  let improved = ref (m > 1) in
+  let rounds = ref 0 in
+  while !improved && !rounds <= Instance.c inst do
+    incr rounds;
+    improved := false;
+    let u = argmax () in
+    let v = argmin_except u in
+    match List.rev machines.(u) with
+    | top :: rest_rev when top.splittable && v <> u ->
+      let s = Rat.of_int inst.Instance.setups.(top.cls) in
+      let work = chunk_work top in
+      let l_u = loads.(u) and l_v = loads.(v) in
+      (* candidate cut sizes: the fractional balance point and the job
+         boundaries bracketing it *)
+      let ideal = Rat.div_int (Rat.sub (Rat.sub l_u l_v) s) 2 in
+      (* the two job-boundary cuts bracketing the ideal one (boundary cuts
+         avoid the job-sequencing guard entirely) *)
+      let boundaries =
+        let below = ref None and above = ref None in
+        let suffix = ref Rat.zero in
+        List.iter
+          (fun p ->
+            suffix := Rat.add !suffix p.dur;
+            if Rat.( < ) !suffix work then begin
+              if Rat.( <= ) !suffix ideal then below := Some !suffix
+              else if !above = None then above := Some !suffix
+            end)
+          (List.rev top.pieces);
+        List.filter_map (fun x -> x) [ !below; !above ]
+      in
+      let evaluate x =
+        if Rat.sign x <= 0 || Rat.( >= ) x work then None
+        else begin
+          let kept, _, cuts_a_job = cut_suffix top.pieces x in
+          ignore kept;
+          let new_u = Rat.sub l_u x in
+          let new_v =
+            if cuts_a_job then
+              (* the moved first piece must wait for its kept part *)
+              Rat.max (Rat.add l_v (Rat.add s x)) l_u
+            else Rat.add l_v (Rat.add s x)
+          in
+          Some (Rat.max new_u new_v, x)
+        end
+      in
+      let candidates = List.filter_map evaluate (ideal :: boundaries) in
+      let best =
+        List.fold_left
+          (fun acc (peak, x) ->
+            match acc with
+            | Some (bp, _) when Rat.( <= ) bp peak -> acc
+            | _ -> Some (peak, x))
+          None candidates
+      in
+      (match best with
+      | Some (peak, x)
+        when Rat.( < ) peak l_u
+             && List.for_all (fun w -> Rat.( < ) (loads.(w)) l_u || w = u) (List.init m (fun w -> w)) ->
+        let kept, moved, cuts_a_job = cut_suffix top.pieces x in
+        let kept_chunk = { top with pieces = kept; splittable = false } in
+        let shift =
+          if cuts_a_job then
+            (* first moved piece starts at shift + l_v + s; it must be
+               >= the kept part's end, which is the new load of u *)
+            Rat.max Rat.zero (Rat.sub (Rat.sub l_u x) (Rat.add l_v s))
+          else Rat.zero
+        in
+        let moved_chunk = { cls = top.cls; pieces = moved; splittable = false; shift } in
+        machines.(u) <- List.rev (kept_chunk :: rest_rev);
+        machines.(v) <- machines.(v) @ [ moved_chunk ];
+        loads.(u) <- load inst machines.(u);
+        loads.(v) <- load inst machines.(v);
+        improved := true
+      | Some _ | None -> ())
+    | _ -> ()
+  done;
+  (* materialize *)
+  let sched = Schedule.create m in
+  for u = 0 to m - 1 do
+    let t = ref Rat.zero in
+    List.iter
+      (fun c ->
+        t := Rat.add !t c.shift;
+        let s = Rat.of_int inst.Instance.setups.(c.cls) in
+        Schedule.add_setup sched ~machine:u ~cls:c.cls ~start:!t ~dur:s;
+        t := Rat.add !t s;
+        List.iter
+          (fun p ->
+            Schedule.add_work sched ~machine:u ~job:p.job ~start:!t ~dur:p.dur;
+            t := Rat.add !t p.dur)
+          c.pieces)
+      machines.(u)
+  done;
+  sched

@@ -1,0 +1,97 @@
+open Bss_util
+open Bss_instances
+
+let nonpreemptive_opt inst =
+  let m = inst.Instance.m and n = Instance.n inst in
+  (* m^n bounded to keep the oracle fast *)
+  let space = try float_of_int m ** float_of_int n with _ -> infinity in
+  if space > 4e6 && n > 12 then invalid_arg "Exact.nonpreemptive_opt: instance too large";
+  (* Longest-first ordering tightens the bound early. *)
+  let order = Array.init n (fun j -> j) in
+  Array.sort (fun a b -> compare inst.Instance.job_time.(b) inst.Instance.job_time.(a)) order;
+  let loads = Array.make m 0 in
+  let masks = Array.make m 0 in
+  let best = ref inst.Instance.total in
+  let rec go idx current_max =
+    if current_max >= !best then ()
+    else if idx = n then best := current_max
+    else begin
+      let j = order.(idx) in
+      let cls = inst.Instance.job_class.(j) in
+      let seen_empty = ref false in
+      for u = 0 to m - 1 do
+        let empty = loads.(u) = 0 in
+        (* identical empty machines are symmetric: try only the first *)
+        if (not empty) || not !seen_empty then begin
+          if empty then seen_empty := true;
+          let extra =
+            inst.Instance.job_time.(j) + (if masks.(u) land (1 lsl cls) = 0 then inst.Instance.setups.(cls) else 0)
+          in
+          let old_load = loads.(u) and old_mask = masks.(u) in
+          loads.(u) <- old_load + extra;
+          masks.(u) <- old_mask lor (1 lsl cls);
+          go (idx + 1) (max current_max loads.(u));
+          loads.(u) <- old_load;
+          masks.(u) <- old_mask
+        end
+      done
+    end
+  in
+  go 0 0;
+  !best
+
+let splittable_opt_small inst =
+  let m = inst.Instance.m and c = Instance.c inst in
+  let combos = try float_of_int (1 lsl c) ** float_of_int m with _ -> infinity in
+  if combos > 1e5 then invalid_arg "Exact.splittable_opt_small: instance too large";
+  let setup_sum mask =
+    let acc = ref 0 in
+    for i = 0 to c - 1 do
+      if mask land (1 lsl i) <> 0 then acc := !acc + inst.Instance.setups.(i)
+    done;
+    !acc
+  in
+  let class_load mask =
+    let acc = ref 0 in
+    for i = 0 to c - 1 do
+      if mask land (1 lsl i) <> 0 then acc := !acc + inst.Instance.class_load.(i)
+    done;
+    !acc
+  in
+  let best = ref (Rat.of_int inst.Instance.total) in
+  (* machine u gets the setup-set placement.(u) ⊆ classes; for a fixed
+     placement the minimal feasible fractional makespan is
+     max(max_u setups(u), max_{A ⊆ [c]} (P(A) + Σ_{u serves A} setups(u)) / #serving)
+     — Hall's condition of the class→machine capacity flow. *)
+  let placement = Array.make m 0 in
+  let rec enumerate u =
+    if u = m then begin
+      (* every class needs at least one setup *)
+      let union = Array.fold_left ( lor ) 0 placement in
+      if union = (1 lsl c) - 1 then begin
+        let t = ref Rat.zero in
+        Array.iter (fun mask -> t := Rat.max !t (Rat.of_int (setup_sum mask))) placement;
+        for a = 1 to (1 lsl c) - 1 do
+          let serving = Array.to_list placement |> List.filter (fun mask -> mask land a <> 0) in
+          let k = List.length serving in
+          if k > 0 then begin
+            let numer = class_load a + List.fold_left (fun acc mask -> acc + setup_sum mask) 0 serving in
+            t := Rat.max !t (Rat.of_ints numer k)
+          end
+        done;
+        if Rat.( < ) !t !best then best := !t
+      end
+    end
+    else begin
+      (* canonical order to halve the symmetric search a little *)
+      for mask = 0 to (1 lsl c) - 1 do
+        if u = 0 || mask <= placement.(u - 1) then begin
+          placement.(u) <- mask;
+          enumerate (u + 1)
+        end
+      done;
+      placement.(u) <- 0
+    end
+  in
+  enumerate 0;
+  !best

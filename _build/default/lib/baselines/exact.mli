@@ -1,0 +1,22 @@
+(** Exact optima for tiny instances — ratio oracles for the test suite.
+
+    [OPT_split <= OPT_pmtn <= OPT_nonp], so the non-preemptive optimum
+    brackets all three variants from above while {!Bss_instances.Lower_bounds}
+    brackets from below. The non-preemptive solver enumerates job→machine
+    assignments with branch-and-bound (per machine, grouping a class
+    behind one setup is always optimal, so machine load is
+    [Σ_{i present} s_i + Σ t_j]). Exponential: use only for [n·log m]
+    small (the test suites keep [m^n] under ~2^20). *)
+
+open Bss_instances
+
+(** [nonpreemptive_opt inst] is the exact optimal non-preemptive makespan.
+    @raise Invalid_argument when the search space [m^n] exceeds ~4·10^6. *)
+val nonpreemptive_opt : Instance.t -> int
+
+(** [splittable_opt_small inst] is the exact splittable optimum computed
+    by enumerating setup multiplicities [λ_i ∈ [1, m]] per class and, for
+    each choice, binary-searching the minimal feasible fractional
+    makespan; exact for small [c] and [m].
+    @raise Invalid_argument when [m^c] exceeds ~10^5. *)
+val splittable_opt_small : Instance.t -> Bss_util.Rat.t

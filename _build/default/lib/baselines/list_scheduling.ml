@@ -1,0 +1,37 @@
+open Bss_util
+open Bss_instances
+
+let assign inst order =
+  let m = inst.Instance.m in
+  let sched = Schedule.create m in
+  let loads = Array.make m Rat.zero in
+  let least_loaded () =
+    let best = ref 0 in
+    for u = 1 to m - 1 do
+      if Rat.( < ) loads.(u) loads.(!best) then best := u
+    done;
+    !best
+  in
+  List.iter
+    (fun i ->
+      let u = least_loaded () in
+      let s = Rat.of_int inst.Instance.setups.(i) in
+      Schedule.add_setup sched ~machine:u ~cls:i ~start:loads.(u) ~dur:s;
+      loads.(u) <- Rat.add loads.(u) s;
+      Array.iter
+        (fun j ->
+          let t = Rat.of_int inst.Instance.job_time.(j) in
+          Schedule.add_work sched ~machine:u ~job:j ~start:loads.(u) ~dur:t;
+          loads.(u) <- Rat.add loads.(u) t)
+        (Instance.jobs_of_class inst i))
+    order;
+  sched
+
+let greedy inst = assign inst (List.init (Instance.c inst) (fun i -> i))
+
+let lpt inst =
+  let size i = inst.Instance.setups.(i) + inst.Instance.class_load.(i) in
+  let order =
+    List.sort (fun a b -> compare (size b, a) (size a, b)) (List.init (Instance.c inst) (fun i -> i))
+  in
+  assign inst order

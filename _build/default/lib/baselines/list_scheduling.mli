@@ -1,0 +1,18 @@
+(** Whole-batch list scheduling baselines.
+
+    The natural practitioner baselines: treat each class as one
+    indivisible batch of length [s_i + P(C_i)] and assign greedily to the
+    least-loaded machine — either in input order ([greedy]) or longest
+    batch first ([lpt]). Both produce schedules feasible for all three
+    variants (each class runs contiguously on one machine) but offer no
+    constant ratio for batch-setup scheduling: a single class larger than
+    [m]'s share cannot be split, which is exactly what the paper's
+    algorithms exploit. *)
+
+open Bss_instances
+
+(** [greedy inst] assigns whole classes in input order. *)
+val greedy : Instance.t -> Schedule.t
+
+(** [lpt inst] assigns whole classes longest-first. *)
+val lpt : Instance.t -> Schedule.t

@@ -1,0 +1,73 @@
+open Bss_util
+
+type piece = { job : int; start : Rat.t; dur : Rat.t }
+
+let optimal_makespan ~m ~times =
+  if m < 1 then invalid_arg "Mcnaughton: m < 1";
+  if Array.length times = 0 then invalid_arg "Mcnaughton: no jobs";
+  Array.iter (fun t -> if t < 1 then invalid_arg "Mcnaughton: non-positive time") times;
+  let total = Intmath.sum_array times in
+  Rat.max (Rat.of_int (Intmath.max_array times)) (Rat.of_ints total m)
+
+let schedule ~m ~times =
+  let horizon = optimal_makespan ~m ~times in
+  let machines = Array.make m [] in
+  let u = ref 0 and t = ref Rat.zero in
+  Array.iteri
+    (fun j tj ->
+      let remaining = ref (Rat.of_int tj) in
+      while Rat.sign !remaining > 0 do
+        let room = Rat.sub horizon !t in
+        if Rat.sign room <= 0 then begin
+          incr u;
+          t := Rat.zero
+        end
+        else begin
+          let chunk = Rat.min !remaining room in
+          machines.(!u) <- { job = j; start = !t; dur = chunk } :: machines.(!u);
+          t := Rat.add !t chunk;
+          remaining := Rat.sub !remaining chunk
+        end
+      done)
+    times;
+  (Array.map List.rev machines, horizon)
+
+let is_valid ~m ~times pieces =
+  if Array.length pieces <> m then false
+  else begin
+    let horizon = optimal_makespan ~m ~times in
+    let volumes = Array.make (Array.length times) Rat.zero in
+    let machine_ok =
+      Array.for_all
+        (fun ps ->
+          let sorted = List.sort (fun a b -> Rat.compare a.start b.start) ps in
+          let rec chain prev_end = function
+            | [] -> true
+            | p :: rest ->
+              volumes.(p.job) <- Rat.add volumes.(p.job) p.dur;
+              Rat.( >= ) p.start prev_end
+              && Rat.( <= ) (Rat.add p.start p.dur) horizon
+              && chain (Rat.add p.start p.dur) rest
+          in
+          chain Rat.zero sorted)
+        pieces
+    in
+    let volume_ok =
+      Array.for_all2 (fun v t -> Rat.equal v (Rat.of_int t)) volumes times
+    in
+    (* no self-parallelism: pieces of one job must not overlap in time *)
+    let by_job = Array.make (Array.length times) [] in
+    Array.iter (List.iter (fun p -> by_job.(p.job) <- p :: by_job.(p.job))) pieces;
+    let parallel_ok =
+      Array.for_all
+        (fun ps ->
+          let sorted = List.sort (fun a b -> Rat.compare a.start b.start) ps in
+          let rec chain prev_end = function
+            | [] -> true
+            | p :: rest -> Rat.( >= ) p.start prev_end && chain (Rat.add p.start p.dur) rest
+          in
+          chain Rat.zero sorted)
+        by_job
+    in
+    machine_ok && volume_ok && parallel_ok
+  end

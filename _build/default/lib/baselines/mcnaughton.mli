@@ -1,0 +1,24 @@
+(** McNaughton's wrap-around rule for [P|pmtn|Cmax] (no setup times).
+
+    The optimal preemptive makespan without setups is
+    [max(t_max, Σt_j / m)]; the rule fills machines left to right and
+    splits a job whenever it crosses the border. It is both the ancestor
+    of the paper's Batch Wrapping (Appendix A.1) and a test oracle for our
+    wrap machinery. *)
+
+open Bss_util
+
+type piece = { job : int; start : Rat.t; dur : Rat.t }
+
+(** [schedule ~m ~times] is the per-machine piece lists plus the optimal
+    makespan [max(t_max, Σt/m)].
+    @raise Invalid_argument when [m < 1], [times] is empty or contains a
+    non-positive time. *)
+val schedule : m:int -> times:int array -> piece list array * Rat.t
+
+(** [optimal_makespan ~m ~times] is [max(t_max, Σt/m)]. *)
+val optimal_makespan : m:int -> times:int array -> Rat.t
+
+(** [is_valid ~m ~times pieces] checks volumes, machine capacity and the
+    no-self-parallelism constraint (used in tests). *)
+val is_valid : m:int -> times:int array -> piece list array -> bool

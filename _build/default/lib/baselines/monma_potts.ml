@@ -1,0 +1,47 @@
+open Bss_util
+open Bss_instances
+
+let level inst =
+  let volume_plus_setup = Rat.add (Rat.of_ints inst.Instance.total inst.Instance.m) (Rat.of_int inst.Instance.s_max) in
+  Rat.max volume_plus_setup (Rat.of_int (Lower_bounds.setup_plus_tmax inst))
+
+let schedule inst =
+  let m = inst.Instance.m in
+  let horizon = level inst in
+  let sched = Schedule.create m in
+  let u = ref 0 and t = ref Rat.zero in
+  let advance_with_setup cls =
+    (* a cut class restarts on the next machine with a fresh setup *)
+    assert (!u + 1 < m);
+    incr u;
+    t := Rat.zero;
+    let s = Rat.of_int inst.Instance.setups.(cls) in
+    Schedule.add_setup sched ~machine:!u ~cls ~start:Rat.zero ~dur:s;
+    t := s
+  in
+  let place_setup cls =
+    let s = Rat.of_int inst.Instance.setups.(cls) in
+    if Rat.( > ) (Rat.add !t s) horizon then advance_with_setup cls
+    else begin
+      Schedule.add_setup sched ~machine:!u ~cls ~start:!t ~dur:s;
+      t := Rat.add !t s
+    end
+  in
+  let place_job cls j =
+    let remaining = ref (Rat.of_int inst.Instance.job_time.(j)) in
+    while Rat.sign !remaining > 0 do
+      let room = Rat.sub horizon !t in
+      if Rat.sign room <= 0 then advance_with_setup cls
+      else begin
+        let chunk = Rat.min !remaining room in
+        Schedule.add_work sched ~machine:!u ~job:j ~start:!t ~dur:chunk;
+        t := Rat.add !t chunk;
+        remaining := Rat.sub !remaining chunk
+      end
+    done
+  in
+  for i = 0 to Instance.c inst - 1 do
+    place_setup i;
+    Array.iter (place_job i) (Instance.jobs_of_class inst i)
+  done;
+  sched

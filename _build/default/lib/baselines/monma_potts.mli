@@ -1,0 +1,24 @@
+(** The Monma–Potts-style wrap-around heuristic for
+    [P|pmtn,setup=s_i|Cmax] (their 1993 heuristic; the previous best ratio
+    for general preemptive batch-setup scheduling before this paper's
+    3/2).
+
+    Reconstruction note: Monma and Potts wrap the batch sequence
+    [[s_1, C_1, s_2, C_2, …]] McNaughton-style at a level [L], inserting a
+    fresh setup when a class is cut at a machine border. We implement that
+    wrap-around core at the level
+    [L = max(N/m + s_max, max_i (s_i + t^(i)_max))] — linear time, and
+    every piece of a cut job obeys [s_i + t_j <= L], so no job overlaps
+    itself. The makespan is at most [L <= 2·OPT], matching the asymptotic
+    shape of their [2 − 1/(⌊m/2⌋+1)] guarantee (which tends to 2 as
+    [m → ∞]); EXPERIMENTS.md reports the measured ratios next to the
+    paper's 3/2 algorithms. *)
+
+open Bss_instances
+
+(** [schedule inst] is a preemptive-feasible schedule with makespan at
+    most [max(N/m + s_max, max_i (s_i + t^(i)_max)) <= 2·OPT]. *)
+val schedule : Instance.t -> Schedule.t
+
+(** The level [L] used by {!schedule}. *)
+val level : Instance.t -> Bss_util.Rat.t

@@ -1,0 +1,1 @@
+lib/core/compaction.mli: Bss_instances Instance Schedule Variant

@@ -1,0 +1,1 @@
+lib/core/dual.ml: Bss_instances Bss_util Format Instance Rat Schedule

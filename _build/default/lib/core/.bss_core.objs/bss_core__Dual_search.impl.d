@@ -1,0 +1,1 @@
+lib/core/dual_search.ml: Bss_instances Bss_util Dual Format Rat Schedule

@@ -1,0 +1,1 @@
+lib/core/dual_search.mli: Bss_instances Bss_util Dual Instance Rat Schedule

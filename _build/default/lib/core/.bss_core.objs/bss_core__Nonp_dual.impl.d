@@ -1,0 +1,1 @@
+lib/core/nonp_dual.ml: Array Bss_instances Bss_util Dual Hashtbl Instance Intmath List Lower_bounds Partition Rat Schedule

@@ -1,0 +1,1 @@
+lib/core/nonp_dual.mli: Bss_instances Bss_util Dual Instance Rat

@@ -1,0 +1,1 @@
+lib/core/nonp_search.mli: Bss_instances Bss_util Instance Rat Schedule

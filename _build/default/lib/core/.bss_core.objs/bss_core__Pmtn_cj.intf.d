@@ -1,0 +1,1 @@
+lib/core/pmtn_cj.mli: Bss_instances Bss_util Instance Rat Schedule

@@ -1,0 +1,1 @@
+lib/core/pmtn_dual.mli: Bss_instances Bss_util Dual Instance Pmtn_nice Rat

@@ -1,0 +1,1 @@
+lib/core/pmtn_nice.ml: Array Bss_instances Bss_util Bss_wrap Dual Instance List Lower_bounds Rat Schedule Sequence Template Wrap

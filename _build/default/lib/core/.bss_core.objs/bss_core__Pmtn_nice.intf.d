@@ -1,0 +1,1 @@
+lib/core/pmtn_nice.mli: Bss_instances Bss_util Dual Instance Rat Schedule

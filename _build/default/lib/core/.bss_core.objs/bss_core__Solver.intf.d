@@ -1,0 +1,1 @@
+lib/core/solver.mli: Bss_instances Bss_util Instance Rat Schedule Variant

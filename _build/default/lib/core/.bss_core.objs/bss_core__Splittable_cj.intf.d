@@ -1,0 +1,1 @@
+lib/core/splittable_cj.mli: Bss_instances Bss_util Instance Rat Schedule

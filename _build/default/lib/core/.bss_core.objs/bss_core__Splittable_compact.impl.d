@@ -1,0 +1,1 @@
+lib/core/splittable_compact.ml: Array Bss_instances Bss_util Config_schedule Dual Format Instance List Option Partition Rat Schedule Splittable_cj Splittable_dual

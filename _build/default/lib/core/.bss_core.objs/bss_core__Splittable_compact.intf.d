@@ -1,0 +1,1 @@
+lib/core/splittable_compact.mli: Bss_instances Bss_util Config_schedule Dual Instance Rat

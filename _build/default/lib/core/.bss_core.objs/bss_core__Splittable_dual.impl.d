@@ -1,0 +1,1 @@
+lib/core/splittable_dual.ml: Array Bss_instances Bss_util Bss_wrap Dual Instance Intmath List Partition Rat Schedule Sequence Template Wrap

@@ -1,0 +1,1 @@
+lib/core/splittable_dual.mli: Bss_instances Bss_util Dual Instance Rat

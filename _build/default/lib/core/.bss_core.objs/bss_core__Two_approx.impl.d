@@ -1,0 +1,1 @@
+lib/core/two_approx.ml: Array Bss_instances Bss_util Bss_wrap Instance List Lower_bounds Rat Schedule Sequence Template Variant Wrap

@@ -1,0 +1,1 @@
+lib/core/two_approx.mli: Bss_instances Instance Schedule Variant

@@ -1,0 +1,33 @@
+open Bss_util
+open Bss_instances
+
+let compact variant inst sched =
+  let m = Schedule.machines sched in
+  let out = Schedule.create m in
+  let machine_front = Array.make m Rat.zero in
+  let job_front = Array.make (Instance.n inst) Rat.zero in
+  (* replay in original start order; ties broken by machine for
+     determinism *)
+  let segments =
+    List.sort
+      (fun (u1, (s1 : Schedule.seg)) (u2, (s2 : Schedule.seg)) ->
+        let c = Rat.compare s1.Schedule.start s2.Schedule.start in
+        if c <> 0 then c else compare u1 u2)
+      (Schedule.all_segments sched)
+  in
+  List.iter
+    (fun (u, (seg : Schedule.seg)) ->
+      let start =
+        match (seg.Schedule.content, variant) with
+        | Schedule.Work j, (Variant.Preemptive | Variant.Nonpreemptive) ->
+          Rat.max machine_front.(u) job_front.(j)
+        | Schedule.Work _, Variant.Splittable | Schedule.Setup _, _ -> machine_front.(u)
+      in
+      (match seg.Schedule.content with
+      | Schedule.Setup cls -> Schedule.add_setup out ~machine:u ~cls ~start ~dur:seg.Schedule.dur
+      | Schedule.Work j ->
+        Schedule.add_work out ~machine:u ~job:j ~start ~dur:seg.Schedule.dur;
+        job_front.(j) <- Rat.add start seg.Schedule.dur);
+      machine_front.(u) <- Rat.add start seg.Schedule.dur)
+    segments;
+  out

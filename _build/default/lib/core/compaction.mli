@@ -1,0 +1,21 @@
+(** Schedule compaction: close idle gaps without breaking feasibility.
+
+    The paper's dual constructions place load deliberately high (cheap
+    wraps between [T/2] and [3T/2], large-machine content parked at
+    [T/2]), so their schedules contain idle time a practitioner would
+    reclaim. Compaction replays every segment in original start order and
+    starts it as early as its machine — and, in the preemptive variant,
+    its job's earlier pieces — allow:
+
+    [new_start = max(machine_front, job_front)].
+
+    By induction no segment starts later than before, so the makespan
+    never increases, relative orders are preserved (setup-before-class
+    stays intact), and pieces of one job stay sequential. The result is
+    feasible whenever the input is (property-tested via the exact
+    checker). *)
+
+open Bss_instances
+
+(** [compact variant inst sched] is the repacked schedule. *)
+val compact : Variant.t -> Instance.t -> Schedule.t -> Schedule.t

@@ -1,0 +1,33 @@
+open Bss_util
+open Bss_instances
+
+type result = { schedule : Schedule.t; accepted : Rat.t; dual_calls : int }
+
+let search ~dual ~epsilon ~t_min inst =
+  if Rat.sign epsilon <= 0 then invalid_arg "Dual_search.search: epsilon must be positive";
+  let calls = ref 0 in
+  let test tee =
+    incr calls;
+    dual inst tee
+  in
+  (* ε' = 2ε/3 makes the final ratio exactly 3/2 + ε. *)
+  let tolerance = Rat.mul t_min (Rat.mul_int (Rat.div_int epsilon 3) 2) in
+  match test t_min with
+  | Dual.Accepted s -> { schedule = s; accepted = t_min; dual_calls = !calls }
+  | Dual.Rejected _ -> begin
+    let hi = Rat.mul_int t_min 2 in
+    match test hi with
+    | Dual.Rejected r ->
+      failwith (Format.asprintf "dual rejected 2*T_min >= OPT: %a" Dual.pp_rejection r)
+    | Dual.Accepted s ->
+      let rec go lo hi best_sched =
+        if Rat.( <= ) (Rat.sub hi lo) tolerance then { schedule = best_sched; accepted = hi; dual_calls = !calls }
+        else begin
+          let mid = Rat.div_int (Rat.add lo hi) 2 in
+          match test mid with
+          | Dual.Accepted s -> go lo mid s
+          | Dual.Rejected _ -> go mid hi best_sched
+        end
+      in
+      go t_min hi s
+  end

@@ -1,0 +1,30 @@
+open Bss_util
+open Bss_instances
+
+type result = { schedule : Schedule.t; accepted : Rat.t; dual_calls : int }
+
+let solve inst =
+  let calls = ref 0 in
+  let test t =
+    incr calls;
+    Nonp_dual.run inst (Rat.of_int t)
+  in
+  let t_min = Lower_bounds.t_min Variant.Nonpreemptive inst in
+  (* lo < OPT without testing: lo = ⌈T_min⌉ − 1 < T_min <= OPT. *)
+  let lo = ref (Rat.ceil_int t_min - 1) in
+  let hi = ref (Rat.ceil_int (Rat.mul_int t_min 2)) in
+  match test !hi with
+  | Dual.Rejected r -> failwith (Format.asprintf "dual rejected 2*T_min >= OPT: %a" Dual.pp_rejection r)
+  | Dual.Accepted s ->
+    let best = ref s in
+    (* Invariant: !lo < OPT (rejected or below T_min), !hi accepted. On
+       exit hi = lo + 1, so by integrality of OPT, hi <= OPT. *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      match test mid with
+      | Dual.Accepted s ->
+        best := s;
+        hi := mid
+      | Dual.Rejected _ -> lo := mid
+    done;
+    { schedule = !best; accepted = Rat.of_int !hi; dual_calls = !calls }

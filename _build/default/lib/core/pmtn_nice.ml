@@ -1,0 +1,221 @@
+open Bss_util
+open Bss_instances
+open Bss_wrap
+
+type batch = { cls : int; pieces : (int * Rat.t) list }
+
+type mode =
+  | Alpha_prime
+  | Gamma
+
+let batch_of_class inst i =
+  {
+    cls = i;
+    pieces =
+      Array.to_list (Instance.jobs_of_class inst i)
+      |> List.map (fun j -> (j, Rat.of_int inst.Instance.job_time.(j)));
+  }
+
+let job_load b = List.fold_left (fun acc (_, t) -> Rat.add acc t) Rat.zero b.pieces
+
+let load inst b = Rat.add (Rat.of_int inst.Instance.setups.(b.cls)) (job_load b)
+
+type shape =
+  | Plus_exp  (** T <= s + P *)
+  | Zero_exp  (** 3T/4 < s + P < T *)
+  | Minus_exp  (** expensive, s + P <= 3T/4 *)
+  | Cheap
+
+let shape_of inst tee b =
+  let s = inst.Instance.setups.(b.cls) in
+  if Rat.( <= ) (Rat.of_int (2 * s)) tee then Cheap
+  else begin
+    let total = load inst b in
+    if Rat.( <= ) tee total then Plus_exp
+    else if Rat.( > ) (Rat.mul_int total 4) (Rat.mul_int tee 3) then Zero_exp
+    else Minus_exp
+  end
+
+(* α'_i = ⌊P_i / (T − s_i)⌋ for a Plus_exp batch; at least 1. *)
+let alpha' inst tee b =
+  let s = Rat.of_int inst.Instance.setups.(b.cls) in
+  let slack = Rat.sub tee s in
+  assert (Rat.sign slack > 0);
+  max 1 (Rat.floor_int (Rat.div (job_load b) slack))
+
+(* γ_i of Section 4.4 on a batch: max(β'_i, 1) while the overhang
+   P − β' T/2 fits into T − s_i, else β_i. *)
+let gamma inst tee b =
+  let s = Rat.of_int inst.Instance.setups.(b.cls) in
+  let p = job_load b in
+  let beta' = Rat.floor_int (Rat.div (Rat.mul_int p 2) tee) in
+  let overhang_ok =
+    Rat.( <= ) (Rat.sub p (Rat.mul_int (Rat.div_int tee 2) beta')) (Rat.sub tee s)
+  in
+  if overhang_ok then max beta' 1 else Rat.ceil_int (Rat.div (Rat.mul_int p 2) tee)
+
+let machines_for inst tee ~mode b =
+  match mode with
+  | Alpha_prime -> alpha' inst tee b
+  | Gamma -> gamma inst tee b
+
+let l_nice ?(mode = Alpha_prime) inst tee batches =
+  List.fold_left
+    (fun acc b ->
+      let s = inst.Instance.setups.(b.cls) in
+      let setups =
+        match shape_of inst tee b with
+        | Plus_exp -> Rat.of_int (machines_for inst tee ~mode b * s)
+        | Zero_exp -> invalid_arg "Pmtn_nice: instance is not nice"
+        | Minus_exp | Cheap -> Rat.of_int s
+      in
+      Rat.add acc (Rat.add setups (job_load b)))
+    Rat.zero batches
+
+let m_nice ?(mode = Alpha_prime) inst tee batches =
+  let minus = ref 0 and plus = ref 0 in
+  List.iter
+    (fun b ->
+      match shape_of inst tee b with
+      | Plus_exp -> plus := !plus + machines_for inst tee ~mode b
+      | Zero_exp -> invalid_arg "Pmtn_nice: instance is not nice"
+      | Minus_exp -> incr minus
+      | Cheap -> ())
+    batches;
+  !plus + ((!minus + 1) / 2)
+
+let place ?(mode = Alpha_prime) inst sched ~tee ~first_machine ~machines batches =
+  let half = Rat.div_int tee 2 in
+  let three_half = Rat.mul_int half 3 in
+  let plus = ref [] and minus = ref [] and cheap = ref [] in
+  List.iter
+    (fun b ->
+      match shape_of inst tee b with
+      | Plus_exp -> plus := b :: !plus
+      | Zero_exp -> invalid_arg "Pmtn_nice: instance is not nice"
+      | Minus_exp -> minus := b :: !minus
+      | Cheap -> cheap := b :: !cheap)
+    batches;
+  let plus = List.rev !plus and minus = List.rev !minus and cheap = List.rev !cheap in
+  let cursor = ref first_machine in
+  let limit = first_machine + machines in
+  let exception Overflow of string in
+  try
+    let fresh () =
+      if !cursor >= limit then raise (Overflow "out of machines");
+      let u = !cursor in
+      incr cursor;
+      u
+    in
+    (* Step 1: each I+exp batch fills α' machines; the first α'−1 exactly
+       to T, the last takes the remainder (< 3T/2 since the remainder is
+       below T − s_i plus a full T − s_i row and s_i > T/2). *)
+    List.iter
+      (fun b ->
+        let s = Rat.of_int inst.Instance.setups.(b.cls) in
+        let count = machines_for inst tee ~mode b in
+        (* In Alpha_prime mode the first count−1 machines fill exactly to
+           T; in Gamma mode each machine is a T/2 gap above its setup. The
+           last machine absorbs the remainder and stays under 3T/2 in both
+           modes. *)
+        let inner_cap =
+          match mode with
+          | Alpha_prime -> tee
+          | Gamma -> Rat.add s half
+        in
+        let u = ref (fresh ()) in
+        let used = ref 1 in
+        Schedule.add_setup sched ~machine:!u ~cls:b.cls ~start:Rat.zero ~dur:s;
+        let pos = ref s in
+        let advance () =
+          u := fresh ();
+          incr used;
+          Schedule.add_setup sched ~machine:!u ~cls:b.cls ~start:Rat.zero ~dur:s;
+          pos := s
+        in
+        List.iter
+          (fun (j, time) ->
+            let remaining = ref time in
+            while Rat.sign !remaining > 0 do
+              (* only the last of the machines may exceed the inner cap *)
+              let cap = if !used < count then inner_cap else three_half in
+              let room = Rat.sub cap !pos in
+              if Rat.sign room <= 0 then advance ()
+              else begin
+                let chunk = if !used < count then Rat.min !remaining room else !remaining in
+                if Rat.( > ) chunk room then raise (Overflow "I+exp last machine overflow");
+                Schedule.add_work sched ~machine:!u ~job:j ~start:!pos ~dur:chunk;
+                pos := Rat.add !pos chunk;
+                remaining := Rat.sub !remaining chunk
+              end
+            done)
+          b.pieces;
+        if !used > count then raise (Overflow "I+exp used too many machines"))
+      plus;
+    (* Step 2: pair the I-exp batches, the odd one alone on µ. *)
+    let place_batch u pos b =
+      let s = Rat.of_int inst.Instance.setups.(b.cls) in
+      Schedule.add_setup sched ~machine:u ~cls:b.cls ~start:pos ~dur:s;
+      let pos = ref (Rat.add pos s) in
+      List.iter
+        (fun (j, time) ->
+          Schedule.add_work sched ~machine:u ~job:j ~start:!pos ~dur:time;
+          pos := Rat.add !pos time)
+        b.pieces;
+      !pos
+    in
+    let rec pair = function
+      | [] -> None
+      | [ b ] ->
+        let u = fresh () in
+        let _ = place_batch u Rat.zero b in
+        Some u
+      | b1 :: b2 :: rest ->
+        let u = fresh () in
+        let pos = place_batch u Rat.zero b1 in
+        let _ = place_batch u pos b2 in
+        pair rest
+    in
+    let mu_odd = pair minus in
+    (* Step 3: wrap the cheap batches above T/2 (above T on the odd µ). *)
+    let q = Sequence.of_batches inst (List.map (fun b -> (b.cls, b.pieces)) cheap) in
+    if q <> [] then begin
+      let first_gap =
+        match mu_odd with
+        | Some mu -> [ { Template.machine = mu; lo = tee; hi = three_half } ]
+        | None -> []
+      in
+      let rest_gaps =
+        Template.uniform_run ~first_machine:!cursor ~count:(limit - !cursor) ~lo:half ~hi:three_half
+      in
+      let omega = Template.concat [ first_gap; rest_gaps ] in
+      if Rat.( < ) (Template.span omega) (Sequence.load inst q) then
+        raise (Overflow "cheap wrap template too small");
+      let _ = Wrap.wrap inst sched q omega in
+      ()
+    end;
+    Ok ()
+  with
+  | Overflow msg -> Error ("Pmtn_nice.place: " ^ msg)
+  | Wrap.Template_exhausted -> Error "Pmtn_nice.place: cheap wrap exhausted"
+
+let run_instance ?(mode = Alpha_prime) inst tee =
+  let trivial = Rat.of_int (Lower_bounds.setup_plus_tmax inst) in
+  if Rat.( < ) tee trivial then Dual.Rejected (Dual.Below_trivial_bound { bound = trivial })
+  else begin
+    let batches = List.init (Instance.c inst) (batch_of_class inst) in
+    let m = inst.Instance.m in
+    let l = l_nice ~mode inst tee batches in
+    let m_t = Rat.mul_int tee m in
+    if Rat.( < ) m_t l then Dual.Rejected (Dual.Load_exceeds { required = l; available = m_t })
+    else begin
+      let needed = m_nice ~mode inst tee batches in
+      if m < needed then Dual.Rejected (Dual.Machines_exceed { required = needed; available = m })
+      else begin
+        let sched = Schedule.create m in
+        match place ~mode inst sched ~tee ~first_machine:0 ~machines:m batches with
+        | Ok () -> Dual.Accepted sched
+        | Error msg -> failwith msg
+      end
+    end
+  end

@@ -1,0 +1,37 @@
+(** Unified entry point: pick a problem variant and an algorithm, get a
+    checked schedule with its quality certificate.
+
+    This is the API the examples and the experiment harness use; each
+    algorithm corresponds to one theorem of the paper. *)
+
+open Bss_util
+open Bss_instances
+
+type algorithm =
+  | Approx2  (** Theorem 1: 2-approximation, [O(n)] *)
+  | Approx3_2_eps of Rat.t  (** Theorem 2: (3/2+ε)-approximation, [O(n log 1/ε)] *)
+  | Approx3_2
+      (** the exact 3/2-approximations: Theorem 3 (splittable, class
+          jumping), Theorem 6 (preemptive, class jumping), Theorem 8
+          (non-preemptive, integer binary search) *)
+
+type result = {
+  schedule : Schedule.t;
+  guarantee : Rat.t;
+      (** proven upper bound on [makespan / OPT] for this run: [2] for
+          {!Approx2}, [3/2 + ε] for {!Approx3_2_eps}, [3/2] for
+          {!Approx3_2} *)
+  certificate : Rat.t;
+      (** a value [X <= guarantee·OPT] with [makespan <= X]: [2·T_min] for
+          {!Approx2}, [(3/2)·T_accepted] otherwise *)
+  dual_calls : int;  (** dual/bound evaluations performed (0 for Approx2) *)
+}
+
+(** [solve ~algorithm variant inst] runs the requested algorithm. The
+    returned schedule is feasible for [variant] (exercised by the test
+    suite via the exact checker on every path). *)
+val solve : algorithm:algorithm -> Variant.t -> Instance.t -> result
+
+(** [algorithm_name ~algorithm variant] is a short display name, e.g.
+    ["3/2 class-jumping (split)"] . *)
+val algorithm_name : algorithm:algorithm -> Variant.t -> string

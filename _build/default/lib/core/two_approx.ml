@@ -1,0 +1,102 @@
+open Bss_util
+open Bss_instances
+open Bss_wrap
+
+let splittable inst =
+  let m = inst.Instance.m in
+  let smax = Rat.of_int inst.Instance.s_max in
+  let volume = Rat.of_ints inst.Instance.total m in
+  let omega =
+    Template.concat
+      [ Template.uniform_run ~first_machine:0 ~count:m ~lo:smax ~hi:(Rat.add smax volume) ]
+  in
+  let q = Sequence.of_classes inst (List.init (Instance.c inst) (fun i -> i)) in
+  let sched = Schedule.create m in
+  let _ = Wrap.wrap inst sched q omega in
+  sched
+
+(* --- next-fit for the non-preemptive / preemptive case (Lemma 9) ------- *)
+
+type item =
+  | S of int  (** setup of class *)
+  | J of int  (** job id *)
+
+let item_duration inst = function
+  | S i -> inst.Instance.setups.(i)
+  | J j -> inst.Instance.job_time.(j)
+
+let nonpreemptive inst =
+  let m = inst.Instance.m in
+  let tmin = Lower_bounds.t_min Variant.Nonpreemptive inst in
+  (* Step 1: next-fit with threshold T_min. [placed] holds reversed item
+     lists; [crossed] marks machines whose last item pushed the load over
+     the threshold. *)
+  let placed = Array.make m [] in
+  let crossed = Array.make m false in
+  let u = ref 0 and load = ref Rat.zero in
+  let place item =
+    assert (!u < m);
+    placed.(!u) <- item :: placed.(!u);
+    load := Rat.add !load (Rat.of_int (item_duration inst item));
+    if Rat.( > ) !load tmin then begin
+      crossed.(!u) <- true;
+      incr u;
+      load := Rat.zero
+    end
+  in
+  for i = 0 to Instance.c inst - 1 do
+    place (S i);
+    Array.iter (fun j -> place (J j)) (Instance.jobs_of_class inst i)
+  done;
+  (* Step 2: move each crossing item (the last on its machine) to the
+     beginning of the next machine, prefixing a setup when it is a job. *)
+  let final = Array.make m [] in
+  let carry = Array.make m [] in
+  for v = 0 to m - 1 do
+    let own = List.rev placed.(v) in
+    let own =
+      if not crossed.(v) then own
+      else begin
+        match placed.(v) with
+        | last :: _ ->
+          assert (v + 1 < m);
+          (carry.(v + 1) <-
+            (match last with
+            | S _ -> [ last ]
+            | J j -> [ S inst.Instance.job_class.(j); J j ]));
+          List.rev (List.tl placed.(v))
+        | [] -> assert false
+      end
+    in
+    final.(v) <- carry.(v) @ own
+  done;
+  (* Step 3: drop setups that end up last on a machine. *)
+  let rec drop_trailing_setups = function
+    | [] -> []
+    | items -> (
+      match List.rev items with
+      | S _ :: rest_rev -> drop_trailing_setups (List.rev rest_rev)
+      | (J _ :: _ | []) -> items)
+  in
+  (* Materialize: items run back-to-back from time 0. *)
+  let sched = Schedule.create m in
+  for v = 0 to m - 1 do
+    let t = ref Rat.zero in
+    List.iter
+      (fun item ->
+        let dur = Rat.of_int (item_duration inst item) in
+        (match item with
+        | S i -> Schedule.add_setup sched ~machine:v ~cls:i ~start:!t ~dur
+        | J j -> Schedule.add_work sched ~machine:v ~job:j ~start:!t ~dur);
+        t := Rat.add !t dur)
+      (drop_trailing_setups final.(v))
+  done;
+  sched
+
+let preemptive = nonpreemptive
+
+let solve variant inst =
+  match variant with
+  | Variant.Splittable -> splittable inst
+  | Variant.Nonpreemptive -> nonpreemptive inst
+  | Variant.Preemptive -> preemptive inst

@@ -1,0 +1,1 @@
+lib/extensions/seqdep.ml: Array Bss_instances Instance List

@@ -1,0 +1,1 @@
+lib/extensions/seqdep.mli: Bss_instances

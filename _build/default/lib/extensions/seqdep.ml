@@ -1,0 +1,147 @@
+open Bss_instances
+
+type t = { setup : int array array; initial : int array; load : int array }
+
+let make ~setup ~initial ~load =
+  let c = Array.length initial in
+  if c = 0 then invalid_arg "Seqdep.make: no classes";
+  if Array.length setup <> c || Array.length load <> c then invalid_arg "Seqdep.make: dimension mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> c then invalid_arg "Seqdep.make: setup matrix not square";
+      Array.iter (fun v -> if v < 0 then invalid_arg "Seqdep.make: negative setup") row)
+    setup;
+  Array.iter (fun v -> if v < 0 then invalid_arg "Seqdep.make: negative initial") initial;
+  Array.iter (fun v -> if v < 0 then invalid_arg "Seqdep.make: negative load") load;
+  { setup; initial; load }
+
+let of_instance inst =
+  let c = Instance.c inst in
+  let s i = inst.Instance.setups.(i) in
+  make
+    ~setup:(Array.init c (fun _ -> Array.init c s))
+    ~initial:(Array.init c s)
+    ~load:(Array.copy inst.Instance.class_load)
+
+let of_tsp dist =
+  let c = Array.length dist in
+  make ~setup:(Array.map Array.copy dist) ~initial:(Array.make c 0) ~load:(Array.make c 0)
+
+let total_load t = Array.fold_left ( + ) 0 t.load
+
+let cost t order =
+  let c = Array.length t.initial in
+  if Array.length order <> c then invalid_arg "Seqdep.cost: wrong length";
+  let seen = Array.make c false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= c || seen.(i) then invalid_arg "Seqdep.cost: not a permutation";
+      seen.(i) <- true)
+    order;
+  let transitions = ref t.initial.(order.(0)) in
+  for k = 1 to c - 1 do
+    transitions := !transitions + t.setup.(order.(k - 1)).(order.(k))
+  done;
+  !transitions + total_load t
+
+(* Held-Karp over subsets: best.(mask).(i) = cheapest transition cost of a
+   path visiting exactly [mask], ending at class i. *)
+let held_karp t =
+  let c = Array.length t.initial in
+  if c > 20 then invalid_arg "Seqdep.held_karp: c > 20";
+  let full = (1 lsl c) - 1 in
+  let inf = max_int / 4 in
+  let best = Array.make_matrix (full + 1) c inf in
+  let parent = Array.make_matrix (full + 1) c (-1) in
+  for i = 0 to c - 1 do
+    best.(1 lsl i).(i) <- t.initial.(i)
+  done;
+  for mask = 1 to full do
+    for last = 0 to c - 1 do
+      if mask land (1 lsl last) <> 0 && best.(mask).(last) < inf then begin
+        let base = best.(mask).(last) in
+        for next = 0 to c - 1 do
+          if mask land (1 lsl next) = 0 then begin
+            let mask' = mask lor (1 lsl next) in
+            let cand = base + t.setup.(last).(next) in
+            if cand < best.(mask').(next) then begin
+              best.(mask').(next) <- cand;
+              parent.(mask').(next) <- last
+            end
+          end
+        done
+      end
+    done
+  done;
+  let last = ref 0 in
+  for i = 1 to c - 1 do
+    if best.(full).(i) < best.(full).(!last) then last := i
+  done;
+  let order = Array.make c 0 in
+  let mask = ref full and cur = ref !last in
+  for k = c - 1 downto 0 do
+    order.(k) <- !cur;
+    let prev = parent.(!mask).(!cur) in
+    mask := !mask land lnot (1 lsl !cur);
+    cur := if prev >= 0 then prev else 0
+  done;
+  (order, best.(full).(!last) + total_load t)
+
+let nearest_neighbour t =
+  let c = Array.length t.initial in
+  let used = Array.make c false in
+  let start = ref 0 in
+  for i = 1 to c - 1 do
+    if t.initial.(i) < t.initial.(!start) then start := i
+  done;
+  let order = Array.make c !start in
+  used.(!start) <- true;
+  for k = 1 to c - 1 do
+    let prev = order.(k - 1) in
+    let bestn = ref (-1) in
+    for i = 0 to c - 1 do
+      if (not used.(i)) && (!bestn < 0 || t.setup.(prev).(i) < t.setup.(prev).(!bestn)) then bestn := i
+    done;
+    order.(k) <- !bestn;
+    used.(!bestn) <- true
+  done;
+  (order, cost t order)
+
+(* Path-greedy: sort all directed transitions by cost; accept (a -> b)
+   when a has no successor yet, b has no predecessor yet, and the edge
+   does not close a cycle (union-find over path components). *)
+let greedy_edge t =
+  let c = Array.length t.initial in
+  if c = 1 then ([| 0 |], cost t [| 0 |])
+  else begin
+    let succ = Array.make c (-1) and pred = Array.make c (-1) in
+    let comp = Array.init c (fun i -> i) in
+    let rec find i = if comp.(i) = i then i else (comp.(i) <- find comp.(i); comp.(i)) in
+    let edges = ref [] in
+    for a = 0 to c - 1 do
+      for b = 0 to c - 1 do
+        if a <> b then edges := (t.setup.(a).(b), a, b) :: !edges
+      done
+    done;
+    let edges = List.sort compare !edges in
+    let accepted = ref 0 in
+    List.iter
+      (fun (_, a, b) ->
+        if !accepted < c - 1 && succ.(a) < 0 && pred.(b) < 0 && find a <> find b then begin
+          succ.(a) <- b;
+          pred.(b) <- a;
+          comp.(find a) <- find b;
+          incr accepted
+        end)
+      edges;
+    (* the unique path start is the class with no predecessor *)
+    let start = ref 0 in
+    for i = 0 to c - 1 do
+      if pred.(i) < 0 then start := i
+    done;
+    let order = Array.make c !start in
+    for k = 1 to c - 1 do
+      order.(k) <- succ.(order.(k - 1))
+    done;
+    (order, cost t order)
+  end

@@ -1,0 +1,56 @@
+(** Sequence-dependent setups (the paper's concluding remark).
+
+    With a setup matrix [S ∈ N^{c×c}], processing class [i2] on a machine
+    currently set up for [i1] costs [s(i1,i2)]. The paper observes that for
+    [m = 1], [C_i = { j_i }] and [t_{j_i} = 0] this is exactly the
+    travelling-salesman {e path} problem: the class order visited by the
+    single machine is a Hamiltonian path over the classes, and its total
+    setup cost is the path length.
+
+    This module makes that reduction concrete for the single-machine case:
+
+    - {!schedule_of_order} evaluates a class order (the scheduling side);
+    - {!held_karp} computes the optimal order exactly in [O(2^c c^2)]
+      (open path, free start);
+    - {!nearest_neighbour} and {!greedy_edge} are classic heuristics;
+    - {!of_instance} embeds a sequence-independent instance as the matrix
+      [s(·, i) = s_i], under which every algorithm here must agree with
+      the single-machine sequence-independent optimum ([Σ s_i + Σ t_j] —
+      order irrelevant), a property the tests pin down. *)
+
+type t = {
+  setup : int array array;  (** [setup.(i1).(i2) >= 0]; [setup.(i).(i)] unused *)
+  initial : int array;  (** cost of the first setup on a cold machine *)
+  load : int array;  (** total processing time per class *)
+}
+
+(** [make ~setup ~initial ~load] validates dimensions and non-negativity.
+    @raise Invalid_argument on mismatch or negative entries. *)
+val make : setup:int array array -> initial:int array -> load:int array -> t
+
+(** [of_instance inst] is the sequence-independent embedding of a
+    single-machine view of [inst]: [initial.(i) = setup.(_,i) = s_i],
+    [load.(i) = P(C_i)]. *)
+val of_instance : Bss_instances.Instance.t -> t
+
+(** [of_tsp dist] is the paper's TSP-path reduction: one zero-length job
+    per city, [setup = dist], [initial = 0] (free start anywhere). *)
+val of_tsp : int array array -> t
+
+(** [cost t order] is the single-machine makespan of visiting classes in
+    [order]: [initial.(first) + Σ setup transitions + Σ load].
+    @raise Invalid_argument unless [order] is a permutation of [0..c-1]. *)
+val cost : t -> int array -> int
+
+(** [held_karp t] is an optimal order and its cost; exact, [O(2^c c^2)].
+    @raise Invalid_argument when [c > 20]. *)
+val held_karp : t -> int array * int
+
+(** [nearest_neighbour t] starts at the cheapest initial class and always
+    moves to the cheapest next transition. [O(c^2)]. *)
+val nearest_neighbour : t -> int array * int
+
+(** [greedy_edge t] repeatedly commits the globally cheapest transition
+    that keeps the partial orders acyclic (path version of the greedy
+    matching heuristic). [O(c^2 log c)]. *)
+val greedy_edge : t -> int array * int

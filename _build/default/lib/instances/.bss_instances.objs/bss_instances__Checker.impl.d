@@ -1,0 +1,1 @@
+lib/instances/checker.ml: Array Bss_util Format Instance List Printf Rat Schedule String Variant

@@ -1,0 +1,1 @@
+lib/instances/checker.mli: Bss_util Format Instance Rat Schedule Variant

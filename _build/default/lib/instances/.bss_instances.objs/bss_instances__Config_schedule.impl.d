@@ -1,0 +1,1 @@
+lib/instances/config_schedule.ml: Array Bss_util Checker Hashtbl Instance List Rat Schedule

@@ -1,0 +1,1 @@
+lib/instances/config_schedule.mli: Bss_util Checker Instance Rat Schedule

@@ -1,0 +1,1 @@
+lib/instances/instance.ml: Array Bss_util Buffer List Printf String

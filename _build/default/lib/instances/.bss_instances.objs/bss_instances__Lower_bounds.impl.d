@@ -1,0 +1,1 @@
+lib/instances/lower_bounds.ml: Array Bss_util Instance Rat Variant

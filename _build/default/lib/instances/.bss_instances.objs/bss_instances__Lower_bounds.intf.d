@@ -1,0 +1,1 @@
+lib/instances/lower_bounds.mli: Bss_util Instance Rat Variant

@@ -1,0 +1,1 @@
+lib/instances/metrics.ml: Bss_util Instance List Printf Rat Schedule

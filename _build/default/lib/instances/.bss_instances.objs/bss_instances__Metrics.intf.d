@@ -1,0 +1,1 @@
+lib/instances/metrics.mli: Bss_util Instance Rat Schedule

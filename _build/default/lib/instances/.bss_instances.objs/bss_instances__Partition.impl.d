@@ -1,0 +1,1 @@
+lib/instances/partition.ml: Array Bss_util Instance List Rat

@@ -1,0 +1,1 @@
+lib/instances/partition.mli: Bss_util Instance Rat

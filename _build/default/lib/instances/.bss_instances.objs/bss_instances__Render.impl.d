@@ -1,0 +1,1 @@
+lib/instances/render.ml: Array Bss_util Buffer Bytes Char Instance Intmath List Printf Rat Schedule String

@@ -1,0 +1,1 @@
+lib/instances/render.mli: Bss_util Instance Rat Schedule

@@ -1,0 +1,1 @@
+lib/instances/schedule.ml: Array Bss_util List Rat

@@ -1,0 +1,1 @@
+lib/instances/schedule.mli: Bss_util Rat

@@ -1,0 +1,1 @@
+lib/instances/trace.ml: Array Bss_util Buffer Format Instance List Printf Rat Schedule

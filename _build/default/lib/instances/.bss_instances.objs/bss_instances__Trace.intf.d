@@ -1,0 +1,1 @@
+lib/instances/trace.mli: Bss_util Format Instance Rat Schedule

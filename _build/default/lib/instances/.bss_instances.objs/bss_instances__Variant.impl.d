@@ -1,0 +1,1 @@
+lib/instances/variant.ml: Format

@@ -1,0 +1,1 @@
+lib/instances/variant.mli: Format

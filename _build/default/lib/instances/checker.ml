@@ -1,0 +1,105 @@
+open Bss_util
+
+type violation =
+  | Bad_machine_index of { machine : int }
+  | Overlap of { machine : int; at : Rat.t }
+  | Bad_setup_duration of { machine : int; cls : int; got : Rat.t }
+  | Missing_setup of { machine : int; job : int }
+  | Wrong_volume of { job : int; got : Rat.t }
+  | Self_parallel of { job : int; at : Rat.t }
+  | Not_contiguous of { job : int }
+  | Makespan_exceeded of { machine : int; got : Rat.t; bound : Rat.t }
+
+let pp_violation fmt = function
+  | Bad_machine_index { machine } -> Format.fprintf fmt "bad machine index %d" machine
+  | Overlap { machine; at } -> Format.fprintf fmt "overlap on machine %d at %a" machine Rat.pp at
+  | Bad_setup_duration { machine; cls; got } ->
+    Format.fprintf fmt "setup of class %d on machine %d has duration %a" cls machine Rat.pp got
+  | Missing_setup { machine; job } -> Format.fprintf fmt "job %d on machine %d lacks a preceding setup" job machine
+  | Wrong_volume { job; got } -> Format.fprintf fmt "job %d processed for %a, not its full time" job Rat.pp got
+  | Self_parallel { job; at } -> Format.fprintf fmt "job %d runs in parallel with itself at %a" job Rat.pp at
+  | Not_contiguous { job } -> Format.fprintf fmt "job %d is not one contiguous block" job
+  | Makespan_exceeded { machine; got; bound } ->
+    Format.fprintf fmt "machine %d ends at %a > bound %a" machine Rat.pp got Rat.pp bound
+
+let violation_to_string v = Format.asprintf "%a" pp_violation v
+
+let check ?makespan_bound variant instance schedule =
+  let violations = ref [] in
+  let report v = violations := v :: !violations in
+  let m = Schedule.machines schedule in
+  let n = Instance.n instance in
+  (* Per-machine structure: ordering, setup durations, setup-before-class. *)
+  for u = 0 to m - 1 do
+    let segs = Schedule.segments schedule u in
+    let rec scan prev_end prev_content = function
+      | [] -> ()
+      | (seg : Schedule.seg) :: rest ->
+        if Rat.( < ) seg.start prev_end then report (Overlap { machine = u; at = seg.start });
+        (match seg.content with
+        | Schedule.Setup cls ->
+          if not (Rat.equal seg.dur (Rat.of_int instance.Instance.setups.(cls))) then
+            report (Bad_setup_duration { machine = u; cls; got = seg.dur })
+        | Schedule.Work job ->
+          let cls = instance.Instance.job_class.(job) in
+          let ok =
+            match prev_content with
+            | Some (Schedule.Setup c) -> c = cls
+            | Some (Schedule.Work j) -> instance.Instance.job_class.(j) = cls
+            | None -> false
+          in
+          if not ok then report (Missing_setup { machine = u; job }));
+        scan (Rat.add seg.start seg.dur) (Some seg.content) rest
+    in
+    scan Rat.zero None segs;
+    (match makespan_bound with
+    | Some bound ->
+      let finish = Schedule.machine_end schedule u in
+      if Rat.( > ) finish bound then report (Makespan_exceeded { machine = u; got = finish; bound })
+    | None -> ())
+  done;
+  (* Volumes and variant-specific job constraints. *)
+  let idx = Schedule.job_index ~n schedule in
+  for j = 0 to n - 1 do
+    let pieces = idx.(j) in
+    let volume = List.fold_left (fun acc (_, _, d) -> Rat.add acc d) Rat.zero pieces in
+    if not (Rat.equal volume (Rat.of_int instance.Instance.job_time.(j))) then
+      report (Wrong_volume { job = j; got = volume });
+    match variant with
+    | Variant.Splittable -> ()
+    | Variant.Preemptive ->
+      let sorted = List.sort (fun (_, a, _) (_, b, _) -> Rat.compare a b) pieces in
+      let rec no_parallel prev_end = function
+        | [] -> ()
+        | (_, start, dur) :: rest ->
+          if Rat.( < ) start prev_end then report (Self_parallel { job = j; at = start });
+          no_parallel (Rat.max prev_end (Rat.add start dur)) rest
+      in
+      no_parallel Rat.zero sorted
+    | Variant.Nonpreemptive -> (
+      match List.sort (fun (_, a, _) (_, b, _) -> Rat.compare a b) pieces with
+      | [] -> () (* already reported as Wrong_volume *)
+      | (u0, s0, d0) :: rest ->
+        let contiguous, _ =
+          List.fold_left
+            (fun (ok, prev_end) (u, s, d) -> (ok && u = u0 && Rat.equal s prev_end, Rat.add s d))
+            (true, Rat.add s0 d0)
+            rest
+        in
+        if not contiguous then report (Not_contiguous { job = j }))
+  done;
+  match !violations with
+  | [] -> Ok ()
+  | vs -> Error (List.rev vs)
+
+let check_exn ?makespan_bound variant instance schedule =
+  match check ?makespan_bound variant instance schedule with
+  | Ok () -> ()
+  | Error vs ->
+    let msg = String.concat "; " (List.map violation_to_string vs) in
+    failwith (Printf.sprintf "infeasible %s schedule: %s" (Variant.to_string variant) msg)
+
+let is_feasible ?makespan_bound variant instance schedule =
+  match check ?makespan_bound variant instance schedule with
+  | Ok () -> true
+  | Error _ -> false

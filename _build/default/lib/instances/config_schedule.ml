@@ -1,0 +1,111 @@
+open Bss_util
+
+type config = { segments : Schedule.seg list; multiplicity : int }
+
+type t = { m : int; configs : config list }
+
+(* canonical key for grouping: the sorted segment list *)
+let layout_key segs =
+  List.map
+    (fun (s : Schedule.seg) ->
+      ( Rat.to_string s.Schedule.start,
+        Rat.to_string s.Schedule.dur,
+        match s.Schedule.content with
+        | Schedule.Setup i -> (0, i)
+        | Schedule.Work j -> (1, j) ))
+    segs
+
+let of_schedule sched =
+  let m = Schedule.machines sched in
+  let table = Hashtbl.create 16 in
+  let order = ref [] in
+  for u = 0 to m - 1 do
+    match Schedule.segments sched u with
+    | [] -> ()
+    | segs ->
+      let key = layout_key segs in
+      (match Hashtbl.find_opt table key with
+      | Some r -> incr r
+      | None ->
+        Hashtbl.add table key (ref 1);
+        order := (key, segs) :: !order)
+  done;
+  let configs =
+    List.rev_map
+      (fun (key, segs) -> { segments = segs; multiplicity = !(Hashtbl.find table key) })
+      !order
+  in
+  { m; configs }
+
+let expand t =
+  List.iter
+    (fun c -> if c.multiplicity < 1 then invalid_arg "Config_schedule.expand: multiplicity < 1")
+    t.configs;
+  let used = List.fold_left (fun acc c -> acc + c.multiplicity) 0 t.configs in
+  if used > t.m then invalid_arg "Config_schedule.expand: multiplicities exceed m";
+  let sched = Schedule.create t.m in
+  let u = ref 0 in
+  List.iter
+    (fun c ->
+      for _ = 1 to c.multiplicity do
+        List.iter (fun seg -> Schedule.add sched ~machine:!u seg) c.segments;
+        incr u
+      done)
+    t.configs;
+  sched
+
+let config_end c =
+  List.fold_left (fun acc (s : Schedule.seg) -> Rat.max acc (Rat.add s.Schedule.start s.Schedule.dur)) Rat.zero
+    c.segments
+
+let config_load c = List.fold_left (fun acc (s : Schedule.seg) -> Rat.add acc s.Schedule.dur) Rat.zero c.segments
+
+let makespan t = List.fold_left (fun acc c -> Rat.max acc (config_end c)) Rat.zero t.configs
+
+let total_load t =
+  List.fold_left (fun acc c -> Rat.add acc (Rat.mul_int (config_load c) c.multiplicity)) Rat.zero t.configs
+
+let machines_used t = List.fold_left (fun acc c -> acc + c.multiplicity) 0 t.configs
+
+let size t = List.fold_left (fun acc c -> acc + List.length c.segments) 0 t.configs
+
+let check_splittable inst t =
+  let violations = ref [] in
+  let report v = violations := v :: !violations in
+  if machines_used t > t.m then report (Checker.Bad_machine_index { machine = t.m });
+  let volumes = Array.make (Instance.n inst) Rat.zero in
+  List.iteri
+    (fun idx c ->
+      (* one representative machine per configuration *)
+      let rec scan prev_end prev_content = function
+        | [] -> ()
+        | (seg : Schedule.seg) :: rest ->
+          if Rat.( < ) seg.Schedule.start prev_end then
+            report (Checker.Overlap { machine = idx; at = seg.Schedule.start });
+          (match seg.Schedule.content with
+          | Schedule.Setup cls ->
+            if not (Rat.equal seg.Schedule.dur (Rat.of_int inst.Instance.setups.(cls))) then
+              report (Checker.Bad_setup_duration { machine = idx; cls; got = seg.Schedule.dur })
+          | Schedule.Work job ->
+            volumes.(job) <-
+              Rat.add volumes.(job) (Rat.mul_int seg.Schedule.dur c.multiplicity);
+            let cls = inst.Instance.job_class.(job) in
+            let ok =
+              match prev_content with
+              | Some (Schedule.Setup c') -> c' = cls
+              | Some (Schedule.Work j') -> inst.Instance.job_class.(j') = cls
+              | None -> false
+            in
+            if not ok then report (Checker.Missing_setup { machine = idx; job }));
+          scan (Rat.add seg.Schedule.start seg.Schedule.dur) (Some seg.Schedule.content) rest
+      in
+      scan Rat.zero None c.segments)
+    t.configs;
+  Array.iteri
+    (fun j v ->
+      if not (Rat.equal v (Rat.of_int inst.Instance.job_time.(j))) then
+        report (Checker.Wrong_volume { job = j; got = v }))
+    volumes;
+  match !violations with
+  | [] -> Ok ()
+  | vs -> Error (List.rev vs)

@@ -1,0 +1,51 @@
+(** Machine configurations with multiplicities (Appendix C.1).
+
+    The paper allows splittable schedules to be given as {e machine
+    configurations with associated multiplicities} instead of one explicit
+    timetable per machine: when a long job is wrapped across many identical
+    gaps, all middle machines carry the same layout (a setup at 0 and one
+    piece filling the gap), so a single configuration with multiplicity [k]
+    describes them — this is what removes the [Ω(m)] term from the
+    splittable running time.
+
+    This module provides the compact form, conversion both ways, and
+    direct (no-expansion) statistics. Per-machine feasibility of a
+    configuration transfers to all its copies; for the {e splittable}
+    variant that is full feasibility (jobs may run in parallel with
+    themselves), which {!check_splittable} exploits — it validates one
+    representative per configuration. *)
+
+open Bss_util
+
+type config = {
+  segments : Schedule.seg list;  (** one machine's layout, sorted by start *)
+  multiplicity : int;  (** [>= 1] *)
+}
+
+type t = {
+  m : int;  (** total machines (copies may be fewer; the rest are idle) *)
+  configs : config list;
+}
+
+(** [of_schedule sched] groups machines with identical layouts. Empty
+    machines are dropped (represented by the [m] field). *)
+val of_schedule : Schedule.t -> t
+
+(** [expand t] materializes the explicit schedule on [t.m] machines.
+    @raise Invalid_argument when [Σ multiplicities > m]. *)
+val expand : t -> Schedule.t
+
+(** [makespan t], [total_load t], [machines_used t], [size t] — computed
+    directly on the compact form ([size] is the number of stored segments,
+    the quantity the paper's argument bounds by [O(n + c)]). *)
+val makespan : t -> Rat.t
+
+val total_load : t -> Rat.t
+val machines_used : t -> int
+val size : t -> int
+
+(** [check_splittable inst t] validates the compact schedule for the
+    splittable variant by checking one representative machine per
+    configuration plus global job volumes. Agrees with running
+    {!Checker.check} on {!expand} (property-tested). *)
+val check_splittable : Instance.t -> t -> (unit, Checker.violation list) result

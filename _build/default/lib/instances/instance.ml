@@ -1,0 +1,100 @@
+type t = {
+  m : int;
+  setups : int array;
+  job_class : int array;
+  job_time : int array;
+  class_jobs : int array array;
+  class_load : int array;
+  class_tmax : int array;
+  total : int;
+  s_max : int;
+  t_max : int;
+}
+
+let make ~m ~setups ~jobs =
+  let c = Array.length setups in
+  if m < 1 then invalid_arg "Instance.make: m < 1";
+  if c < 1 then invalid_arg "Instance.make: no classes";
+  Array.iter (fun s -> if s < 1 then invalid_arg "Instance.make: setup < 1") setups;
+  let n = Array.length jobs in
+  if n < 1 then invalid_arg "Instance.make: no jobs";
+  let job_class = Array.make n 0 and job_time = Array.make n 0 in
+  let count = Array.make c 0 in
+  Array.iteri
+    (fun j (cls, time) ->
+      if cls < 0 || cls >= c then invalid_arg "Instance.make: class out of range";
+      if time < 1 then invalid_arg "Instance.make: job time < 1";
+      job_class.(j) <- cls;
+      job_time.(j) <- time;
+      count.(cls) <- count.(cls) + 1)
+    jobs;
+  Array.iteri (fun i k -> if k = 0 then invalid_arg (Printf.sprintf "Instance.make: class %d empty" i)) count;
+  let class_jobs = Array.map (fun k -> Array.make k 0) count in
+  let fill = Array.make c 0 in
+  for j = 0 to n - 1 do
+    let i = job_class.(j) in
+    class_jobs.(i).(fill.(i)) <- j;
+    fill.(i) <- fill.(i) + 1
+  done;
+  let class_load = Array.make c 0 and class_tmax = Array.make c 0 in
+  for j = 0 to n - 1 do
+    let i = job_class.(j) in
+    class_load.(i) <- class_load.(i) + job_time.(j);
+    if job_time.(j) > class_tmax.(i) then class_tmax.(i) <- job_time.(j)
+  done;
+  let total = Bss_util.Intmath.sum_array setups + Bss_util.Intmath.sum_array job_time in
+  {
+    m;
+    setups = Array.copy setups;
+    job_class;
+    job_time;
+    class_jobs;
+    class_load;
+    class_tmax;
+    total;
+    s_max = Bss_util.Intmath.max_array setups;
+    t_max = Bss_util.Intmath.max_array job_time;
+  }
+
+let n t = Array.length t.job_time
+let c t = Array.length t.setups
+let jobs_of_class t i = t.class_jobs.(i)
+let class_size t i = Array.length t.class_jobs.(i)
+let delta t = max t.s_max t.t_max
+let single_machine_bound t = t.total
+
+let describe t =
+  Printf.sprintf "instance: m=%d c=%d n=%d N=%d smax=%d tmax=%d" t.m (c t) (n t) t.total t.s_max t.t_max
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "m %d\n" t.m);
+  Buffer.add_string buf "setups";
+  Array.iter (fun s -> Buffer.add_string buf (" " ^ string_of_int s)) t.setups;
+  Buffer.add_char buf '\n';
+  Array.iteri
+    (fun j cls -> Buffer.add_string buf (Printf.sprintf "job %d %d\n" cls t.job_time.(j)))
+    t.job_class;
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let m = ref None and setups = ref None and jobs = ref [] in
+  let parse_line line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then ()
+    else begin
+      match String.split_on_char ' ' line |> List.filter (fun w -> w <> "") with
+      | [ "m"; v ] -> m := Some (int_of_string v)
+      | "setups" :: vs -> setups := Some (Array.of_list (List.map int_of_string vs))
+      | [ "job"; cls; time ] -> jobs := (int_of_string cls, int_of_string time) :: !jobs
+      | _ -> invalid_arg ("Instance.of_string: bad line: " ^ line)
+    end
+  in
+  (try List.iter parse_line lines with Failure _ -> invalid_arg "Instance.of_string: bad number");
+  match (!m, !setups) with
+  | Some m, Some setups -> make ~m ~setups ~jobs:(Array.of_list (List.rev !jobs))
+  | _ -> invalid_arg "Instance.of_string: missing m or setups"
+
+let equal a b =
+  a.m = b.m && a.setups = b.setups && a.job_class = b.job_class && a.job_time = b.job_time

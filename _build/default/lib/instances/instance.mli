@@ -1,0 +1,64 @@
+(** Problem instances of scheduling with batch setup times.
+
+    An instance has [m] identical machines, [c] job classes with setup times
+    [s_i >= 1], and [n] jobs, each belonging to one class with a processing
+    time [t_j >= 1] (the paper's ℕ). Construction validates all invariants
+    and precomputes the derived quantities every algorithm needs:
+    [P(C_i)], [t^(i)_max], [N], [s_max], [t_max]. *)
+
+type t = private {
+  m : int;  (** number of machines, [>= 1] *)
+  setups : int array;  (** [c] setup times, each [>= 1] *)
+  job_class : int array;  (** class of job [j], in [\[0, c)] *)
+  job_time : int array;  (** processing time of job [j], [>= 1] *)
+  class_jobs : int array array;  (** job ids per class, every class non-empty *)
+  class_load : int array;  (** [P(C_i)] *)
+  class_tmax : int array;  (** [t^(i)_max] *)
+  total : int;  (** [N = Σ s_i + Σ t_j] *)
+  s_max : int;
+  t_max : int;
+}
+
+(** [make ~m ~setups ~jobs] builds an instance from [(class, time)] pairs.
+    @raise Invalid_argument when [m < 1], any setup or time is [< 1], a class
+    index is out of range, or some class has no job. *)
+val make : m:int -> setups:int array -> jobs:(int * int) array -> t
+
+(** [n t] is the number of jobs. *)
+val n : t -> int
+
+(** [c t] is the number of classes. *)
+val c : t -> int
+
+(** [jobs_of_class t i] is the array of job ids in class [i] (not a copy). *)
+val jobs_of_class : t -> int -> int array
+
+(** [class_size t i] is [|C_i|]. *)
+val class_size : t -> int -> int
+
+(** [delta t] is [max(s_max, t_max)], the largest input value [Δ]. *)
+val delta : t -> int
+
+(** [single_machine_bound t] is [N]: the makespan of running everything on
+    one machine, an upper bound on [OPT] for every variant. *)
+val single_machine_bound : t -> int
+
+(** Render a compact human-readable description. *)
+val describe : t -> string
+
+(** Serialize to a simple line-oriented text format (see {!of_string}). *)
+val to_string : t -> string
+
+(** Parse the format produced by {!to_string}:
+    {v
+    m <machines>
+    setups <s_1> ... <s_c>
+    job <class> <time>        (one line per job)
+    v}
+    Blank lines and [#] comments are ignored.
+    @raise Invalid_argument on malformed input. *)
+val of_string : string -> t
+
+(** Structural equality (same machines, setups, and job multiset per class in
+    the given order). *)
+val equal : t -> t -> bool

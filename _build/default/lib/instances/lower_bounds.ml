@@ -1,0 +1,20 @@
+open Bss_util
+
+let volume_bound inst = Rat.of_ints inst.Instance.total inst.Instance.m
+
+let setup_plus_tmax inst =
+  let best = ref 0 in
+  Array.iteri
+    (fun i s ->
+      let v = s + inst.Instance.class_tmax.(i) in
+      if v > !best then best := v)
+    inst.Instance.setups;
+  !best
+
+let t_min variant inst =
+  let base = volume_bound inst in
+  match variant with
+  | Variant.Splittable -> Rat.max base (Rat.of_int inst.Instance.s_max)
+  | Variant.Preemptive | Variant.Nonpreemptive -> Rat.max base (Rat.of_int (setup_plus_tmax inst))
+
+let lower_bound = t_min

@@ -1,0 +1,24 @@
+(** Certified lower bounds on the optimal makespan.
+
+    For every instance [I]: [OPT >= N/m] (total volume), [OPT > s_max],
+    and for the preemptive and non-preemptive variants additionally
+    [OPT >= max_i (s_i + t^(i)_max)] (Notes 1 and 2 of the paper). The value
+    [T_min] below satisfies [OPT ∈ [T_min, 2 T_min]] thanks to the
+    2-approximations of Theorem 1, which is what the binary searches use. *)
+
+open Bss_util
+
+(** [volume_bound inst] is [N/m] as an exact rational. *)
+val volume_bound : Instance.t -> Rat.t
+
+(** [setup_plus_tmax inst] is [max_i (s_i + t^(i)_max)]. *)
+val setup_plus_tmax : Instance.t -> int
+
+(** [t_min variant inst] is the paper's [T_min]:
+    [max(N/m, s_max)] for splittable, [max(N/m, max_i (s_i + t^(i)_max))]
+    otherwise. In all variants [T_min <= OPT <= 2 T_min]. *)
+val t_min : Variant.t -> Instance.t -> Rat.t
+
+(** [lower_bound variant inst] is a certified lower bound on [OPT]; equals
+    {!t_min} (ratio measurements divide by this). *)
+val lower_bound : Variant.t -> Instance.t -> Rat.t

@@ -1,0 +1,115 @@
+open Bss_util
+
+type t = {
+  tee : Rat.t;
+  exp : int list;
+  chp : int list;
+  exp_plus : int list;
+  exp_zero : int list;
+  exp_minus : int list;
+  chp_plus : int list;
+  chp_minus : int list;
+  chp_star : int list;
+  big_jobs : int array array;
+}
+
+(* [s_i > T/2] without building T/2: [2 s_i > T]. *)
+let is_expensive inst tee i = Rat.( > ) (Rat.of_int (2 * inst.Instance.setups.(i))) tee
+
+let ratio_load_over_slack inst tee i =
+  let s = inst.Instance.setups.(i) in
+  let slack = Rat.sub tee (Rat.of_int s) in
+  if Rat.sign slack <= 0 then invalid_arg "Partition: T <= s_i";
+  Rat.div (Rat.of_int inst.Instance.class_load.(i)) slack
+
+let alpha inst tee i = Rat.ceil_int (ratio_load_over_slack inst tee i)
+let alpha' inst tee i = Rat.floor_int (ratio_load_over_slack inst tee i)
+
+let beta inst tee i = Rat.ceil_int (Rat.div (Rat.of_int (2 * inst.Instance.class_load.(i))) tee)
+let beta' inst tee i = Rat.floor_int (Rat.div (Rat.of_int (2 * inst.Instance.class_load.(i))) tee)
+
+let gamma inst tee i =
+  let b' = beta' inst tee i in
+  (* P(C_i) - β'_i T/2 <= T - s_i  ⟺  2 P(C_i) + 2 s_i <= (β'_i + 2) T *)
+  let lhs = Rat.of_int (2 * (inst.Instance.class_load.(i) + inst.Instance.setups.(i))) in
+  let rhs = Rat.mul_int tee (b' + 2) in
+  if Rat.( <= ) lhs rhs then max b' 1 else beta inst tee i
+
+let make inst tee =
+  let c = Instance.c inst in
+  let exp = ref [] and chp = ref [] in
+  let exp_plus = ref [] and exp_zero = ref [] and exp_minus = ref [] in
+  let chp_plus = ref [] and chp_minus = ref [] and chp_star = ref [] in
+  let big_jobs = Array.make c [||] in
+  for i = c - 1 downto 0 do
+    let s = inst.Instance.setups.(i) in
+    let s_plus_load = Rat.of_int (s + inst.Instance.class_load.(i)) in
+    if is_expensive inst tee i then begin
+      exp := i :: !exp;
+      if Rat.( <= ) tee s_plus_load then exp_plus := i :: !exp_plus
+      else if Rat.( > ) (Rat.mul_int s_plus_load 4) (Rat.mul_int tee 3) then exp_zero := i :: !exp_zero
+      else exp_minus := i :: !exp_minus
+    end
+    else begin
+      chp := i :: !chp;
+      (* cheap: T/4 <= s_i splits I+chp from I-chp *)
+      if Rat.( <= ) tee (Rat.of_int (4 * s)) then chp_plus := i :: !chp_plus
+      else begin
+        chp_minus := i :: !chp_minus;
+        let stars =
+          Array.to_list (Instance.jobs_of_class inst i)
+          |> List.filter (fun j -> Rat.( > ) (Rat.of_int (2 * (s + inst.Instance.job_time.(j)))) tee)
+        in
+        if stars <> [] then begin
+          big_jobs.(i) <- Array.of_list stars;
+          chp_star := i :: !chp_star
+        end
+      end
+    end
+  done;
+  {
+    tee;
+    exp = !exp;
+    chp = !chp;
+    exp_plus = !exp_plus;
+    exp_zero = !exp_zero;
+    exp_minus = !exp_minus;
+    chp_plus = !chp_plus;
+    chp_minus = !chp_minus;
+    chp_star = !chp_star;
+    big_jobs;
+  }
+
+let j_plus inst tee =
+  let acc = ref [] in
+  for j = Instance.n inst - 1 downto 0 do
+    if Rat.( > ) (Rat.of_int (2 * inst.Instance.job_time.(j))) tee then acc := j :: !acc
+  done;
+  Array.of_list !acc
+
+let k_set inst tee =
+  let acc = ref [] in
+  for j = Instance.n inst - 1 downto 0 do
+    let i = inst.Instance.job_class.(j) in
+    let tj = inst.Instance.job_time.(j) in
+    let small = Rat.( <= ) (Rat.of_int (2 * tj)) tee in
+    let heavy = Rat.( > ) (Rat.of_int (2 * (inst.Instance.setups.(i) + tj))) tee in
+    if (not (is_expensive inst tee i)) && small && heavy then acc := j :: !acc
+  done;
+  Array.of_list !acc
+
+let m_i inst tee i =
+  if is_expensive inst tee i then alpha inst tee i
+  else begin
+    let s = inst.Instance.setups.(i) in
+    let slack = Rat.sub tee (Rat.of_int s) in
+    if Rat.sign slack <= 0 then invalid_arg "Partition.m_i: T <= s_i";
+    let big = ref 0 and k_load = ref 0 in
+    Array.iter
+      (fun j ->
+        let tj = inst.Instance.job_time.(j) in
+        if Rat.( > ) (Rat.of_int (2 * tj)) tee then incr big
+        else if Rat.( > ) (Rat.of_int (2 * (s + tj))) tee then k_load := !k_load + tj)
+      (Instance.jobs_of_class inst i);
+    !big + Rat.ceil_int (Rat.div (Rat.of_int !k_load) slack)
+  end

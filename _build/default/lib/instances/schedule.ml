@@ -1,0 +1,109 @@
+open Bss_util
+
+type content =
+  | Setup of int
+  | Work of int
+
+type seg = { start : Rat.t; dur : Rat.t; content : content }
+
+type t = { m : int; segs : seg list array (* reverse append order *) }
+
+let create m =
+  if m < 1 then invalid_arg "Schedule.create: m < 1";
+  { m; segs = Array.make m [] }
+
+let machines t = t.m
+
+let add t ~machine seg =
+  if machine < 0 || machine >= t.m then invalid_arg "Schedule.add: bad machine";
+  if Rat.sign seg.dur < 0 then invalid_arg "Schedule.add: negative duration";
+  if Rat.sign seg.start < 0 then invalid_arg "Schedule.add: negative start";
+  if not (Rat.is_zero seg.dur) then t.segs.(machine) <- seg :: t.segs.(machine)
+
+let add_setup t ~machine ~cls ~start ~dur = add t ~machine { start; dur; content = Setup cls }
+let add_work t ~machine ~job ~start ~dur = add t ~machine { start; dur; content = Work job }
+
+let by_start a b = Rat.compare a.start b.start
+
+let segments t u = List.sort by_start t.segs.(u)
+
+let all_segments t =
+  let acc = ref [] in
+  for u = 0 to t.m - 1 do
+    List.iter (fun s -> acc := (u, s) :: !acc) t.segs.(u)
+  done;
+  !acc
+
+let machine_end t u =
+  List.fold_left (fun acc s -> Rat.max acc (Rat.add s.start s.dur)) Rat.zero t.segs.(u)
+
+let machine_load t u = List.fold_left (fun acc s -> Rat.add acc s.dur) Rat.zero t.segs.(u)
+
+let makespan t =
+  let best = ref Rat.zero in
+  for u = 0 to t.m - 1 do
+    best := Rat.max !best (machine_end t u)
+  done;
+  !best
+
+let total_load t =
+  let acc = ref Rat.zero in
+  for u = 0 to t.m - 1 do
+    acc := Rat.add !acc (machine_load t u)
+  done;
+  !acc
+
+let work_of_job t j =
+  let acc = ref [] in
+  for u = 0 to t.m - 1 do
+    List.iter
+      (fun s ->
+        match s.content with
+        | Work j' when j' = j -> acc := (u, s.start, s.dur) :: !acc
+        | Work _ | Setup _ -> ())
+      t.segs.(u)
+  done;
+  !acc
+
+let job_index ~n t =
+  let idx = Array.make n [] in
+  for u = 0 to t.m - 1 do
+    List.iter
+      (fun s ->
+        match s.content with
+        | Work j when j >= 0 && j < n -> idx.(j) <- (u, s.start, s.dur) :: idx.(j)
+        | Work _ | Setup _ -> ())
+      t.segs.(u)
+  done;
+  idx
+
+let setup_count t ~cls =
+  let k = ref 0 in
+  for u = 0 to t.m - 1 do
+    List.iter
+      (fun s ->
+        match s.content with
+        | Setup i when i = cls -> incr k
+        | Setup _ | Work _ -> ())
+      t.segs.(u)
+  done;
+  !k
+
+let total_setup_count t =
+  let k = ref 0 in
+  for u = 0 to t.m - 1 do
+    List.iter
+      (fun s ->
+        match s.content with
+        | Setup _ -> incr k
+        | Work _ -> ())
+      t.segs.(u)
+  done;
+  !k
+
+let copy t = { m = t.m; segs = Array.copy t.segs }
+
+let remove_machine_segments t u =
+  let old = segments t u in
+  t.segs.(u) <- [];
+  old

@@ -1,0 +1,82 @@
+open Bss_util
+
+type event_kind =
+  | Setup_start of int
+  | Setup_end of int
+  | Job_start of int
+  | Job_end of int
+
+type event = { time : Rat.t; machine : int; kind : event_kind }
+
+let is_end = function
+  | Setup_end _ | Job_end _ -> true
+  | Setup_start _ | Job_start _ -> false
+
+let events _inst sched =
+  let acc = ref [] in
+  List.iter
+    (fun (machine, (seg : Schedule.seg)) ->
+      let finish = Rat.add seg.Schedule.start seg.Schedule.dur in
+      match seg.Schedule.content with
+      | Schedule.Setup i ->
+        acc := { time = seg.Schedule.start; machine; kind = Setup_start i }
+               :: { time = finish; machine; kind = Setup_end i }
+               :: !acc
+      | Schedule.Work j ->
+        acc := { time = seg.Schedule.start; machine; kind = Job_start j }
+               :: { time = finish; machine; kind = Job_end j }
+               :: !acc)
+    (Schedule.all_segments sched);
+  List.sort
+    (fun a b ->
+      let c = Rat.compare a.time b.time in
+      if c <> 0 then c
+      else begin
+        let c = compare (is_end b.kind) (is_end a.kind) (* ends first *) in
+        if c <> 0 then c else compare a.machine b.machine
+      end)
+    !acc
+
+let completion_times inst sched =
+  let out = Array.make (Instance.n inst) Rat.zero in
+  List.iter
+    (fun (_, (seg : Schedule.seg)) ->
+      match seg.Schedule.content with
+      | Schedule.Work j -> out.(j) <- Rat.max out.(j) (Rat.add seg.Schedule.start seg.Schedule.dur)
+      | Schedule.Setup _ -> ())
+    (Schedule.all_segments sched);
+  out
+
+let total_flow_time inst sched =
+  Array.fold_left Rat.add Rat.zero (completion_times inst sched)
+
+let to_csv inst sched =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "machine,start,duration,kind,id,class\n";
+  for u = 0 to Schedule.machines sched - 1 do
+    List.iter
+      (fun (seg : Schedule.seg) ->
+        let kind, id, cls =
+          match seg.Schedule.content with
+          | Schedule.Setup i -> ("setup", i, i)
+          | Schedule.Work j -> ("work", j, inst.Instance.job_class.(j))
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%d,%s,%s,%s,%d,%d\n" u
+             (Rat.to_string seg.Schedule.start)
+             (Rat.to_string seg.Schedule.dur)
+             kind id cls))
+      (Schedule.segments sched u)
+  done;
+  Buffer.contents buf
+
+let pp_kind fmt = function
+  | Setup_start i -> Format.fprintf fmt "setup(class %d) starts" i
+  | Setup_end i -> Format.fprintf fmt "setup(class %d) ends" i
+  | Job_start j -> Format.fprintf fmt "job %d starts" j
+  | Job_end j -> Format.fprintf fmt "job %d ends" j
+
+let pp_events fmt evs =
+  List.iter
+    (fun e -> Format.fprintf fmt "t=%-10s m%-3d %a@." (Rat.to_string e.time) e.machine pp_kind e.kind)
+    evs

@@ -1,0 +1,39 @@
+(** Execution traces and interchange formats for schedules.
+
+    A schedule is a geometric object; downstream consumers (simulators,
+    dashboards, shop-floor controllers) want it as an ordered event stream
+    or a flat table. This module derives both, plus per-job completion
+    times — the quantity a dispatcher actually promises. *)
+
+open Bss_util
+
+type event_kind =
+  | Setup_start of int  (** class *)
+  | Setup_end of int
+  | Job_start of int  (** job; emitted per piece *)
+  | Job_end of int
+
+type event = { time : Rat.t; machine : int; kind : event_kind }
+
+(** [events inst sched] is the event stream sorted by time (ties: ends
+    before starts, then machine). Each segment contributes a start and an
+    end event. *)
+val events : Instance.t -> Schedule.t -> event list
+
+(** [completion_times inst sched] maps each job to the end of its last
+    piece. Jobs with no piece map to zero (an infeasible schedule; the
+    checker reports it separately). *)
+val completion_times : Instance.t -> Schedule.t -> Rat.t array
+
+(** [total_flow_time inst sched] is [Σ_j completion_j] — a secondary
+    quality metric the makespan algorithms do not optimize but users ask
+    about. *)
+val total_flow_time : Instance.t -> Schedule.t -> Rat.t
+
+(** [to_csv inst sched] renders one line per segment:
+    [machine,start,duration,kind,id,class] with exact rational times.
+    Stable order: machine, then start. *)
+val to_csv : Instance.t -> Schedule.t -> string
+
+(** [pp_events fmt events] — human-readable event log. *)
+val pp_events : Format.formatter -> event list -> unit

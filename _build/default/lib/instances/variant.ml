@@ -1,0 +1,21 @@
+(** The three problem flavours studied by the paper. *)
+
+type t =
+  | Nonpreemptive  (** [P|setup=s_i|Cmax]: jobs run contiguously on one machine. *)
+  | Preemptive  (** [P|pmtn,setup=s_i|Cmax]: preemption allowed, no self-parallelism. *)
+  | Splittable  (** [P|split,setup=s_i|Cmax]: arbitrary splitting and parallelism. *)
+
+let all = [ Nonpreemptive; Preemptive; Splittable ]
+
+let to_string = function
+  | Nonpreemptive -> "non-preemptive"
+  | Preemptive -> "preemptive"
+  | Splittable -> "splittable"
+
+(** Graham three-field notation as used in the paper. *)
+let notation = function
+  | Nonpreemptive -> "P|setup=s_i|Cmax"
+  | Preemptive -> "P|pmtn,setup=s_i|Cmax"
+  | Splittable -> "P|split,setup=s_i|Cmax"
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

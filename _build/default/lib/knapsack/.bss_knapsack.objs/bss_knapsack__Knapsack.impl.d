@@ -1,0 +1,1 @@
+lib/knapsack/knapsack.ml: Array Bss_util List Rat Select

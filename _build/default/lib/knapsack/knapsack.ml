@@ -1,0 +1,127 @@
+open Bss_util
+
+type item = { id : int; profit : Rat.t; weight : Rat.t }
+
+type solution = { take : Rat.t array; value : Rat.t; used : Rat.t; split : int option }
+
+let validate items =
+  Array.iter
+    (fun it ->
+      if Rat.sign it.weight < 0 then invalid_arg "Knapsack: negative weight";
+      if Rat.sign it.profit < 0 then invalid_arg "Knapsack: negative profit")
+    items
+
+(* density(a) > density(b) ⟺ p_a w_b > p_b w_a; positions with zero weight
+   are handled before any density comparison. *)
+let density_compare items a b =
+  let ia = items.(a) and ib = items.(b) in
+  Rat.compare (Rat.mul ia.profit ib.weight) (Rat.mul ib.profit ia.weight)
+
+let finish items take =
+  let value = ref Rat.zero and used = ref Rat.zero and split = ref None in
+  Array.iteri
+    (fun p x ->
+      if Rat.sign x > 0 then begin
+        value := Rat.add !value (Rat.mul x items.(p).profit);
+        used := Rat.add !used (Rat.mul x items.(p).weight);
+        if not (Rat.equal x Rat.one) then begin
+          assert (!split = None);
+          split := Some p
+        end
+      end)
+    take;
+  { take; value = !value; used = !used; split = !split }
+
+(* Greedily fill positions [ps] (any order) into [cap], mutating [take];
+   returns the remaining capacity. *)
+let fill_greedy items take ps cap =
+  List.fold_left
+    (fun cap p ->
+      if Rat.sign cap <= 0 then cap
+      else begin
+        let w = items.(p).weight in
+        if Rat.( <= ) w cap then begin
+          take.(p) <- Rat.one;
+          Rat.sub cap w
+        end
+        else begin
+          take.(p) <- Rat.div cap w;
+          Rat.zero
+        end
+      end)
+    cap ps
+
+let split_zero_weight items =
+  let zero = ref [] and pos = ref [] in
+  Array.iteri (fun p it -> if Rat.is_zero it.weight then zero := p :: !zero else pos := p :: !pos) items;
+  (!zero, !pos)
+
+let solve_sorted items ~capacity =
+  validate items;
+  let take = Array.make (Array.length items) Rat.zero in
+  let zero, positive = split_zero_weight items in
+  List.iter (fun p -> take.(p) <- Rat.one) zero;
+  let order = Array.of_list positive in
+  Array.sort
+    (fun a b ->
+      let c = density_compare items b a in
+      if c <> 0 then c else compare a b)
+    order;
+  let _ = fill_greedy items take (Array.to_list order) capacity in
+  finish items take
+
+let solve_linear items ~capacity =
+  validate items;
+  let take = Array.make (Array.length items) Rat.zero in
+  let zero, positive = split_zero_weight items in
+  List.iter (fun p -> take.(p) <- Rat.one) zero;
+  (* Recurse on median density: each level halves the candidate count, so
+     expected total work is linear. *)
+  let rec go ps cap =
+    match ps with
+    | [] -> ()
+    | _ when Rat.sign cap <= 0 -> ()
+    | _ ->
+      let arr = Array.of_list ps in
+      let pivot = Select.select ~cmp:(density_compare items) arr (Array.length arr / 2) in
+      let high = ref [] and equal = ref [] and low = ref [] in
+      List.iter
+        (fun p ->
+          let c = density_compare items p pivot in
+          if c > 0 then high := p :: !high
+          else if c = 0 then equal := p :: !equal
+          else low := p :: !low)
+        ps;
+      let w_high = List.fold_left (fun acc p -> Rat.add acc items.(p).weight) Rat.zero !high in
+      if Rat.( > ) w_high cap then go !high cap
+      else begin
+        List.iter (fun p -> take.(p) <- Rat.one) !high;
+        let cap = Rat.sub cap w_high in
+        let w_equal = List.fold_left (fun acc p -> Rat.add acc items.(p).weight) Rat.zero !equal in
+        if Rat.( <= ) w_equal cap then begin
+          List.iter (fun p -> take.(p) <- Rat.one) !equal;
+          go !low (Rat.sub cap w_equal)
+        end
+        else
+          let _ = fill_greedy items take !equal cap in
+          ()
+      end
+  in
+  go positive capacity;
+  finish items take
+
+let integral_oracle ~profits ~weights ~capacity =
+  let k = Array.length profits in
+  if Array.length weights <> k then invalid_arg "Knapsack.integral_oracle: length mismatch";
+  if capacity < 0 then 0
+  else begin
+    let best = Array.make (capacity + 1) 0 in
+    for i = 0 to k - 1 do
+      if weights.(i) < 0 || profits.(i) < 0 then invalid_arg "Knapsack.integral_oracle: negative input";
+      for cap = capacity downto weights.(i) do
+        let candidate = best.(cap - weights.(i)) + profits.(i) in
+        if candidate > best.(cap) then best.(cap) <- candidate
+      done
+    done;
+    best.(capacity)
+  end

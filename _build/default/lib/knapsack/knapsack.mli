@@ -1,0 +1,40 @@
+(** Continuous (fractional) knapsack, exact rational arithmetic.
+
+    The preemptive 3/2-dual approximation (Section 4.2, case 3.a) decides
+    which cheap classes to schedule entirely off the large machines by
+    solving a continuous knapsack: profits are setup times, weights are
+    non-obligatory loads, the capacity is the remaining free time. An
+    optimal continuous solution has at most one fractional item — the
+    paper's split item [e].
+
+    Two solvers with identical results: {!solve_sorted} sorts by
+    profit/weight density ([O(k log k)]), {!solve_linear} recurses on
+    median densities (expected [O(k)], the bound the paper cites). A 0/1 DP
+    {!integral_oracle} exists only as a test oracle. *)
+
+open Bss_util
+
+type item = { id : int; profit : Rat.t; weight : Rat.t }
+(** [weight >= 0], [profit >= 0]. *)
+
+type solution = {
+  take : Rat.t array;  (** fraction of each input item taken, in [\[0,1\]] *)
+  value : Rat.t;  (** total fractional profit *)
+  used : Rat.t;  (** total fractional weight, [<= capacity] *)
+  split : int option;  (** index (into the input array) of the one fractional item *)
+}
+
+(** [solve_sorted items ~capacity] — greedy by density after sorting.
+    Zero-weight items are always taken fully. A non-positive capacity takes
+    only zero-weight items.
+    @raise Invalid_argument on negative weights or profits. *)
+val solve_sorted : item array -> capacity:Rat.t -> solution
+
+(** [solve_linear items ~capacity] — expected linear time via median-density
+    partitioning; same optimal value as {!solve_sorted}. *)
+val solve_linear : item array -> capacity:Rat.t -> solution
+
+(** [integral_oracle ~profits ~weights ~capacity] solves 0/1 knapsack by DP
+    over integer capacity (test oracle; small inputs only). Returns the
+    optimal total profit. *)
+val integral_oracle : profits:int array -> weights:int array -> capacity:int -> int

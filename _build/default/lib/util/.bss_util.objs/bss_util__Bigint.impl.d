@@ -1,0 +1,1 @@
+lib/util/bigint.ml: Array Buffer Format List Printf Stdlib String Sys

@@ -1,0 +1,43 @@
+let ceil_div a b =
+  assert (a >= 0 && b > 0);
+  (a + b - 1) / b
+
+let floor_div a b =
+  assert (a >= 0 && b > 0);
+  a / b
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if b = 0 then a else gcd b (a mod b)
+
+let log2_ceil n =
+  assert (n >= 1);
+  let rec go k p = if p >= n then k else go (k + 1) (p * 2) in
+  go 0 1
+
+let pow base e =
+  assert (e >= 0);
+  let rec go acc base e =
+    if e = 0 then acc else go (if e land 1 = 1 then acc * base else acc) (base * base) (e lsr 1)
+  in
+  go 1 base e
+
+let sum_array a =
+  let s = ref 0 in
+  Array.iter
+    (fun x ->
+      let s' = !s + x in
+      assert ((x >= 0 && s' >= !s) || (x < 0 && s' < !s));
+      s := s')
+    a;
+  !s
+
+let max_array a =
+  if Array.length a = 0 then invalid_arg "Intmath.max_array: empty";
+  Array.fold_left max a.(0) a
+
+let min_array a =
+  if Array.length a = 0 then invalid_arg "Intmath.min_array: empty";
+  Array.fold_left min a.(0) a
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x

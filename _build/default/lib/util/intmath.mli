@@ -1,0 +1,34 @@
+(** Small arithmetic helpers on native integers.
+
+    Input processing and setup times are native ints (the paper's ℕ); these
+    helpers implement the integer ceilings/floors and bit tricks the
+    algorithms and analyses use. *)
+
+(** [ceil_div a b] is [⌈a/b⌉] for [a >= 0], [b > 0]. *)
+val ceil_div : int -> int -> int
+
+(** [floor_div a b] is [⌊a/b⌋] for [a >= 0], [b > 0]. *)
+val floor_div : int -> int -> int
+
+(** Greatest common divisor of absolute values; [gcd 0 0 = 0]. *)
+val gcd : int -> int -> int
+
+(** [log2_ceil n] is the least [k] with [2^k >= n], for [n >= 1]. *)
+val log2_ceil : int -> int
+
+(** [pow base e] for [e >= 0]; unchecked overflow. *)
+val pow : int -> int -> int
+
+(** [sum_array a] with overflow assertion in debug builds. *)
+val sum_array : int array -> int
+
+(** [max_array a] over a non-empty array.
+    @raise Invalid_argument on empty input. *)
+val max_array : int array -> int
+
+(** [min_array a] over a non-empty array.
+    @raise Invalid_argument on empty input. *)
+val min_array : int array -> int
+
+(** [clamp lo hi x] limits [x] to [\[lo, hi\]]. *)
+val clamp : int -> int -> int -> int

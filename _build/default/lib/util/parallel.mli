@@ -1,0 +1,23 @@
+(** Multicore helpers (OCaml 5 domains).
+
+    The experiment harness evaluates many independent (instance,
+    algorithm) cases; this module fans them out over domains with a
+    shared-counter work queue. No dependency beyond the stdlib's [Domain]
+    and [Atomic]. *)
+
+(** [recommended ()] is the runtime's recommended domain count. *)
+val recommended : unit -> int
+
+(** [map ?domains f xs] is [List.map f xs] computed on up to [domains]
+    domains (default {!recommended}, capped by the list length).
+    Order-preserving. If any [f] raises, one such exception is re-raised
+    after all domains finish.
+
+    [f] must be safe to run concurrently with itself (the library's
+    solvers are pure given distinct instances; the shared PRNG in
+    {!Select} is the one documented exception and is benign — pivot
+    choice only affects performance). *)
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [iter ?domains f xs] is [map] for side effects. *)
+val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit

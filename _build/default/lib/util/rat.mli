@@ -1,0 +1,90 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Every schedule coordinate (segment start, duration, makespan guess) in
+    this library is an exact rational, so feasibility checking needs no
+    epsilon and the dual-approximation accept/reject decisions are exact.
+
+    Values are kept normalized: the denominator is positive and coprime with
+    the numerator; zero is [0/1]. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+(** [of_int n] is [n/1]. *)
+val of_int : int -> t
+
+(** [of_ints p q] is [p/q].
+    @raise Division_by_zero when [q = 0]. *)
+val of_ints : int -> int -> t
+
+val of_bigint : Bigint.t -> t
+
+(** [make num den] is [num/den].
+    @raise Division_by_zero when [den] is zero. *)
+val make : Bigint.t -> Bigint.t -> t
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** @raise Division_by_zero on zero divisor. *)
+val div : t -> t -> t
+
+val inv : t -> t
+val mul_int : t -> int -> t
+val div_int : t -> int -> t
+val add_int : t -> int -> t
+
+(** [floor x] is the greatest integer [<= x], as a bigint. *)
+val floor : t -> Bigint.t
+
+(** [ceil x] is the least integer [>= x], as a bigint. *)
+val ceil : t -> Bigint.t
+
+(** [floor_int x] / [ceil_int x] convert through {!Bigint.to_int_exn}.
+    @raise Failure when out of native range. *)
+val floor_int : t -> int
+
+val ceil_int : t -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( = ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val sign : t -> int
+val is_zero : t -> bool
+
+(** [is_integer x] is true when the denominator is 1. *)
+val is_integer : t -> bool
+
+val to_float : t -> float
+
+(** [to_int_opt x] is [Some n] iff [x] is an integer fitting a native int. *)
+val to_int_opt : t -> int option
+
+(** ["p/q"] or ["p"] when integral. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Convenience infix operators, meant to be locally [open]ed as
+    [Rat.Infix]. *)
+module Infix : sig
+  val ( +/ ) : t -> t -> t
+  val ( -/ ) : t -> t -> t
+  val ( */ ) : t -> t -> t
+  val ( // ) : t -> t -> t
+end

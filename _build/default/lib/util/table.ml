@@ -1,0 +1,45 @@
+type align =
+  | Left
+  | Right
+
+let render ~header ?align rows =
+  let ncols = List.length header in
+  let fit row =
+    let row = if List.length row > ncols then List.filteri (fun i _ -> i < ncols) row else row in
+    row @ List.init (ncols - List.length row) (fun _ -> "")
+  in
+  let rows = List.map fit rows in
+  let align =
+    match align with
+    | Some a when List.length a = ncols -> Array.of_list a
+    | Some _ | None -> Array.make ncols Left
+  in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row -> List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell) row)
+    rows;
+  let pad i cell =
+    let w = widths.(i) in
+    let fill = String.make (w - String.length cell) ' ' in
+    match align.(i) with
+    | Left -> cell ^ fill
+    | Right -> fill ^ cell
+  in
+  let line row = "| " ^ String.concat " | " (List.mapi pad row) ^ " |" in
+  let rule = "+" ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths)) ^ "+" in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let print ~header ?align rows = print_endline (render ~header ?align rows)

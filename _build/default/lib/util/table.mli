@@ -1,0 +1,14 @@
+(** Minimal ASCII table rendering for experiment reports. *)
+
+type align =
+  | Left
+  | Right
+
+(** [render ~header ?align rows] lays out a monospace table with a header
+    rule. Rows shorter than the header are padded with empty cells; longer
+    rows are truncated to the header width. [align] defaults to [Left] for
+    every column. *)
+val render : header:string list -> ?align:align list -> string list list -> string
+
+(** [print ~header ?align rows] renders to stdout with a trailing newline. *)
+val print : header:string list -> ?align:align list -> string list list -> unit

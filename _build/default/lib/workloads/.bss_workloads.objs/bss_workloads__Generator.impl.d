@@ -1,0 +1,1 @@
+lib/workloads/generator.ml: Array Bss_instances Bss_util Instance Intmath List Prng

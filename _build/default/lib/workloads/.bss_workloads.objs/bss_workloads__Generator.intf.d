@@ -1,0 +1,1 @@
+lib/workloads/generator.mli: Bss_instances Bss_util Instance Prng

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Bss_instances Bss_util Generator Hashtbl Instance List Printf Prng

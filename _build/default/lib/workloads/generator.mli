@@ -1,0 +1,54 @@
+(** Synthetic workload families.
+
+    The paper has no benchmark data sets (it is a theory paper), so the
+    experiment harness measures its claims — ratio shapes and running-time
+    growth — on these generators. Every family takes an explicit
+    {!Bss_util.Prng.t}, making all experiments reproducible from a seed. *)
+
+open Bss_util
+open Bss_instances
+
+type spec = {
+  name : string;
+  description : string;
+  generate : Prng.t -> m:int -> n:int -> Instance.t;
+      (** [n] is a target job count; families keep the actual count within
+          a small constant of it (every class must be non-empty). *)
+}
+
+(** Uniform setups in [\[1, 50\]], times in [\[1, 100\]], [c ≈ n/8] classes
+    of balanced sizes. *)
+val uniform : spec
+
+(** Small batches (Monma–Potts regime): many classes, each class's
+    [s_i + P(C_i)] well under the average machine load. *)
+val small_batches : spec
+
+(** Single-job batches ([|C_i| = 1], Schuurman–Woeginger regime). *)
+val single_job : spec
+
+(** Expensive-heavy: a few classes with setups comparable to the optimal
+    makespan — exercises [I_exp] splitting and class jumping. *)
+val expensive : spec
+
+(** Zipf-sized classes: class sizes and loads follow a Zipf law
+    (α = 1.2) — a few dominant classes, a long tail. *)
+val zipf : spec
+
+(** Adversarial for whole-batch heuristics: one giant class that must be
+    split across machines plus filler classes. *)
+val anti_list : spec
+
+(** Adversarial for the Monma–Potts wrap: setups close to the machine
+    share so the wrap pays nearly [s_max] over the volume bound. *)
+val anti_wrap : spec
+
+(** Tiny instances solvable by the exact oracles ([m <= 3], [n <= 9]). *)
+val tiny : spec
+
+(** All families above, in a stable order. *)
+val all : spec list
+
+(** [by_name name] finds a family.
+    @raise Not_found when unknown. *)
+val by_name : string -> spec

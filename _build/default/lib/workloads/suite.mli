@@ -1,0 +1,18 @@
+(** Named experiment suites: fixed (family, m, n, seed) grids used by the
+    benchmarks and EXPERIMENTS.md so every number in the report is
+    reproducible. *)
+
+open Bss_instances
+
+type case = { label : string; instance : Instance.t }
+
+(** The ratio-measurement suite behind Table 1: every family at a few
+    machine counts, 3 seeds each (several dozen mid-sized instances). *)
+val table1 : unit -> case list
+
+(** Tiny suite with exact non-preemptive optima available. *)
+val tiny_exact : unit -> case list
+
+(** [scaling ~family ~m ns] instances of one family at increasing [n]
+    (seeded deterministically) for runtime measurements. *)
+val scaling : family:Generator.spec -> m:int -> int list -> case list

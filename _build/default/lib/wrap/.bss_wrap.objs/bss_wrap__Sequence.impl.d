@@ -1,0 +1,1 @@
+lib/wrap/sequence.ml: Array Bss_instances Bss_util Instance List Rat

@@ -1,0 +1,1 @@
+lib/wrap/sequence.mli: Bss_instances Bss_util Instance Rat

@@ -1,0 +1,1 @@
+lib/wrap/template.ml: Array Bss_util List Rat

@@ -1,0 +1,1 @@
+lib/wrap/template.mli: Bss_util Rat

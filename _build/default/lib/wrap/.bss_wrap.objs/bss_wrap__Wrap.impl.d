@@ -1,0 +1,1 @@
+lib/wrap/wrap.ml: Array Bss_instances Bss_util Instance List Rat Schedule Sequence Template

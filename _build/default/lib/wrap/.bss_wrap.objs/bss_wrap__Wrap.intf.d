@@ -1,0 +1,1 @@
+lib/wrap/wrap.mli: Bss_instances Bss_util Instance Rat Schedule Sequence Template

@@ -1,0 +1,42 @@
+open Bss_util
+open Bss_instances
+
+type item =
+  | Setup of int
+  | Piece of { job : int; time : Rat.t }
+
+type t = item list
+
+let load inst q =
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Setup i -> Rat.add acc (Rat.of_int inst.Instance.setups.(i))
+      | Piece { time; _ } -> Rat.add acc time)
+    Rat.zero q
+
+let of_classes inst classes =
+  List.concat_map
+    (fun i ->
+      Setup i
+      :: (Array.to_list (Instance.jobs_of_class inst i)
+         |> List.map (fun j -> Piece { job = j; time = Rat.of_int inst.Instance.job_time.(j) })))
+    classes
+
+let of_batches _inst batches =
+  List.concat_map
+    (fun (i, pieces) ->
+      match pieces with
+      | [] -> []
+      | _ -> Setup i :: List.map (fun (j, time) -> Piece { job = j; time }) pieces)
+    batches
+
+let max_setup inst q =
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Setup i -> max acc inst.Instance.setups.(i)
+      | Piece _ -> acc)
+    0 q
+
+let length = List.length

@@ -1,0 +1,34 @@
+(** Wrap sequences (Definition 2).
+
+    A wrap sequence is a flat list of batches [[s_{i_1}, C'_1, s_{i_2},
+    C'_2, …]]: each class contributes one setup item followed by its jobs
+    (or job pieces — pieces carry a rational remaining time). [L(Q)] is the
+    total load. *)
+
+open Bss_util
+open Bss_instances
+
+type item =
+  | Setup of int  (** class id *)
+  | Piece of { job : int; time : Rat.t }  (** a piece of job [job] *)
+
+type t = item list
+
+(** [load inst q] is [L(Q)]: setup times plus piece times. *)
+val load : Instance.t -> t -> Rat.t
+
+(** [of_classes inst classes] is the simple sequence [[s_i, C_i]] for the
+    given classes in order, with whole jobs as pieces. *)
+val of_classes : Instance.t -> int list -> t
+
+(** [of_batches inst batches] builds [[s_i, pieces_i]] from explicit
+    [(class, pieces)] pairs; classes with an empty piece list are skipped
+    (no setup emitted). *)
+val of_batches : Instance.t -> (int * (int * Rat.t) list) list -> t
+
+(** [max_setup inst q] is the largest setup time occurring in [q]
+    ([s_max^(Q)] in Lemma 6); [0] for a setup-free sequence. *)
+val max_setup : Instance.t -> t -> int
+
+(** [length q] is [|Q|] (items). *)
+val length : t -> int

@@ -1,0 +1,26 @@
+open Bss_util
+
+type gap = { machine : int; lo : Rat.t; hi : Rat.t }
+
+type t = gap array
+
+let validate gaps =
+  Array.iteri
+    (fun r g ->
+      if Rat.sign g.lo < 0 then invalid_arg "Template: gap starts before time 0";
+      if Rat.( >= ) g.lo g.hi then invalid_arg "Template: empty or inverted gap";
+      if r > 0 && gaps.(r - 1).machine >= g.machine then
+        invalid_arg "Template: machines must strictly increase")
+    gaps;
+  gaps
+
+let of_array gaps = validate (Array.copy gaps)
+let make gaps = of_array (Array.of_list gaps)
+let length t = Array.length t
+
+let span t = Array.fold_left (fun acc g -> Rat.add acc (Rat.sub g.hi g.lo)) Rat.zero t
+
+let uniform_run ~first_machine ~count ~lo ~hi =
+  List.init count (fun r -> { machine = first_machine + r; lo; hi })
+
+let concat runs = make (List.concat runs)

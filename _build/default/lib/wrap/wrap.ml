@@ -1,0 +1,57 @@
+open Bss_util
+open Bss_instances
+
+exception Template_exhausted
+
+let wrap inst sched q (omega : Template.t) =
+  let ngaps = Template.length omega in
+  let gap r = (omega :> Template.gap array).(r) in
+  (* Current fill front: gap index [r], time [t] within that gap. *)
+  let r = ref 0 and t = ref Rat.zero in
+  if ngaps = 0 then begin
+    if q <> [] then raise Template_exhausted
+  end
+  else t := (gap 0).Template.lo;
+  (* Advance to the next gap, placing a setup of class [cls] directly below
+     it ([Split]'s "place setup s_i at time t − s_i"). *)
+  let advance_with_setup cls =
+    if !r + 1 >= ngaps then raise Template_exhausted;
+    incr r;
+    let g = gap !r in
+    let s = Rat.of_int inst.Instance.setups.(cls) in
+    Schedule.add_setup sched ~machine:g.Template.machine ~cls ~start:(Rat.sub g.Template.lo s) ~dur:s;
+    t := g.Template.lo
+  in
+  let place_item = function
+    | Sequence.Setup cls ->
+      let g = gap !r in
+      let s = Rat.of_int inst.Instance.setups.(cls) in
+      if Rat.( > ) (Rat.add !t s) g.Template.hi then
+        (* The setup crosses the border: move it below the next gap. *)
+        advance_with_setup cls
+      else begin
+        Schedule.add_setup sched ~machine:g.Template.machine ~cls ~start:!t ~dur:s;
+        t := Rat.add !t s
+      end
+    | Sequence.Piece { job; time } ->
+      let cls = inst.Instance.job_class.(job) in
+      let remaining = ref time in
+      let continue = ref true in
+      while !continue do
+        let g = gap !r in
+        let room = Rat.sub g.Template.hi !t in
+        if Rat.( > ) !remaining room then begin
+          (* Split at the border; the head piece fills the gap out. *)
+          Schedule.add_work sched ~machine:g.Template.machine ~job ~start:!t ~dur:room;
+          remaining := Rat.sub !remaining room;
+          advance_with_setup cls
+        end
+        else begin
+          Schedule.add_work sched ~machine:g.Template.machine ~job ~start:!t ~dur:!remaining;
+          t := Rat.add !t !remaining;
+          continue := false
+        end
+      done
+  in
+  List.iter place_item q;
+  (!r, !t)

@@ -1,0 +1,27 @@
+(** Batch Wrapping (Appendix A.1): schedule a wrap sequence into a wrap
+    template, McNaughton-style.
+
+    Items are placed left-to-right into the gaps. When an item hits a gap
+    border [b_r]:
+    - a {e setup} is moved below the next gap (placed at [a_{r+1} − s_i]);
+    - a {e job piece} is split at the border; the remainder continues at the
+      start of the next gap, preceded by a fresh setup of its class placed
+      below that gap ([Split], Algorithm 5).
+
+    Feasibility of the setups placed below gaps requires free time of at
+    least the sequence's largest setup below every gap but the first
+    (Lemma 6); callers arrange their templates accordingly and the exact
+    checker verifies the result in tests. *)
+
+open Bss_util
+open Bss_instances
+
+exception Template_exhausted
+(** Raised when the sequence does not fit, i.e. the caller violated
+    [L(Q) <= S(ω)] (Lemma 6). *)
+
+(** [wrap inst sched q ω] places [q] into [ω], adding segments to [sched].
+    Returns [(r, t)] — the gap index and time where the next item would
+    start (the "fill front" after the last placed item).
+    @raise Template_exhausted when [q] does not fit in [ω]. *)
+val wrap : Instance.t -> Schedule.t -> Sequence.t -> Template.t -> int * Rat.t

@@ -1,0 +1,1 @@
+test/helpers.ml: Array Bss_instances Bss_util Checker Instance List Printf Prng QCheck2 QCheck_alcotest Rat Schedule

@@ -1,0 +1,1 @@
+test/test_compaction.ml: Alcotest Bss_core Bss_instances Bss_util Checker Compaction Helpers Instance List Nonp_search Pmtn_cj QCheck2 Rat Schedule Solver Splittable_cj Variant

@@ -1,0 +1,1 @@
+test/test_configs.ml: Alcotest Bss_core Bss_instances Bss_util Checker Config_schedule Helpers Instance List QCheck2 Rat Schedule Splittable_cj String Two_approx Variant

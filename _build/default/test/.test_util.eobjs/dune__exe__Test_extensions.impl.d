@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Bss_extensions Bss_instances Bss_util Helpers Instance Prng QCheck2 Seqdep

@@ -1,0 +1,1 @@
+test/test_instances.ml: Alcotest Array Bss_instances Bss_util Checker Format Instance List Lower_bounds Metrics Partition QCheck2 QCheck_alcotest Rat Render Schedule String Trace Variant

@@ -1,0 +1,1 @@
+test/test_knapsack.ml: Alcotest Array Bss_knapsack Bss_util Knapsack List QCheck2 QCheck_alcotest Rat

@@ -1,0 +1,1 @@
+test/test_nonp.ml: Alcotest Bss_core Bss_instances Bss_util Checker Dual Helpers Instance Intmath Lower_bounds Nonp_dual Nonp_search Prng QCheck2 Rat Variant

@@ -1,0 +1,1 @@
+test/test_pmtn.ml: Alcotest Array Bss_core Bss_instances Bss_util Checker Dual Helpers Instance Intmath List Lower_bounds Pmtn_cj Pmtn_dual Pmtn_nice Prng QCheck2 Rat Variant

@@ -1,0 +1,1 @@
+test/test_splittable.ml: Alcotest Bss_core Bss_instances Bss_util Checker Dual Helpers Instance Intmath Lower_bounds Prng QCheck2 Rat Splittable_cj Splittable_dual Variant

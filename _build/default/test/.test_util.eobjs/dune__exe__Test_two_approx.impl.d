@@ -1,0 +1,1 @@
+test/test_two_approx.ml: Alcotest Array Bss_core Bss_instances Bss_util Checker Helpers Instance List Lower_bounds Prng QCheck2 Rat Schedule Two_approx Variant

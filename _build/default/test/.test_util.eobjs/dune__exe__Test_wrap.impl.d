@@ -1,0 +1,1 @@
+test/test_wrap.ml: Alcotest Array Bss_instances Bss_util Bss_wrap Checker Instance List QCheck2 QCheck_alcotest Rat Schedule Sequence Template Variant Wrap

@@ -1,0 +1,11 @@
+  $ bss generate -f uniform -m 4 -n 16 -s 1 > inst.txt
+  $ head -2 inst.txt
+  $ bss check inst.txt
+  $ bss solve inst.txt -v nonp -a 3/2 | head -3
+  $ bss solve inst.txt -v split -a 2 | grep -c makespan
+  $ bss generate -f nope 2>&1 | head -1
+  $ bss solve inst.txt -a 7/8 2>&1 | tail -1 | grep -c algorithm
+  $ bss solve inst.txt -v split -a 3/2 --svg out.svg --csv out.csv > /dev/null
+  $ head -c 4 out.svg
+  $ head -1 out.csv
+  $ tail -1 out.svg

@@ -1,0 +1,4 @@
+  $ bss-figures | grep -c '==='
+  $ bss-figures fig6 | grep 'S(omega)'
+  $ bss-figures fig7 | grep 'makespan'
+  $ bss-figures nope 2>&1

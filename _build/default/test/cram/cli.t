@@ -1,0 +1,45 @@
+The CLI generates, inspects and solves instances end to end.
+
+Generate a deterministic instance:
+
+  $ bss generate -f uniform -m 4 -n 16 -s 1 > inst.txt
+  $ head -2 inst.txt
+  m 4
+  setups 17 30
+
+Statistics and per-variant lower bounds:
+
+  $ bss check inst.txt
+  instance: m=4 c=2 n=16 N=811 smax=30 tmax=99
+  non-preemptive  T_min = 811/4
+  preemptive      T_min = 811/4
+  splittable      T_min = 811/4
+
+Solving prints the certificate chain:
+
+  $ bss solve inst.txt -v nonp -a 3/2 | head -3
+  non-preemptive / 3/2 binary-search (Thm 8)
+  makespan    246
+  certificate 645/2 (makespan <= 3/2 * OPT)
+
+  $ bss solve inst.txt -v split -a 2 | grep -c makespan
+  2
+
+Unknown inputs fail cleanly:
+
+  $ bss generate -f nope 2>&1 | head -1
+  unknown family; available: uniform, small-batches, single-job, expensive, zipf, anti-list, anti-wrap, tiny
+
+  $ bss solve inst.txt -a 7/8 2>&1 | tail -1 | grep -c algorithm
+  0
+  [1]
+
+SVG and CSV exports:
+
+  $ bss solve inst.txt -v split -a 3/2 --svg out.svg --csv out.csv > /dev/null
+  $ head -c 4 out.svg
+  <svg
+  $ head -1 out.csv
+  machine,start,duration,kind,id,class
+  $ tail -1 out.svg
+  </svg>

@@ -1,0 +1,16 @@
+The figure gallery regenerates; every rendered schedule passes the exact
+checker inside the binary (Checker.check_exn), so a successful run is the
+assertion.
+
+  $ bss-figures | grep -c '==='
+  8
+
+  $ bss-figures fig6 | grep 'S(omega)'
+  S(omega) = 25, L(Q) = 24
+
+  $ bss-figures fig7 | grep 'makespan'
+  makespan 26 <= 2 T_min = 144/5
+
+  $ bss-figures nope 2>&1
+  unknown figure nope (fig1..fig13)
+  [1]

@@ -1,0 +1,98 @@
+(* Tests for the compact splittable construction (Appendix C.1): it must
+   agree with the explicit dual on accept/reject, produce checkable
+   schedules, and stay O(n + c)-sized even for enormous machine counts. *)
+
+open Bss_util
+open Bss_instances
+open Bss_core
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+
+let prop_agrees_with_explicit_dual =
+  QCheck2.Test.make ~name:"compact dual accepts/rejects exactly like the explicit one" ~count:300
+    QCheck2.Gen.(pair (Helpers.gen_instance ()) (int_range 1 300))
+    (fun (inst, t) ->
+      let tee = Rat.of_int t in
+      match (Splittable_compact.run inst tee, Splittable_dual.run inst tee) with
+      | Splittable_compact.Accepted compact, Dual.Accepted explicit ->
+        (* both feasible within 3/2 T; makespans may differ slightly by
+           construction but both are bounded *)
+        let expanded = Config_schedule.expand compact in
+        Checker.is_feasible Variant.Splittable inst expanded
+        && Helpers.within_factor ~num:3 ~den:2 expanded tee
+        && Helpers.within_factor ~num:3 ~den:2 explicit tee
+        && (match Config_schedule.check_splittable inst compact with Ok () -> true | Error _ -> false)
+      | Splittable_compact.Rejected _, Dual.Rejected _ -> true
+      | Splittable_compact.Accepted _, Dual.Rejected _ | Splittable_compact.Rejected _, Dual.Accepted _ ->
+        false)
+
+let prop_solve_matches_cj =
+  QCheck2.Test.make ~name:"compact solve returns the same T* as class jumping" ~count:200
+    (Helpers.gen_instance ~max_m:16 ())
+    (fun inst ->
+      let compact, t_compact = Splittable_compact.solve inst in
+      let r = Splittable_cj.solve inst in
+      Rat.equal t_compact r.Splittable_cj.accepted
+      && Checker.is_feasible Variant.Splittable inst (Config_schedule.expand compact))
+
+let test_huge_machine_count () =
+  (* m = 1_000_000 with a handful of jobs: the compact form must stay tiny
+     and be produced quickly; expanding it would allocate a million
+     machine slots, so statistics are computed on the compact form. *)
+  let m = 1_000_000 in
+  let inst =
+    Instance.make ~m ~setups:[| 3; 5 |]
+      ~jobs:[| (0, 40_000_000); (0, 7); (1, 9_000_000); (1, 11) |]
+  in
+  let compact, t_star = Splittable_compact.solve inst in
+  check bool_c "few stored segments" true (Config_schedule.size compact <= 64);
+  check bool_c "few distinct configs" true (List.length compact.Config_schedule.configs <= 16);
+  check bool_c "uses many machines via multiplicities" true (Config_schedule.machines_used compact > 1000);
+  check bool_c "within machine budget" true (Config_schedule.machines_used compact <= m);
+  (* quality: makespan <= 3/2 T* and volumes exact *)
+  check bool_c "makespan bound" true
+    (Rat.( <= ) (Rat.mul_int (Config_schedule.makespan compact) 2) (Rat.mul_int t_star 3));
+  (match Config_schedule.check_splittable inst compact with
+  | Ok () -> ()
+  | Error vs ->
+    Alcotest.failf "compact infeasible: %s" (String.concat "; " (List.map Checker.violation_to_string vs)))
+
+let test_expand_small_case () =
+  let inst = Instance.make ~m:6 ~setups:[| 4; 2 |] ~jobs:[| (0, 30); (1, 5); (1, 3) |] in
+  let compact, t_star = Splittable_compact.solve inst in
+  let expanded = Config_schedule.expand compact in
+  Checker.check_exn Variant.Splittable inst expanded;
+  check bool_c "bound" true
+    (Rat.( <= ) (Rat.mul_int (Schedule.makespan expanded) 2) (Rat.mul_int t_star 3))
+
+(* Exactness witness: scaling every input time by k scales T* by exactly
+   k (all bounds are homogeneous of degree 1); floats would drift. *)
+let prop_scale_invariance =
+  QCheck2.Test.make ~name:"T* is exactly homogeneous under input scaling" ~count:150
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 2 1000))
+    (fun (seed, k) ->
+      let rng = Prng.create seed in
+      let inst = Helpers.random_instance ~max_m:8 rng in
+      let scaled =
+        Instance.make ~m:inst.Instance.m
+          ~setups:(Array.map (fun s -> k * s) inst.Instance.setups)
+          ~jobs:
+            (Array.init (Instance.n inst) (fun j ->
+                 (inst.Instance.job_class.(j), k * inst.Instance.job_time.(j))))
+      in
+      let t1, _ = Splittable_cj.find_t_star inst in
+      let t2, _ = Splittable_cj.find_t_star scaled in
+      Rat.equal t2 (Rat.mul_int t1 k))
+
+let () =
+  Alcotest.run "compact-solver"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "huge machine count" `Quick test_huge_machine_count;
+          Alcotest.test_case "expand small" `Quick test_expand_small_case;
+        ] );
+      Helpers.qsuite "props"
+        [ prop_agrees_with_explicit_dual; prop_solve_matches_cj; prop_scale_invariance ];
+    ]

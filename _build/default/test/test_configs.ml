@@ -1,0 +1,119 @@
+(* Tests for the compact machine-configuration representation
+   (Appendix C.1). *)
+
+open Bss_util
+open Bss_instances
+open Bss_core
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let rat_c = Alcotest.testable Rat.pp Rat.equal
+
+(* An instance whose splittable schedule has many identical machines: one
+   huge job of one class spanning most of the fleet. *)
+let repetitive_instance m =
+  Instance.make ~m ~setups:[| 6 |] ~jobs:[| (0, 10 * m); (0, 3) |]
+
+let test_compression_on_repetitive () =
+  let m = 40 in
+  let inst = repetitive_instance m in
+  let r = Splittable_cj.solve inst in
+  let sched = r.Splittable_cj.schedule in
+  let compact = Config_schedule.of_schedule sched in
+  check bool_c "fewer configs than machines" true
+    (List.length compact.Config_schedule.configs < Schedule.machines sched / 2);
+  (* statistics agree with the explicit schedule *)
+  check rat_c "makespan" (Schedule.makespan sched) (Config_schedule.makespan compact);
+  check rat_c "load" (Schedule.total_load sched) (Config_schedule.total_load compact)
+
+let test_expand_roundtrip_stats () =
+  let inst = repetitive_instance 16 in
+  let r = Splittable_cj.solve inst in
+  let compact = Config_schedule.of_schedule r.Splittable_cj.schedule in
+  let back = Config_schedule.expand compact in
+  check rat_c "makespan" (Schedule.makespan r.Splittable_cj.schedule) (Schedule.makespan back);
+  check rat_c "load" (Schedule.total_load r.Splittable_cj.schedule) (Schedule.total_load back);
+  (* the expansion is splittable-feasible *)
+  Checker.check_exn Variant.Splittable inst back
+
+let test_direct_checker_agrees () =
+  let inst = repetitive_instance 12 in
+  let r = Splittable_cj.solve inst in
+  let compact = Config_schedule.of_schedule r.Splittable_cj.schedule in
+  (match Config_schedule.check_splittable inst compact with
+  | Ok () -> ()
+  | Error vs ->
+    Alcotest.failf "compact checker rejected: %s"
+      (String.concat "; " (List.map Checker.violation_to_string vs)));
+  (* corrupt a volume: drop one configuration *)
+  match compact.Config_schedule.configs with
+  | first :: rest ->
+    let broken = { compact with Config_schedule.configs = { first with Config_schedule.multiplicity = first.Config_schedule.multiplicity + 1 } :: rest } in
+    check bool_c "flags volume or machine excess" true
+      (match Config_schedule.check_splittable inst broken with Ok () -> false | Error _ -> true)
+  | [] -> Alcotest.fail "no configs"
+
+let test_multiplicity_exceeds_m () =
+  let compact =
+    {
+      Config_schedule.m = 1;
+      configs =
+        [
+          {
+            Config_schedule.segments =
+              [ { Schedule.start = Rat.zero; dur = Rat.one; content = Schedule.Setup 0 } ];
+            multiplicity = 2;
+          };
+        ];
+    }
+  in
+  check bool_c "expand raises" true
+    (try ignore (Config_schedule.expand compact); false with Invalid_argument _ -> true)
+
+let test_size_counts_segments () =
+  let inst = repetitive_instance 10 in
+  let r = Splittable_cj.solve inst in
+  let compact = Config_schedule.of_schedule r.Splittable_cj.schedule in
+  let explicit = List.length (Schedule.all_segments r.Splittable_cj.schedule) in
+  check bool_c "compact smaller" true (Config_schedule.size compact <= explicit);
+  check bool_c "positive" true (Config_schedule.size compact > 0)
+
+let prop_compact_equals_explicit_checker =
+  QCheck2.Test.make ~name:"compact splittable checker = explicit checker on expand" ~count:200
+    (Helpers.gen_instance ~max_m:10 ())
+    (fun inst ->
+      let r = Splittable_cj.solve inst in
+      let compact = Config_schedule.of_schedule r.Splittable_cj.schedule in
+      let direct = match Config_schedule.check_splittable inst compact with Ok () -> true | Error _ -> false in
+      let explicit = Checker.is_feasible Variant.Splittable inst (Config_schedule.expand compact) in
+      direct = explicit && direct)
+
+let prop_roundtrip_preserves_machine_count =
+  QCheck2.Test.make ~name:"compression preserves machines used and load" ~count:200
+    (Helpers.gen_instance ())
+    (fun inst ->
+      let sched = Two_approx.splittable inst in
+      let compact = Config_schedule.of_schedule sched in
+      let used_explicit =
+        List.length
+          (List.filter
+             (fun u -> Schedule.segments sched u <> [])
+             (List.init (Schedule.machines sched) (fun u -> u)))
+      in
+      Config_schedule.machines_used compact = used_explicit
+      && Rat.equal (Config_schedule.total_load compact) (Schedule.total_load sched)
+      && Rat.equal (Config_schedule.makespan compact) (Schedule.makespan sched))
+
+let () =
+  Alcotest.run "config-schedule"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "compression" `Quick test_compression_on_repetitive;
+          Alcotest.test_case "expand roundtrip" `Quick test_expand_roundtrip_stats;
+          Alcotest.test_case "direct checker" `Quick test_direct_checker_agrees;
+          Alcotest.test_case "multiplicity > m" `Quick test_multiplicity_exceeds_m;
+          Alcotest.test_case "size" `Quick test_size_counts_segments;
+        ] );
+      Helpers.qsuite "props" [ prop_compact_equals_explicit_checker; prop_roundtrip_preserves_machine_count ];
+    ]

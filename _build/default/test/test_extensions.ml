@@ -1,0 +1,132 @@
+(* Tests for the sequence-dependent-setup extension (the paper's
+   concluding remark: m=1, single-job classes with t=0 is the TSP path). *)
+
+open Bss_util
+open Bss_instances
+open Bss_extensions
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+
+let square c f = Array.init c (fun a -> Array.init c (f a))
+
+(* brute-force optimum over all permutations (c <= 8) *)
+let brute t c =
+  let best = ref max_int in
+  let order = Array.init c (fun i -> i) in
+  let rec permute k =
+    if k = c then best := min !best (Seqdep.cost t order)
+    else
+      for i = k to c - 1 do
+        let tmp = order.(k) in
+        order.(k) <- order.(i);
+        order.(i) <- tmp;
+        permute (k + 1);
+        let tmp = order.(k) in
+        order.(k) <- order.(i);
+        order.(i) <- tmp
+      done
+  in
+  permute 0;
+  !best
+
+let test_cost_evaluation () =
+  let t =
+    Seqdep.make
+      ~setup:[| [| 0; 5; 9 |]; [| 2; 0; 4 |]; [| 7; 1; 0 |] |]
+      ~initial:[| 3; 6; 2 |]
+      ~load:[| 10; 20; 30 |]
+  in
+  (* order 2,1,0: initial 2 + s(2,1)=1 + s(1,0)=2 + loads 60 = 65 *)
+  check int_c "cost" 65 (Seqdep.cost t [| 2; 1; 0 |]);
+  check bool_c "not a permutation" true
+    (try ignore (Seqdep.cost t [| 0; 0; 1 |]); false with Invalid_argument _ -> true)
+
+let test_held_karp_matches_brute () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 40 do
+    let c = 2 + Prng.int rng 6 in
+    let t =
+      Seqdep.make
+        ~setup:(square c (fun _ _ -> Prng.int_in rng 1 50))
+        ~initial:(Array.init c (fun _ -> Prng.int_in rng 0 20))
+        ~load:(Array.init c (fun _ -> Prng.int_in rng 0 30))
+    in
+    let order, opt = Seqdep.held_karp t in
+    check int_c "held-karp = brute" (brute t c) opt;
+    check int_c "order evaluates to opt" opt (Seqdep.cost t order)
+  done
+
+let test_heuristics_feasible_and_bounded () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 40 do
+    let c = 2 + Prng.int rng 8 in
+    let t =
+      Seqdep.make
+        ~setup:(square c (fun _ _ -> Prng.int_in rng 1 50))
+        ~initial:(Array.init c (fun _ -> Prng.int_in rng 0 20))
+        ~load:(Array.init c (fun _ -> Prng.int_in rng 0 30))
+    in
+    let _, opt = Seqdep.held_karp t in
+    let order_nn, nn = Seqdep.nearest_neighbour t in
+    let order_ge, ge = Seqdep.greedy_edge t in
+    check int_c "nn consistent" nn (Seqdep.cost t order_nn);
+    check int_c "greedy consistent" ge (Seqdep.cost t order_ge);
+    check bool_c "nn >= opt" true (nn >= opt);
+    check bool_c "greedy >= opt" true (ge >= opt)
+  done
+
+(* The paper's reduction: a TSP path instance is a scheduling instance
+   with zero loads and free start. *)
+let test_tsp_reduction () =
+  (* 4 cities on a line at 0, 1, 3, 7: optimal path walks the line: 7 *)
+  let pos = [| 0; 1; 3; 7 |] in
+  let dist = square 4 (fun a b -> abs (pos.(a) - pos.(b))) in
+  let t = Seqdep.of_tsp dist in
+  let _, opt = Seqdep.held_karp t in
+  check int_c "line path" 7 opt;
+  (* nearest neighbour from the line's start is optimal here too *)
+  let _, nn = Seqdep.nearest_neighbour t in
+  check int_c "nn on a line" 7 nn
+
+(* Sequence-independent embedding: order never matters; every algorithm
+   returns Σ s_i + Σ t_j, which equals the single-machine optimum. *)
+let prop_independent_embedding =
+  QCheck2.Test.make ~name:"sequence-independent embedding: all orders equal N" ~count:100
+    (Helpers.gen_instance ~max_m:1 ~max_c:6 ())
+    (fun inst ->
+      let t = Seqdep.of_instance inst in
+      let _, hk = Seqdep.held_karp t in
+      let _, nn = Seqdep.nearest_neighbour t in
+      let _, ge = Seqdep.greedy_edge t in
+      hk = inst.Instance.total && nn = inst.Instance.total && ge = inst.Instance.total)
+
+(* On metric instances nearest neighbour stays within the known
+   O(log c) factor — we assert the much weaker sanity factor 4 for the
+   sizes used here, catching gross implementation bugs. *)
+let prop_nn_metric_sane =
+  QCheck2.Test.make ~name:"nearest neighbour sane on metric instances" ~count:100
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 2 9))
+    (fun (seed, c) ->
+      let rng = Prng.create seed in
+      let xs = Array.init c (fun _ -> Prng.int_in rng 0 100) in
+      let ys = Array.init c (fun _ -> Prng.int_in rng 0 100) in
+      let dist = square c (fun a b -> abs (xs.(a) - xs.(b)) + abs (ys.(a) - ys.(b))) in
+      let t = Seqdep.of_tsp dist in
+      let _, opt = Seqdep.held_karp t in
+      let _, nn = Seqdep.nearest_neighbour t in
+      opt = 0 || nn <= 4 * opt)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "seqdep",
+        [
+          Alcotest.test_case "cost evaluation" `Quick test_cost_evaluation;
+          Alcotest.test_case "held-karp vs brute" `Quick test_held_karp_matches_brute;
+          Alcotest.test_case "heuristics bounded" `Quick test_heuristics_feasible_and_bounded;
+          Alcotest.test_case "tsp reduction" `Quick test_tsp_reduction;
+        ] );
+      Helpers.qsuite "props" [ prop_independent_embedding; prop_nn_metric_sane ];
+    ]

@@ -1,0 +1,133 @@
+(* Direct property tests of the paper's lemmas and notes — the analysis
+   layer, independent of any schedule construction. *)
+
+open Bss_util
+open Bss_instances
+open Bss_core
+open Bss_baselines
+
+
+(* Lemma 3: if T' is a jump of f (T' = 2P_f/β_f(T')) and T'' <= T' a jump
+   of i with P_f >= P_i, then 2P_i/(β_i(T'')+1) <= 2P_f/(β_f(T')+1). *)
+let prop_lemma3 =
+  QCheck2.Test.make ~name:"Lemma 3: next jumps stay ordered" ~count:500
+    QCheck2.Gen.(
+      let* pf = int_range 1 1_000 in
+      let* pi = int_range 1 1_000 in
+      let* bf = int_range 1 50 in
+      let* bi = int_range 1 50 in
+      return (max pf pi, min pf pi, bf, bi))
+    (fun (pf, pi, bf, bi) ->
+      (* jumps: T' = 2pf/bf, T'' = 2pi/bi; require T'' <= T' *)
+      let t' = Rat.of_ints (2 * pf) bf and t'' = Rat.of_ints (2 * pi) bi in
+      if Rat.( > ) t'' t' then true (* premise violated: nothing to check *)
+      else
+        Rat.( <= ) (Rat.of_ints (2 * pi) (bi + 1)) (Rat.of_ints (2 * pf) (bf + 1)))
+
+(* Lemma 5 is the same statement for jumps 2(s+P)/(γ+2). *)
+let prop_lemma5 =
+  QCheck2.Test.make ~name:"Lemma 5: preemptive next jumps stay ordered" ~count:500
+    QCheck2.Gen.(
+      let* wf = int_range 1 2_000 in
+      let* wi = int_range 1 2_000 in
+      let* gf = int_range 0 50 in
+      let* gi = int_range 0 50 in
+      return (max wf wi, min wf wi, gf, gi))
+    (fun (wf, wi, gf, gi) ->
+      (* w = s + P; jumps T' = 2wf/(gf+2), T'' = 2wi/(gi+2), T'' <= T' *)
+      let t' = Rat.of_ints (2 * wf) (gf + 2) and t'' = Rat.of_ints (2 * wi) (gi + 2) in
+      if Rat.( > ) t'' t' then true
+      else Rat.( <= ) (Rat.of_ints (2 * wi) (gi + 3)) (Rat.of_ints (2 * wf) (gf + 3)))
+
+(* Notes 1 and 2: OPT >= max_i (s_i + t^(i)_max) — verified against the
+   exact non-preemptive optimum (>= the preemptive one). *)
+let prop_notes_1_2 =
+  QCheck2.Test.make ~name:"Notes 1/2: s_i + t_max^i lower-bounds the optimum" ~count:150
+    (Helpers.gen_instance ~max_m:3 ~max_c:3 ~max_extra_jobs:5 ~max_setup:10 ~max_time:12 ())
+    (fun inst ->
+      let opt = Exact.nonpreemptive_opt inst in
+      Lower_bounds.setup_plus_tmax inst <= opt)
+
+(* Lemma 2: no two expensive setups share a machine in a T-feasible
+   schedule — our accepted duals must respect it within their 3/2T bound
+   reinterpreted at T: check on the splittable dual's schedule that
+   machines carrying a setup of expensive class i1 never also carry a
+   setup of a different expensive class i2. *)
+let prop_lemma2_in_constructions =
+  QCheck2.Test.make ~name:"Lemma 2: expensive classes never share machines (split dual)" ~count:200
+    (Helpers.gen_instance ())
+    (fun inst ->
+      let r = Splittable_cj.solve inst in
+      let tee = r.Splittable_cj.accepted in
+      let sched = r.Splittable_cj.schedule in
+      let ok = ref true in
+      for u = 0 to Schedule.machines sched - 1 do
+        let expensive_classes =
+          List.filter_map
+            (fun (seg : Schedule.seg) ->
+              match seg.Schedule.content with
+              | Schedule.Setup i when Partition.is_expensive inst tee i -> Some i
+              | Schedule.Setup _ | Schedule.Work _ -> None)
+            (Schedule.segments sched u)
+          |> List.sort_uniq compare
+        in
+        if List.length expensive_classes > 1 then ok := false
+      done;
+      !ok)
+
+(* Lemma 1: accepted guesses satisfy the machine bound m >= Σ_exp β_i —
+   i.e. the dual never uses more machines for expensive classes than it
+   reserved. *)
+let prop_lemma1_machine_budget =
+  QCheck2.Test.make ~name:"Lemma 1: expensive machine usage within Σ β_i" ~count:200
+    (Helpers.gen_instance ())
+    (fun inst ->
+      let r = Splittable_cj.solve inst in
+      let tee = r.Splittable_cj.accepted in
+      let sched = r.Splittable_cj.schedule in
+      let budget =
+        List.fold_left
+          (fun acc i -> if Partition.is_expensive inst tee i then acc + Partition.beta inst tee i else acc)
+          0
+          (List.init (Instance.c inst) (fun i -> i))
+      in
+      let used = ref 0 in
+      for u = 0 to Schedule.machines sched - 1 do
+        let has_exp =
+          List.exists
+            (fun (seg : Schedule.seg) ->
+              match seg.Schedule.content with
+              | Schedule.Setup i -> Partition.is_expensive inst tee i
+              | Schedule.Work _ -> false)
+            (Schedule.segments sched u)
+        in
+        if has_exp then incr used
+      done;
+      !used <= budget)
+
+(* The dual-approximation contract itself: T >= OPT is always accepted
+   (Theorem (i) contrapositive), checked with exact optima. *)
+let prop_duals_accept_above_opt =
+  QCheck2.Test.make ~name:"duals accept every T >= exact OPT" ~count:100
+    (Helpers.gen_instance ~max_m:3 ~max_c:3 ~max_extra_jobs:5 ~max_setup:10 ~max_time:12 ())
+    (fun inst ->
+      let opt_nonp = Exact.nonpreemptive_opt inst in
+      let opt_split = Exact.splittable_opt_small inst in
+      (* a few sample points at and above the optimum *)
+      List.for_all
+        (fun k ->
+          let t_nonp = Rat.add_int (Rat.of_int opt_nonp) k in
+          let t_split = Rat.add_int opt_split k in
+          Dual.is_accepted (Nonp_dual.run inst t_nonp)
+          && Dual.is_accepted (Splittable_dual.run inst t_split)
+          && Dual.is_accepted (Pmtn_dual.run inst t_nonp))
+        [ 0; 1; 7 ])
+
+let () =
+  Alcotest.run "lemmas"
+    [
+      Helpers.qsuite "jump-ordering" [ prop_lemma3; prop_lemma5 ];
+      Helpers.qsuite "lower-bounds" [ prop_notes_1_2 ];
+      Helpers.qsuite "structure" [ prop_lemma2_in_constructions; prop_lemma1_machine_budget ];
+      Helpers.qsuite "dual-contract" [ prop_duals_accept_above_opt ];
+    ]

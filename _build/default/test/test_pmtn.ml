@@ -1,0 +1,243 @@
+(* Tests for the preemptive 3/2 machinery: Theorem 4 (nice instances),
+   Theorem 5 (Algorithm 3 with the knapsack reduction), and Theorem 6
+   (class jumping, γ-mode). *)
+
+open Bss_util
+open Bss_instances
+open Bss_core
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+
+(* A nice fixture at T = 16: one I+exp class, two I-exp classes, cheap
+   classes; no I0exp. *)
+let nice_fixture () =
+  Instance.make ~m:6
+    ~setups:[| 10; 9; 9; 4; 1 |]
+    ~jobs:
+      [|
+        (0, 6); (0, 5); (0, 4) (* s+P = 25 >= 16: I+exp *);
+        (1, 3) (* s+P = 12 <= 12: I-exp *);
+        (2, 2) (* s+P = 11 <= 12: I-exp *);
+        (3, 6); (3, 2) (* cheap *);
+        (4, 8); (4, 1) (* cheap *);
+      |]
+
+let test_nice_structure () =
+  let inst = nice_fixture () in
+  let tee = Rat.of_int 16 in
+  match Pmtn_nice.run_instance inst tee with
+  | Dual.Accepted s ->
+    Helpers.check_feasible_within ~variant:Variant.Preemptive ~num:3 ~den:2 inst s tee
+  | Dual.Rejected r -> Alcotest.failf "rejected: %a" Dual.pp_rejection r
+
+let test_nice_rejects_not_nice () =
+  (* I0exp non-empty: 3T/4 < s+P < T *)
+  let inst = Instance.make ~m:2 ~setups:[| 9 |] ~jobs:[| (0, 4) |] in
+  check bool_c "raises" true
+    (try
+       ignore (Pmtn_nice.run_instance inst (Rat.of_int 16));
+       false
+     with Invalid_argument _ -> true)
+
+let test_nice_gamma_mode () =
+  let inst = nice_fixture () in
+  let tee = Rat.of_int 16 in
+  match Pmtn_nice.run_instance ~mode:Pmtn_nice.Gamma inst tee with
+  | Dual.Accepted s ->
+    Helpers.check_feasible_within ~variant:Variant.Preemptive ~num:3 ~den:2 inst s tee
+  | Dual.Rejected _ -> () (* γ-mode may reject guesses α'-mode accepts *)
+
+let test_nice_machine_numbers () =
+  let inst = nice_fixture () in
+  let tee = Rat.of_int 16 in
+  let batches = List.init (Instance.c inst) (Pmtn_nice.batch_of_class inst) in
+  (* α'_0 = ⌊15/6⌋ = 2; m_nice = 2 + ⌈2/2⌉ = 3 *)
+  check Alcotest.int "m_nice" 3 (Pmtn_nice.m_nice inst tee batches);
+  (* L_nice = P(J) + 2*10 + (9 + 9 + 4 + 1) = 37 + 20 + 23 = 80 *)
+  check bool_c "l_nice" true (Rat.equal (Pmtn_nice.l_nice inst tee batches) (Rat.of_int 80))
+
+(* General fixture: large machines (I0exp), I*chp with big jobs, forcing
+   the knapsack path for suitable T. *)
+let general_fixture () =
+  Instance.make ~m:4
+    ~setups:[| 13; 3; 2; 1 |]
+    ~jobs:
+      [|
+        (0, 2) (* s+P = 15: I0exp for T = 16 *);
+        (1, 7); (1, 6) (* cheap, s+t: 10, 9 > 8: C* jobs *);
+        (2, 7); (2, 2) (* 9 > 8 big, 4 small *);
+        (3, 5); (3, 4); (3, 3) (* 6, 5, 4 <= 8: plain cheap *);
+      |]
+
+let test_general_dual_accepts () =
+  let inst = general_fixture () in
+  let tee = Rat.of_int 16 in
+  match Pmtn_dual.run inst tee with
+  | Dual.Accepted s ->
+    Helpers.check_feasible_within ~variant:Variant.Preemptive ~num:3 ~den:2 inst s tee
+  | Dual.Rejected r -> Alcotest.failf "rejected: %a" Dual.pp_rejection r
+
+let test_general_dual_rejects_small () =
+  let inst = general_fixture () in
+  match Pmtn_dual.run inst (Rat.of_int 5) with
+  | Dual.Rejected _ -> ()
+  | Dual.Accepted _ -> Alcotest.fail "accepted T=5"
+
+let test_y_guard () =
+  (* The instance from the development scan where mT >= L_pmtn holds but
+     the cheap class cannot fit outside the large machine: the Y-guard
+     must reject (the paper's tests alone would accept and then fail to
+     construct). m=2, s0=9 P0=6 (large at T=16), s1=4 P1=13 (I+chp). *)
+  let inst = Instance.make ~m:2 ~setups:[| 9; 4 |] ~jobs:[| (0, 4); (0, 2); (1, 3); (1, 5); (1, 5) |] in
+  (match Pmtn_dual.run inst (Rat.of_int 16) with
+  | Dual.Rejected _ -> ()
+  | Dual.Accepted _ -> Alcotest.fail "accepted T=16 despite Y < 0");
+  (* and T = 17 is accepted (class 1 fits alone on machine 1) *)
+  match Pmtn_dual.run inst (Rat.of_int 17) with
+  | Dual.Accepted s ->
+    Helpers.check_feasible_within ~variant:Variant.Preemptive ~num:3 ~den:2 inst s (Rat.of_int 17)
+  | Dual.Rejected r -> Alcotest.failf "rejected 17: %a" Dual.pp_rejection r
+
+let test_dual_accepts_n () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 50 do
+    let inst = Helpers.random_instance rng in
+    let tee = Rat.of_int inst.Instance.total in
+    match Pmtn_dual.run inst tee with
+    | Dual.Accepted s ->
+      Helpers.check_feasible_within ~variant:Variant.Preemptive ~num:3 ~den:2 inst s tee
+    | Dual.Rejected r -> Alcotest.failf "rejected N: %a" Dual.pp_rejection r
+  done
+
+(* ---------------- class jumping ---------------- *)
+
+let test_cj_fixture () =
+  let inst = general_fixture () in
+  let r = Pmtn_cj.solve inst in
+  Helpers.check_feasible_within ~variant:Variant.Preemptive ~num:3 ~den:2 inst r.Pmtn_cj.schedule
+    r.Pmtn_cj.accepted;
+  let tmin = Lower_bounds.t_min Variant.Preemptive inst in
+  check bool_c "T* in [Tmin, 2Tmin]" true
+    (Rat.( >= ) r.Pmtn_cj.accepted tmin && Rat.( <= ) r.Pmtn_cj.accepted (Rat.mul_int tmin 2))
+
+let test_cj_single_class () =
+  let inst = Instance.make ~m:3 ~setups:[| 4 |] ~jobs:(Array.init 9 (fun _ -> (0, 5))) in
+  let r = Pmtn_cj.solve inst in
+  Helpers.check_feasible_within ~variant:Variant.Preemptive ~num:3 ~den:2 inst r.Pmtn_cj.schedule
+    r.Pmtn_cj.accepted
+
+let prop_dual_dichotomy =
+  QCheck2.Test.make ~name:"pmtn dual: accepted -> feasible within 3/2" ~count:300
+    QCheck2.Gen.(pair (Helpers.gen_instance ()) (pair (int_range 1 400) (int_range 1 4)))
+    (fun (inst, (num, den)) ->
+      let tee = Rat.of_ints num den in
+      match Pmtn_dual.run inst tee with
+      | Dual.Accepted s ->
+        Checker.is_feasible Variant.Preemptive inst s && Helpers.within_factor ~num:3 ~den:2 s tee
+      | Dual.Rejected _ -> true)
+
+let prop_dual_gamma_dichotomy =
+  QCheck2.Test.make ~name:"pmtn dual (gamma): accepted -> feasible within 3/2" ~count:300
+    QCheck2.Gen.(pair (Helpers.gen_instance ()) (pair (int_range 1 400) (int_range 1 4)))
+    (fun (inst, (num, den)) ->
+      let tee = Rat.of_ints num den in
+      match Pmtn_dual.run ~mode:Pmtn_nice.Gamma inst tee with
+      | Dual.Accepted s ->
+        Checker.is_feasible Variant.Preemptive inst s && Helpers.within_factor ~num:3 ~den:2 s tee
+      | Dual.Rejected _ -> true)
+
+let prop_cj_feasible =
+  QCheck2.Test.make ~name:"pmtn CJ: feasible, <= 3/2 T*, T* in [Tmin, 2Tmin]" ~count:300
+    (Helpers.gen_instance ~max_m:10 ())
+    (fun inst ->
+      let r = Pmtn_cj.solve inst in
+      let tmin = Lower_bounds.t_min Variant.Preemptive inst in
+      Checker.is_feasible Variant.Preemptive inst r.Pmtn_cj.schedule
+      && Helpers.within_factor ~num:3 ~den:2 r.Pmtn_cj.schedule r.Pmtn_cj.accepted
+      && Rat.( >= ) r.Pmtn_cj.accepted tmin
+      && Rat.( <= ) r.Pmtn_cj.accepted (Rat.mul_int tmin 2))
+
+let prop_cj_near_frontier =
+  QCheck2.Test.make ~name:"pmtn CJ: a certified-rejected guess lies within 1/2 below T*" ~count:120
+    (Helpers.gen_instance ~max_m:5 ~max_c:4 ~max_extra_jobs:8 ~max_setup:12 ~max_time:12 ())
+    (fun inst ->
+      let r = Pmtn_cj.solve inst in
+      let t_star = r.Pmtn_cj.accepted in
+      let accept tee =
+        Rat.sign tee > 0
+        && match Pmtn_dual.test ~mode:Pmtn_nice.Gamma inst tee with Ok () -> true | Error _ -> false
+      in
+      (* scan a 1/4-grid strictly below T*: some point within 1/2 of T*
+         must be rejected (T* hugs the rejected frontier) *)
+      let quarter = Rat.of_ints 1 4 in
+      let p1 = Rat.sub t_star quarter and p2 = Rat.sub t_star (Rat.of_ints 1 2) in
+      Rat.sign p2 <= 0 || not (accept p1) || not (accept p2))
+
+(* quarter-integral guesses hit the partition boundaries (s_i = T/4,
+   s_i = T/2, s_i + P = 3T/4) with exact equality *)
+let prop_dual_quarter_grid =
+  QCheck2.Test.make ~name:"pmtn dual sound on the quarter grid" ~count:60
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let inst = Helpers.random_instance ~max_m:4 ~max_c:3 ~max_extra_jobs:6 ~max_setup:8 ~max_time:8 rng in
+      let tmax = 4 * (2 * Rat.ceil_int (Lower_bounds.t_min Variant.Preemptive inst)) in
+      let ok = ref true in
+      for q = 1 to tmax do
+        let tee = Rat.of_ints q 4 in
+        List.iter
+          (fun mode ->
+            match Pmtn_dual.run ~mode inst tee with
+            | Dual.Accepted s ->
+              if
+                not
+                  (Checker.is_feasible Variant.Preemptive inst s
+                  && Helpers.within_factor ~num:3 ~den:2 s tee)
+              then ok := false
+            | Dual.Rejected _ -> ())
+          [ Pmtn_nice.Alpha_prime; Pmtn_nice.Gamma ]
+      done;
+      !ok)
+
+let prop_cj_test_count_logarithmic =
+  QCheck2.Test.make ~name:"pmtn CJ uses O(log) bound tests" ~count:100
+    (Helpers.gen_instance ~max_m:32 ~max_c:6 ~max_extra_jobs:30 ())
+    (fun inst ->
+      let r = Pmtn_cj.solve inst in
+      (* four binary searches over O(n+m) points plus a 40-round bisection *)
+      let n = Instance.n inst and m = inst.Instance.m in
+      r.Pmtn_cj.bound_tests <= (4 * (Intmath.log2_ceil (n + m + 4) + 2)) + 40 + 16)
+
+let () =
+  Alcotest.run "preemptive"
+    [
+      ( "nice",
+        [
+          Alcotest.test_case "structure" `Quick test_nice_structure;
+          Alcotest.test_case "rejects not nice" `Quick test_nice_rejects_not_nice;
+          Alcotest.test_case "gamma mode" `Quick test_nice_gamma_mode;
+          Alcotest.test_case "machine numbers" `Quick test_nice_machine_numbers;
+        ] );
+      ( "general-dual",
+        [
+          Alcotest.test_case "accepts fixture" `Quick test_general_dual_accepts;
+          Alcotest.test_case "rejects small T" `Quick test_general_dual_rejects_small;
+          Alcotest.test_case "Y guard" `Quick test_y_guard;
+          Alcotest.test_case "accepts N" `Slow test_dual_accepts_n;
+        ] );
+      ( "class-jumping",
+        [
+          Alcotest.test_case "fixture" `Quick test_cj_fixture;
+          Alcotest.test_case "single class" `Quick test_cj_single_class;
+        ] );
+      Helpers.qsuite "props"
+        [
+          prop_dual_dichotomy;
+          prop_dual_gamma_dichotomy;
+          prop_cj_feasible;
+          prop_cj_near_frontier;
+          prop_dual_quarter_grid;
+          prop_cj_test_count_logarithmic;
+        ];
+    ]

@@ -1,0 +1,230 @@
+(* Robustness suites: failure injection against the checker, huge-value
+   exactness, and extreme-shape stress.
+
+   The checker is the foundation every other test stands on, so here we
+   corrupt known-good schedules in targeted ways and assert the checker
+   catches each corruption; then we push the algorithms through inputs
+   designed to break naive arithmetic (values near 10^12) and degenerate
+   shapes (m >> n, n >> m, all-equal, powers of two). *)
+
+open Bss_util
+open Bss_instances
+open Bss_core
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+
+(* ---------------- failure injection ---------------- *)
+
+(* Rebuild a schedule with one segment transformed. *)
+let mutate_segment sched ~victim f =
+  let out = Schedule.create (Schedule.machines sched) in
+  let k = ref 0 in
+  List.iter
+    (fun (u, (seg : Schedule.seg)) ->
+      let seg = if !k = victim then f seg else seg in
+      incr k;
+      match seg.Schedule.content with
+      | Schedule.Setup cls -> Schedule.add_setup out ~machine:u ~cls ~start:seg.start ~dur:seg.dur
+      | Schedule.Work job -> Schedule.add_work out ~machine:u ~job ~start:seg.start ~dur:seg.dur)
+    (Schedule.all_segments sched);
+  out
+
+let drop_segment sched ~victim =
+  let out = Schedule.create (Schedule.machines sched) in
+  let k = ref 0 in
+  List.iter
+    (fun (u, (seg : Schedule.seg)) ->
+      let keep = !k <> victim in
+      incr k;
+      if keep then begin
+        match seg.Schedule.content with
+        | Schedule.Setup cls -> Schedule.add_setup out ~machine:u ~cls ~start:seg.start ~dur:seg.dur
+        | Schedule.Work job -> Schedule.add_work out ~machine:u ~job ~start:seg.start ~dur:seg.dur
+      end)
+    (Schedule.all_segments sched);
+  out
+
+let segment_count sched = List.length (Schedule.all_segments sched)
+
+(* Every mutation of a feasible schedule must be flagged by the checker
+   for the variant it was feasible under (or remain feasible only if the
+   mutation is a no-op — our mutations never are). *)
+let prop_checker_catches_mutations =
+  QCheck2.Test.make ~name:"checker flags every injected corruption" ~count:200
+    QCheck2.Gen.(
+      let* seed = int_range 0 100_000 in
+      let* kind = int_range 0 3 in
+      let* pick = int_range 0 1000 in
+      return (seed, kind, pick))
+    (fun (seed, kind, pick) ->
+      let rng = Prng.create seed in
+      let inst = Helpers.random_instance ~max_m:4 ~max_c:3 ~max_extra_jobs:6 rng in
+      let sched = Two_approx.nonpreemptive inst in
+      let nsegs = segment_count sched in
+      if nsegs = 0 then true
+      else begin
+        let victim = pick mod nsegs in
+        let mutated =
+          match kind with
+          | 0 ->
+            (* shrink a segment: volume or setup-duration violation *)
+            Some (mutate_segment sched ~victim (fun s -> { s with Schedule.dur = Rat.div_int s.Schedule.dur 2 }))
+          | 1 ->
+            (* shift a segment late: overlap or makespan trouble; at
+               minimum it desynchronizes nothing — shifting the LAST
+               segment is feasibility-preserving, so shift early
+               instead, risking overlap with the predecessor *)
+            Some
+              (mutate_segment sched ~victim (fun s ->
+                   { s with Schedule.start = Rat.div_int s.Schedule.start 2 }))
+          | 2 -> Some (drop_segment sched ~victim)
+          | _ ->
+            (* retarget a work segment to another job of a different class *)
+            let n = Instance.n inst in
+            let all = Schedule.all_segments sched in
+            let has_work =
+              List.exists
+                (fun (_, s) -> match s.Schedule.content with Schedule.Work _ -> true | _ -> false)
+                all
+            in
+            if (not has_work) || n < 2 then None
+            else begin
+              let rec find k = function
+                | [] -> None
+                | (_, { Schedule.content = Schedule.Work j; _ }) :: _ when k = victim -> Some j
+                | _ :: rest -> find (k + 1) rest
+              in
+              ignore (find 0 all);
+              Some
+                (mutate_segment sched ~victim (fun s ->
+                     match s.Schedule.content with
+                     | Schedule.Work j ->
+                       let j' = (j + 1) mod n in
+                       if inst.Instance.job_class.(j') <> inst.Instance.job_class.(j) then
+                         { s with Schedule.content = Schedule.Work j' }
+                       else s
+                     | Schedule.Setup _ -> s))
+            end
+        in
+        match mutated with
+        | None -> true
+        | Some m ->
+          (* identical schedules (mutation was identity, e.g. start 0
+             halved) stay feasible; anything changed must be caught *)
+          let same =
+            List.length (Schedule.all_segments m) = nsegs
+            && List.for_all2
+                 (fun (u1, s1) (u2, s2) ->
+                   u1 = u2 && Rat.equal s1.Schedule.start s2.Schedule.start
+                   && Rat.equal s1.Schedule.dur s2.Schedule.dur
+                   && s1.Schedule.content = s2.Schedule.content)
+                 (List.sort compare (Schedule.all_segments m))
+                 (List.sort compare (Schedule.all_segments sched))
+          in
+          same || not (Checker.is_feasible Variant.Nonpreemptive inst m)
+      end)
+
+(* ---------------- huge values: exactness under ~10^12 inputs ---------------- *)
+
+let huge_instance rng =
+  let scale = 1_000_000_000 in
+  let c = 1 + Prng.int rng 4 in
+  let m = 1 + Prng.int rng 5 in
+  let setups = Array.init c (fun _ -> scale + Prng.int rng (scale * 900)) in
+  let base = Array.init c (fun i -> (i, scale + Prng.int rng (scale * 900))) in
+  let extra = Array.init (Prng.int rng 10) (fun _ -> (Prng.int rng c, scale + Prng.int rng (scale * 900))) in
+  Instance.make ~m ~setups ~jobs:(Array.append base extra)
+
+let prop_huge_values_exact =
+  QCheck2.Test.make ~name:"algorithms stay exact at ~1e12 input values" ~count:60
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let inst = huge_instance rng in
+      let split = Splittable_cj.solve inst in
+      let nonp = Nonp_search.solve inst in
+      let pmtn = Pmtn_cj.solve inst in
+      Checker.is_feasible Variant.Splittable inst split.Splittable_cj.schedule
+      && Checker.is_feasible Variant.Nonpreemptive inst nonp.Nonp_search.schedule
+      && Checker.is_feasible Variant.Preemptive inst pmtn.Pmtn_cj.schedule
+      && Helpers.within_factor ~num:3 ~den:2 split.Splittable_cj.schedule split.Splittable_cj.accepted
+      && Helpers.within_factor ~num:3 ~den:2 nonp.Nonp_search.schedule nonp.Nonp_search.accepted
+      && Helpers.within_factor ~num:3 ~den:2 pmtn.Pmtn_cj.schedule pmtn.Pmtn_cj.accepted)
+
+(* ---------------- degenerate shapes ---------------- *)
+
+let test_m_much_larger_than_n () =
+  let inst = Instance.make ~m:500 ~setups:[| 7; 3 |] ~jobs:[| (0, 11); (1, 2); (1, 9) |] in
+  List.iter
+    (fun v ->
+      let r = Solver.solve ~algorithm:Solver.Approx3_2 v inst in
+      Checker.check_exn v inst r.Solver.schedule)
+    Variant.all
+
+let test_all_equal () =
+  let inst = Instance.make ~m:7 ~setups:(Array.make 7 5) ~jobs:(Array.init 49 (fun i -> (i mod 7, 5))) in
+  List.iter
+    (fun v ->
+      let r = Solver.solve ~algorithm:Solver.Approx3_2 v inst in
+      Checker.check_exn v inst r.Solver.schedule;
+      check bool_c "certificate" true (Rat.( <= ) (Schedule.makespan r.Solver.schedule) r.Solver.certificate))
+    Variant.all
+
+let test_powers_of_two () =
+  let inst =
+    Instance.make ~m:4
+      ~setups:[| 1; 2; 4; 8; 16 |]
+      ~jobs:(Array.init 20 (fun i -> (i mod 5, 1 lsl (i mod 10))))
+  in
+  List.iter
+    (fun v ->
+      let r = Solver.solve ~algorithm:Solver.Approx3_2 v inst in
+      Checker.check_exn v inst r.Solver.schedule)
+    Variant.all
+
+let test_single_job_total () =
+  let inst = Instance.make ~m:3 ~setups:[| 9 |] ~jobs:[| (0, 1) |] in
+  List.iter
+    (fun v ->
+      let r = Solver.solve ~algorithm:Solver.Approx3_2 v inst in
+      Checker.check_exn v inst r.Solver.schedule)
+    Variant.all
+
+let test_many_classes_one_job_each () =
+  let c = 200 in
+  let inst =
+    Instance.make ~m:9 ~setups:(Array.init c (fun i -> 1 + (i mod 13)))
+      ~jobs:(Array.init c (fun i -> (i, 1 + (i mod 17))))
+  in
+  List.iter
+    (fun v ->
+      let r = Solver.solve ~algorithm:Solver.Approx3_2 v inst in
+      Checker.check_exn v inst r.Solver.schedule)
+    Variant.all
+
+(* large-scale smoke: every search at n = 30k stays feasible and fast *)
+let test_large_smoke () =
+  let inst = Bss_workloads.Generator.uniform.Bss_workloads.Generator.generate (Prng.create 3) ~m:24 ~n:30_000 in
+  let split = Splittable_cj.solve inst in
+  Checker.check_exn Variant.Splittable inst split.Splittable_cj.schedule;
+  let pmtn = Pmtn_cj.solve inst in
+  Checker.check_exn Variant.Preemptive inst pmtn.Pmtn_cj.schedule;
+  let nonp = Nonp_search.solve inst in
+  Checker.check_exn Variant.Nonpreemptive inst nonp.Nonp_search.schedule
+
+let () =
+  Alcotest.run "robustness"
+    [
+      Helpers.qsuite "injection" [ prop_checker_catches_mutations ];
+      Helpers.qsuite "huge-values" [ prop_huge_values_exact ];
+      ( "degenerate",
+        [
+          Alcotest.test_case "m >> n" `Quick test_m_much_larger_than_n;
+          Alcotest.test_case "all equal" `Quick test_all_equal;
+          Alcotest.test_case "powers of two" `Quick test_powers_of_two;
+          Alcotest.test_case "single job" `Quick test_single_job_total;
+          Alcotest.test_case "many single-job classes" `Quick test_many_classes_one_job_each;
+          Alcotest.test_case "large smoke" `Slow test_large_smoke;
+        ] );
+    ]

@@ -1,0 +1,209 @@
+(* Tests for the (3/2+eps) binary search (Theorem 2), the unified solver
+   facade, and the workload generators. *)
+
+open Bss_util
+open Bss_instances
+open Bss_core
+open Bss_workloads
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+
+let fixture () =
+  Instance.make ~m:3 ~setups:[| 4; 2 |] ~jobs:[| (0, 5); (1, 7); (0, 3); (1, 1); (1, 1) |]
+
+(* ---------------- dual_search ---------------- *)
+
+let test_search_all_variants () =
+  let inst = fixture () in
+  let eps = Rat.of_ints 1 10 in
+  List.iter
+    (fun v ->
+      let dual =
+        match v with
+        | Variant.Splittable -> Splittable_dual.run
+        | Variant.Preemptive -> fun i t -> Pmtn_dual.run i t
+        | Variant.Nonpreemptive -> Nonp_dual.run
+      in
+      let t_min = Lower_bounds.t_min v inst in
+      let r = Dual_search.search ~dual ~epsilon:eps ~t_min inst in
+      Checker.check_exn v inst r.Dual_search.schedule;
+      (* makespan <= 3/2 accepted, accepted <= (1 + 2eps/3)(lowest rejected) *)
+      check bool_c "within 3/2 accepted" true
+        (Helpers.within_factor ~num:3 ~den:2 r.Dual_search.schedule r.Dual_search.accepted))
+    Variant.all
+
+let test_search_call_budget () =
+  let inst = fixture () in
+  let eps = Rat.of_ints 1 1000 in
+  let t_min = Lower_bounds.t_min Variant.Splittable inst in
+  let r = Dual_search.search ~dual:Splittable_dual.run ~epsilon:eps ~t_min inst in
+  (* log2(3/(2*eps)) + 2 calls *)
+  check bool_c "O(log 1/eps) calls" true (r.Dual_search.dual_calls <= 11 + 3)
+
+let test_search_invalid_epsilon () =
+  let inst = fixture () in
+  check bool_c "raises" true
+    (try
+       ignore
+         (Dual_search.search ~dual:Splittable_dual.run ~epsilon:Rat.zero
+            ~t_min:(Lower_bounds.t_min Variant.Splittable inst) inst);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_search_guarantee =
+  QCheck2.Test.make ~name:"(3/2+eps) search: feasible; accepted within eps' of a rejected guess"
+    ~count:200 (Helpers.gen_instance ())
+    (fun inst ->
+      let eps = Rat.of_ints 1 7 in
+      List.for_all
+        (fun v ->
+          let dual =
+            match v with
+            | Variant.Splittable -> Splittable_dual.run
+            | Variant.Preemptive -> fun i t -> Pmtn_dual.run i t
+            | Variant.Nonpreemptive -> Nonp_dual.run
+          in
+          let t_min = Lower_bounds.t_min v inst in
+          let r = Dual_search.search ~dual ~epsilon:eps ~t_min inst in
+          Checker.is_feasible v inst r.Dual_search.schedule
+          && Helpers.within_factor ~num:3 ~den:2 r.Dual_search.schedule r.Dual_search.accepted)
+        Variant.all)
+
+(* ---------------- solver facade ---------------- *)
+
+let prop_solver_certificates =
+  QCheck2.Test.make ~name:"solver: schedules feasible and within certificates" ~count:150
+    (Helpers.gen_instance ())
+    (fun inst ->
+      List.for_all
+        (fun v ->
+          List.for_all
+            (fun algorithm ->
+              let r = Solver.solve ~algorithm v inst in
+              Checker.is_feasible v inst r.Solver.schedule
+              && Rat.( <= ) (Schedule.makespan r.Solver.schedule) r.Solver.certificate
+              && String.length (Solver.algorithm_name ~algorithm v) > 0)
+            [ Solver.Approx2; Solver.Approx3_2_eps (Rat.of_ints 1 4); Solver.Approx3_2 ])
+        Variant.all)
+
+let test_solver_guarantees () =
+  let inst = fixture () in
+  let r2 = Solver.solve ~algorithm:Solver.Approx2 Variant.Splittable inst in
+  check bool_c "2" true (Rat.equal r2.Solver.guarantee Rat.two);
+  let r32 = Solver.solve ~algorithm:Solver.Approx3_2 Variant.Preemptive inst in
+  check bool_c "3/2" true (Rat.equal r32.Solver.guarantee (Rat.of_ints 3 2));
+  let re = Solver.solve ~algorithm:(Solver.Approx3_2_eps (Rat.of_ints 1 2)) Variant.Nonpreemptive inst in
+  check bool_c "2 = 3/2+1/2" true (Rat.equal re.Solver.guarantee Rat.two)
+
+(* ---------------- dual outcome API ---------------- *)
+
+let test_dual_printers_and_accessors () =
+  let inst = fixture () in
+  let acc = Splittable_dual.run inst (Rat.of_int inst.Instance.total) in
+  check bool_c "is_accepted" true (Dual.is_accepted acc);
+  check bool_c "accepted some" true (Dual.accepted acc <> None);
+  check bool_c "accepted prints" true
+    (String.length (Format.asprintf "%a" Dual.pp_outcome acc) > 0);
+  let rej = Splittable_dual.run inst Rat.one in
+  check bool_c "not accepted" false (Dual.is_accepted rej);
+  check bool_c "rejected none" true (Dual.accepted rej = None);
+  check bool_c "rejection prints" true
+    (String.length (Format.asprintf "%a" Dual.pp_outcome rej) > 0);
+  (* all three rejection constructors print *)
+  List.iter
+    (fun r -> check bool_c "prints" true (String.length (Format.asprintf "%a" Dual.pp_rejection r) > 0))
+    [
+      Dual.Below_trivial_bound { bound = Rat.one };
+      Dual.Load_exceeds { required = Rat.two; available = Rat.one };
+      Dual.Machines_exceed { required = 3; available = 1 };
+    ]
+
+let test_algorithm_names_distinct () =
+  let names =
+    List.concat_map
+      (fun v ->
+        List.map
+          (fun a -> Solver.algorithm_name ~algorithm:a v)
+          [ Solver.Approx2; Solver.Approx3_2_eps (Rat.of_ints 1 8); Solver.Approx3_2 ])
+      Variant.all
+  in
+  (* 2-approx and 3/2+eps names are variant-independent; the exact 3/2
+     names differ per variant *)
+  check bool_c "some distinct" true (List.length (List.sort_uniq compare names) >= 5)
+
+(* ---------------- workloads ---------------- *)
+
+let test_generators_produce_valid_instances () =
+  List.iter
+    (fun (spec : Generator.spec) ->
+      let rng = Prng.create 42 in
+      let inst = spec.Generator.generate rng ~m:8 ~n:64 in
+      check bool_c (spec.Generator.name ^ " nonempty") true (Instance.n inst >= 1);
+      check bool_c (spec.Generator.name ^ " classes nonempty") true
+        (List.for_all (fun i -> Instance.class_size inst i >= 1) (List.init (Instance.c inst) (fun i -> i))))
+    Generator.all
+
+let test_generators_deterministic () =
+  List.iter
+    (fun (spec : Generator.spec) ->
+      let a = spec.Generator.generate (Prng.create 7) ~m:4 ~n:30 in
+      let b = spec.Generator.generate (Prng.create 7) ~m:4 ~n:30 in
+      check bool_c spec.Generator.name true (Instance.equal a b))
+    Generator.all
+
+let test_generator_job_counts () =
+  List.iter
+    (fun (spec : Generator.spec) ->
+      let inst = spec.Generator.generate (Prng.create 1) ~m:4 ~n:100 in
+      let n = Instance.n inst in
+      (* within a factor-ish of the target (families round to their shape) *)
+      (* tiny clamps to <= 9 jobs; anti-wrap is one tiny job per class by
+         design *)
+      check bool_c
+        (Printf.sprintf "%s count %d" spec.Generator.name n)
+        true
+        (n >= 8 || spec.Generator.name = "tiny" || spec.Generator.name = "anti-wrap"))
+    Generator.all
+
+let test_suites () =
+  let t1 = Suite.table1 () in
+  check bool_c "table1 nonempty" true (List.length t1 >= 16);
+  let tiny = Suite.tiny_exact () in
+  check bool_c "tiny" true (List.length tiny = 40);
+  let sc = Suite.scaling ~family:Generator.uniform ~m:8 [ 100; 200 ] in
+  check bool_c "scaling sizes" true (List.length sc = 2);
+  (* deterministic: regenerating gives equal instances *)
+  let t1' = Suite.table1 () in
+  check bool_c "reproducible" true
+    (List.for_all2 (fun a b -> Instance.equal a.Suite.instance b.Suite.instance) t1 t1')
+
+let test_by_name () =
+  check bool_c "found" true (Generator.by_name "uniform" == Generator.uniform);
+  check bool_c "not found" true (try ignore (Generator.by_name "nope"); false with Not_found -> true)
+
+let () =
+  Alcotest.run "solver"
+    [
+      ( "dual-search",
+        [
+          Alcotest.test_case "all variants" `Quick test_search_all_variants;
+          Alcotest.test_case "call budget" `Quick test_search_call_budget;
+          Alcotest.test_case "invalid epsilon" `Quick test_search_invalid_epsilon;
+        ] );
+      ( "facade",
+        [
+          Alcotest.test_case "guarantees" `Quick test_solver_guarantees;
+          Alcotest.test_case "dual printers" `Quick test_dual_printers_and_accessors;
+          Alcotest.test_case "algorithm names" `Quick test_algorithm_names_distinct;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "valid instances" `Quick test_generators_produce_valid_instances;
+          Alcotest.test_case "deterministic" `Quick test_generators_deterministic;
+          Alcotest.test_case "job counts" `Quick test_generator_job_counts;
+          Alcotest.test_case "suites" `Quick test_suites;
+          Alcotest.test_case "by name" `Quick test_by_name;
+        ] );
+      Helpers.qsuite "props" [ prop_search_guarantee; prop_solver_certificates ];
+    ]

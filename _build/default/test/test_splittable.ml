@@ -1,0 +1,185 @@
+(* Tests for the splittable 3/2 machinery: Theorem 7 dual and Theorem 3
+   class jumping. *)
+
+open Bss_util
+open Bss_instances
+open Bss_core
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+
+let fixture () =
+  Instance.make ~m:3 ~setups:[| 4; 2 |] ~jobs:[| (0, 5); (1, 7); (0, 3); (1, 1); (1, 1) |]
+
+(* ---------------- dual ---------------- *)
+
+let test_dual_accepts_large_t () =
+  let inst = fixture () in
+  let tee = Rat.of_int inst.Instance.total in
+  match Splittable_dual.run inst tee with
+  | Dual.Accepted s ->
+    Helpers.check_feasible_within ~variant:Variant.Splittable ~num:3 ~den:2 inst s tee
+  | Dual.Rejected r -> Alcotest.failf "rejected N: %a" Dual.pp_rejection r
+
+let test_dual_rejects_tiny_t () =
+  let inst = fixture () in
+  match Splittable_dual.run inst Rat.one with
+  | Dual.Accepted _ -> Alcotest.fail "accepted T=1"
+  | Dual.Rejected _ -> ()
+
+let test_dual_rejects_below_smax () =
+  let inst = Instance.make ~m:4 ~setups:[| 10 |] ~jobs:[| (0, 1) |] in
+  match Splittable_dual.run inst (Rat.of_int 9) with
+  | Dual.Rejected (Dual.Below_trivial_bound _) -> ()
+  | Dual.Rejected r -> Alcotest.failf "wrong rejection: %a" Dual.pp_rejection r
+  | Dual.Accepted _ -> Alcotest.fail "accepted T < smax"
+
+let test_dual_accepts_at_smax_when_bounds_ok () =
+  (* m=10, s=10, P=1: N/m small, bounds pass at T = smax. *)
+  let inst = Instance.make ~m:10 ~setups:[| 10 |] ~jobs:[| (0, 1) |] in
+  match Splittable_dual.run inst (Rat.of_int 10) with
+  | Dual.Accepted s ->
+    Helpers.check_feasible_within ~variant:Variant.Splittable ~num:3 ~den:2 inst s (Rat.of_int 10)
+  | Dual.Rejected r -> Alcotest.failf "rejected: %a" Dual.pp_rejection r
+
+let test_dual_machine_rejection () =
+  (* Two expensive classes but one machine: m < m_exp. *)
+  let inst = Instance.make ~m:1 ~setups:[| 10; 10 |] ~jobs:[| (0, 10); (1, 10) |] in
+  match Splittable_dual.run inst (Rat.of_int 15) with
+  | Dual.Rejected _ -> ()
+  | Dual.Accepted _ -> Alcotest.fail "accepted though two expensive classes on one machine"
+
+let test_dual_monotone_acceptance () =
+  let rng = Prng.create 99 in
+  for _ = 1 to 50 do
+    let inst = Helpers.random_instance rng in
+    let accept tee = Dual.is_accepted (Splittable_dual.run inst tee) in
+    (* sample increasing T values; once accepted, stays accepted *)
+    let accepted_seen = ref false in
+    for t = 1 to 2 * inst.Instance.total do
+      let a = accept (Rat.of_ints t 2) in
+      if !accepted_seen && not a then Alcotest.fail "acceptance not monotone";
+      if a then accepted_seen := true
+    done;
+    if not !accepted_seen then Alcotest.fail "never accepted up to 2N"
+  done
+
+(* Paper Figure 1 shape: 4 expensive + 4 cheap classes. *)
+let figure1_instance () =
+  (* T target ~ 20: expensive setups > 10, cheap <= 10 *)
+  Instance.make ~m:10
+    ~setups:[| 12; 13; 11; 14; 3; 4; 2; 5 |]
+    ~jobs:
+      [|
+        (0, 14); (0, 13); (1, 9); (1, 8); (2, 6); (3, 11);
+        (4, 7); (4, 6); (5, 9); (6, 4); (7, 8); (7, 2);
+      |]
+
+let test_dual_figure1_shape () =
+  let inst = figure1_instance () in
+  let tmin = Lower_bounds.t_min Variant.Splittable inst in
+  (* find an accepted T by doubling from tmin *)
+  let rec go tee n =
+    if n > 20 then Alcotest.fail "no accepted T found"
+    else begin
+      match Splittable_dual.run inst tee with
+      | Dual.Accepted s -> (tee, s)
+      | Dual.Rejected _ -> go (Rat.mul (Rat.of_ints 11 10) tee) (n + 1)
+    end
+  in
+  let tee, s = go tmin 0 in
+  Helpers.check_feasible_within ~variant:Variant.Splittable ~num:3 ~den:2 inst s tee
+
+(* ---------------- class jumping ---------------- *)
+
+let test_cj_fixture () =
+  let inst = fixture () in
+  let r = Splittable_cj.solve inst in
+  Helpers.check_feasible_within ~variant:Variant.Splittable ~num:3 ~den:2 inst r.Splittable_cj.schedule
+    r.Splittable_cj.accepted;
+  (* T* <= OPT <= N *)
+  check bool_c "T* <= N" true (Rat.( <= ) r.Splittable_cj.accepted (Rat.of_int inst.Instance.total));
+  check bool_c "T* >= Tmin" true
+    (Rat.( >= ) r.Splittable_cj.accepted (Lower_bounds.t_min Variant.Splittable inst))
+
+let test_cj_smax_binding () =
+  (* The case where T* = s_max (clamp binds, not the load bound). *)
+  let inst = Instance.make ~m:10 ~setups:[| 10 |] ~jobs:[| (0, 1) |] in
+  let r = Splittable_cj.solve inst in
+  check bool_c "T* = smax" true (Rat.equal r.Splittable_cj.accepted (Rat.of_int 10));
+  Helpers.check_feasible_within ~variant:Variant.Splittable ~num:3 ~den:2 inst r.Splittable_cj.schedule
+    r.Splittable_cj.accepted
+
+let test_cj_volume_binding () =
+  (* All cheap at T*: T* = N/m. *)
+  let inst = Instance.make ~m:2 ~setups:[| 1 |] ~jobs:[| (0, 99) |] in
+  let r = Splittable_cj.solve inst in
+  check bool_c "T* = N/m = 50" true (Rat.equal r.Splittable_cj.accepted (Rat.of_int 50))
+
+(* T* is the minimum accepted guess: verify against a fine grid scan. *)
+let prop_cj_matches_grid_minimum =
+  QCheck2.Test.make ~name:"CJ T* equals grid-scan minimal accepted T" ~count:120
+    (Helpers.gen_instance ~max_m:5 ~max_c:4 ~max_extra_jobs:8 ~max_setup:12 ~max_time:12 ())
+    (fun inst ->
+      let r = Splittable_cj.solve inst in
+      let t_star = r.Splittable_cj.accepted in
+      let accept tee = Dual.is_accepted (Splittable_dual.run inst tee) in
+      (* (a) T* accepted; (b) nothing below on a fine rational grid accepts;
+         scan denominator 4 which includes all interesting integer-ish
+         points of small instances. *)
+      accept t_star
+      && begin
+           let ok = ref true in
+           let quarter = Rat.of_ints 1 4 in
+           let tee = ref Rat.zero in
+           while Rat.( < ) !tee t_star && !ok do
+             if accept !tee then ok := false;
+             tee := Rat.add !tee quarter
+           done;
+           !ok
+         end)
+
+let prop_cj_feasible_and_bounded =
+  QCheck2.Test.make ~name:"CJ schedules feasible, <= 3/2 T*, T* <= OPT-cert" ~count:300
+    (Helpers.gen_instance ~max_m:16 ())
+    (fun inst ->
+      let r = Splittable_cj.solve inst in
+      Checker.is_feasible Variant.Splittable inst r.Splittable_cj.schedule
+      && Helpers.within_factor ~num:3 ~den:2 r.Splittable_cj.schedule r.Splittable_cj.accepted
+      (* certification: the point just below T* (minus 1/1024) is rejected *)
+      && (let eps = Rat.of_ints 1 1024 in
+          let below = Rat.sub r.Splittable_cj.accepted eps in
+          Rat.sign below <= 0 || not (Dual.is_accepted (Splittable_dual.run inst below))))
+
+let prop_cj_test_count_logarithmic =
+  QCheck2.Test.make ~name:"CJ uses O(log(c+m)) bound tests" ~count:100
+    (Helpers.gen_instance ~max_m:32 ~max_c:6 ~max_extra_jobs:30 ())
+    (fun inst ->
+      let r = Splittable_cj.solve inst in
+      (* 3 binary searches over <= c+2, m+1, c points plus O(1) probes *)
+      let c = Instance.c inst and m = inst.Instance.m in
+      let budget = (3 * (Intmath.log2_ceil (c + m + 4) + 2)) + 12 in
+      r.Splittable_cj.bound_tests <= budget)
+
+let () =
+  Alcotest.run "splittable"
+    [
+      ( "dual",
+        [
+          Alcotest.test_case "accepts N" `Quick test_dual_accepts_large_t;
+          Alcotest.test_case "rejects T=1" `Quick test_dual_rejects_tiny_t;
+          Alcotest.test_case "rejects below smax" `Quick test_dual_rejects_below_smax;
+          Alcotest.test_case "accepts at smax" `Quick test_dual_accepts_at_smax_when_bounds_ok;
+          Alcotest.test_case "machine rejection" `Quick test_dual_machine_rejection;
+          Alcotest.test_case "monotone acceptance" `Slow test_dual_monotone_acceptance;
+          Alcotest.test_case "figure 1 shape" `Quick test_dual_figure1_shape;
+        ] );
+      ( "class-jumping",
+        [
+          Alcotest.test_case "fixture" `Quick test_cj_fixture;
+          Alcotest.test_case "smax binding" `Quick test_cj_smax_binding;
+          Alcotest.test_case "volume binding" `Quick test_cj_volume_binding;
+        ] );
+      Helpers.qsuite "props"
+        [ prop_cj_matches_grid_minimum; prop_cj_feasible_and_bounded; prop_cj_test_count_logarithmic ];
+    ]

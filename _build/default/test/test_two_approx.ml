@@ -1,0 +1,106 @@
+(* Tests for Theorem 1: the O(n) 2-approximations. *)
+
+open Bss_util
+open Bss_instances
+open Bss_core
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+
+let fixture () =
+  Instance.make ~m:3 ~setups:[| 4; 2 |] ~jobs:[| (0, 5); (1, 7); (0, 3); (1, 1); (1, 1) |]
+
+let test_splittable_fixture () =
+  let inst = fixture () in
+  let s = Two_approx.splittable inst in
+  let tmin = Lower_bounds.t_min Variant.Splittable inst in
+  Helpers.check_feasible_within ~variant:Variant.Splittable ~num:2 ~den:1 inst s tmin
+
+let test_nonpreemptive_fixture () =
+  let inst = fixture () in
+  let s = Two_approx.nonpreemptive inst in
+  let tmin = Lower_bounds.t_min Variant.Nonpreemptive inst in
+  Helpers.check_feasible_within ~variant:Variant.Nonpreemptive ~num:2 ~den:1 inst s tmin
+
+let test_single_machine () =
+  (* m = 1: everything runs on one machine; makespan is exactly N. *)
+  let inst = Instance.make ~m:1 ~setups:[| 2; 3 |] ~jobs:[| (0, 4); (1, 5); (0, 1) |] in
+  let s = Two_approx.nonpreemptive inst in
+  Checker.check_exn Variant.Nonpreemptive inst s;
+  check bool_c "makespan = N" true (Rat.equal (Schedule.makespan s) (Rat.of_int inst.Instance.total));
+  let s = Two_approx.splittable inst in
+  Checker.check_exn Variant.Splittable inst s
+
+let test_one_class_many_machines () =
+  let inst = Instance.make ~m:6 ~setups:[| 5 |] ~jobs:(Array.init 12 (fun _ -> (0, 3))) in
+  List.iter
+    (fun v ->
+      let s = Two_approx.solve v inst in
+      let tmin = Lower_bounds.t_min v inst in
+      Helpers.check_feasible_within ~variant:v ~num:2 ~den:1 inst s tmin)
+    Variant.all
+
+let test_many_machines_few_jobs () =
+  (* m >> n: splittable may use all machines; next-fit uses few. *)
+  let inst = Instance.make ~m:40 ~setups:[| 3; 1 |] ~jobs:[| (0, 9); (1, 2) |] in
+  List.iter
+    (fun v ->
+      let s = Two_approx.solve v inst in
+      let tmin = Lower_bounds.t_min v inst in
+      Helpers.check_feasible_within ~variant:v ~num:2 ~den:1 inst s tmin)
+    Variant.all
+
+let test_huge_setups () =
+  let inst = Instance.make ~m:3 ~setups:[| 100; 90; 80 |] ~jobs:[| (0, 1); (1, 1); (2, 1) |] in
+  List.iter
+    (fun v ->
+      let s = Two_approx.solve v inst in
+      let tmin = Lower_bounds.t_min v inst in
+      Helpers.check_feasible_within ~variant:v ~num:2 ~den:1 inst s tmin)
+    Variant.all
+
+let prop_all_variants =
+  QCheck2.Test.make ~name:"2-approx feasible and within 2*Tmin" ~count:500 (Helpers.gen_instance ())
+    (fun inst ->
+      List.for_all
+        (fun v ->
+          let s = Two_approx.solve v inst in
+          let tmin = Lower_bounds.t_min v inst in
+          Checker.is_feasible v inst s && Helpers.within_factor ~num:2 ~den:1 s tmin)
+        Variant.all)
+
+let prop_stress_shapes =
+  QCheck2.Test.make ~name:"2-approx on extreme shapes" ~count:200
+    QCheck2.Gen.(
+      let* seed = int_range 0 100_000 in
+      let* shape = int_range 0 2 in
+      return (seed, shape))
+    (fun (seed, shape) ->
+      let rng = Prng.create seed in
+      let inst =
+        match shape with
+        | 0 -> Helpers.random_instance ~max_m:64 ~max_c:2 ~max_extra_jobs:3 rng (* m >> n *)
+        | 1 -> Helpers.random_instance ~max_m:2 ~max_c:8 ~max_extra_jobs:60 rng (* n >> m *)
+        | _ -> Helpers.random_instance ~max_setup:200 ~max_time:2 rng (* setup-dominated *)
+      in
+      List.for_all
+        (fun v ->
+          let s = Two_approx.solve v inst in
+          Checker.is_feasible v inst s
+          && Helpers.within_factor ~num:2 ~den:1 s (Lower_bounds.t_min v inst))
+        Variant.all)
+
+let () =
+  Alcotest.run "two_approx"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "splittable fixture" `Quick test_splittable_fixture;
+          Alcotest.test_case "nonpreemptive fixture" `Quick test_nonpreemptive_fixture;
+          Alcotest.test_case "single machine" `Quick test_single_machine;
+          Alcotest.test_case "one class many machines" `Quick test_one_class_many_machines;
+          Alcotest.test_case "many machines few jobs" `Quick test_many_machines_few_jobs;
+          Alcotest.test_case "huge setups" `Quick test_huge_setups;
+        ] );
+      Helpers.qsuite "props" [ prop_all_variants; prop_stress_shapes ];
+    ]
