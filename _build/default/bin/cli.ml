@@ -4,6 +4,7 @@
      solve     solve an instance file with a chosen variant and algorithm
      generate  emit a random instance from a workload family
      check     validate an instance file and print its statistics
+     fuzz      sweep the conformance oracle over random cases
 
    Instance file format (see Instance.of_string):
      m 4
@@ -123,6 +124,64 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc:"Validate an instance file and print statistics.") Term.(const run $ file)
 
+let fuzz_cmd =
+  let open Bss_oracle in
+  let seed = Arg.(value & opt int 0 & info [ "seed"; "s" ] ~doc:"Master PRNG seed.") in
+  let cases = Arg.(value & opt int 100 & info [ "cases"; "n" ] ~doc:"Number of cases to sweep.") in
+  let family =
+    Arg.(value & opt_all string [] & info [ "family"; "f" ] ~doc:"Restrict to a workload family (repeatable; default all).")
+  in
+  let variant =
+    Arg.(value & opt_all variant_conv [] & info [ "variant"; "v" ] ~doc:"Restrict to a problem variant (repeatable; default all).")
+  in
+  let replay =
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"CASE" ~doc:"Re-run one case id (family:index) verbosely instead of sweeping.")
+  in
+  let run seed cases family variant replay =
+    if cases < 0 then begin
+      prerr_endline "cases must be >= 0";
+      exit 1
+    end;
+    let families =
+      match family with
+      | [] -> Generator.all
+      | names ->
+        List.map
+          (fun name ->
+            match Generator.by_name name with
+            | spec -> spec
+            | exception Not_found ->
+              prerr_endline
+                ("unknown family; available: "
+                ^ String.concat ", " (List.map (fun s -> s.Generator.name) Generator.all));
+              exit 1)
+          names
+    in
+    let variants = match variant with [] -> Variant.all | vs -> vs in
+    let config = { Harness.default_config with Harness.master = seed; cases; families; variants } in
+    match replay with
+    | Some id ->
+      let case =
+        try Case.of_id ~master:seed id
+        with Invalid_argument msg ->
+          prerr_endline msg;
+          exit 1
+      in
+      let txt, ok = Harness.replay config case in
+      print_string txt;
+      if not ok then exit 1
+    | None ->
+      Printf.printf "fuzz: seed=%d cases=%d families=%s variants=%s\n" seed cases
+        (String.concat "," (List.map (fun s -> s.Generator.name) families))
+        (String.concat "," (List.map Variant.to_string variants));
+      let report = Harness.run config in
+      print_string (Harness.render report);
+      if report.Harness.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Sweep the conformance oracle over deterministic random cases.")
+    Term.(const run $ seed $ cases $ family $ variant $ replay)
+
 let () =
   let doc = "near-linear approximation algorithms for scheduling with batch setup times" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "bss" ~doc) [ solve_cmd; generate_cmd; check_cmd ]))
+  exit (Cmd.eval (Cmd.group (Cmd.info "bss" ~doc) [ solve_cmd; generate_cmd; check_cmd; fuzz_cmd ]))

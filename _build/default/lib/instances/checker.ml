@@ -29,6 +29,12 @@ let check ?makespan_bound variant instance schedule =
   let report v = violations := v :: !violations in
   let m = Schedule.machines schedule in
   let n = Instance.n instance in
+  (* The schedule must not place load on machines the instance does not
+     have (an over-provisioned but empty tail is tolerated: wrapping
+     sometimes allocates the full machine array up front). *)
+  for u = instance.Instance.m to m - 1 do
+    if Schedule.segments schedule u <> [] then report (Bad_machine_index { machine = u })
+  done;
   (* Per-machine structure: ordering, setup durations, setup-before-class. *)
   for u = 0 to m - 1 do
     let segs = Schedule.segments schedule u in

@@ -14,6 +14,8 @@ open Bss_util
 
 type violation =
   | Bad_machine_index of { machine : int }
+      (** a non-empty machine with index [>= m] (more machines used than
+          the instance has) *)
   | Overlap of { machine : int; at : Rat.t }
       (** two segments on one machine intersect in time *)
   | Bad_setup_duration of { machine : int; cls : int; got : Rat.t }

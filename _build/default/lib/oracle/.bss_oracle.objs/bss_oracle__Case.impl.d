@@ -1,0 +1,1 @@
+lib/oracle/case.ml: Array Bss_instances Bss_util Bss_workloads Char Instance Int64 List Printf Prng String

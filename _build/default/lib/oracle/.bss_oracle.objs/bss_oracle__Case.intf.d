@@ -1,0 +1,1 @@
+lib/oracle/case.mli: Bss_instances Bss_util Instance Prng

@@ -1,0 +1,1 @@
+lib/oracle/context.ml: Bss_baselines Bss_core Bss_instances Bss_util Exact Hashtbl Instance Lower_bounds Rat Solver Variant

@@ -1,0 +1,1 @@
+lib/oracle/context.mli: Bss_core Bss_instances Bss_util Instance Rat Solver Variant

@@ -1,0 +1,1 @@
+lib/oracle/harness.ml: Bss_core Bss_instances Bss_util Bss_workloads Case Context Instance List Metamorphic Parallel Printexc Printf Property Shrink Solver String Table Variant

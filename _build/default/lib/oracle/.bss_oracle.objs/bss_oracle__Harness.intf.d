@@ -1,0 +1,1 @@
+lib/oracle/harness.mli: Bss_core Bss_instances Bss_workloads Case Instance Property Solver Variant

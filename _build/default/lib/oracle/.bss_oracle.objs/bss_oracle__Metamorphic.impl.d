@@ -1,0 +1,1 @@
+lib/oracle/metamorphic.ml: Array Bss_core Bss_instances Bss_util Checker Context Instance List Lower_bounds Printf Property Rat Schedule Solver Variant

@@ -1,0 +1,1 @@
+lib/oracle/metamorphic.mli: Property

@@ -1,0 +1,1 @@
+lib/oracle/property.ml: Bss_core Bss_instances Bss_util Checker Context Dual List Lower_bounds Nonp_dual Pmtn_dual Printexc Printf Rat Schedule Solver Splittable_dual String Variant

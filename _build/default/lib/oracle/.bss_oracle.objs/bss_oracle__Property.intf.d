@@ -1,0 +1,1 @@
+lib/oracle/property.mli: Bss_core Bss_instances Context Instance Variant

@@ -1,0 +1,1 @@
+lib/oracle/shrink.ml: Array Bss_instances Instance List

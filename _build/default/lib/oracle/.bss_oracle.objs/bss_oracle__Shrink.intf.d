@@ -1,0 +1,1 @@
+lib/oracle/shrink.mli: Bss_instances Instance

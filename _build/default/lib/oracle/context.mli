@@ -1,0 +1,44 @@
+(** Per-instance evaluation context shared by all properties.
+
+    Most properties interrogate the same handful of solver runs, exact
+    optima and lower bounds; the context memoizes them so a case costs one
+    solve per (variant, algorithm) pair no matter how many properties run.
+    Exact optima are guarded: [None] when the instance exceeds the
+    branch-and-bound budgets of {!Bss_baselines.Exact}. *)
+
+open Bss_util
+open Bss_instances
+open Bss_core
+
+(** The canonical algorithm set the oracle exercises: Theorem 1 ("2"),
+    Theorem 2 at ε = 1/8 ("3/2+1/8"), and the exact 3/2 of Theorems
+    3/6/8 ("3/2"). *)
+val default_algorithms : (string * Solver.algorithm) list
+
+type t
+
+(** [create ?variants ?algorithms inst] — defaults: all variants,
+    {!default_algorithms}. *)
+val create :
+  ?variants:Variant.t list ->
+  ?algorithms:(string * Solver.algorithm) list ->
+  Instance.t ->
+  t
+
+val instance : t -> Instance.t
+val variants : t -> Variant.t list
+val algorithms : t -> (string * Solver.algorithm) list
+
+(** [solve t variant (name, algorithm)] is the memoized solver result. *)
+val solve : t -> Variant.t -> string * Solver.algorithm -> Solver.result
+
+(** [t_min t variant] is the memoized {!Bss_instances.Lower_bounds.t_min}. *)
+val t_min : t -> Variant.t -> Rat.t
+
+(** [exact_nonp t] is the exact non-preemptive optimum when the instance
+    is small enough for the branch-and-bound oracle, else [None]. *)
+val exact_nonp : t -> int option
+
+(** [exact_split t] is the exact splittable optimum when the enumeration
+    is affordable, else [None]. *)
+val exact_split : t -> Rat.t option

@@ -1,0 +1,70 @@
+(** The fuzz driver: sweep deterministic cases through every oracle.
+
+    A sweep is fully described by its {!config}; equal configs give
+    bit-identical reports (cases derive private PRNGs from
+    [(master, family, index)] and properties are pure), regardless of how
+    many domains execute it. Failing cases are minimized with
+    {!Shrink.minimize} against the violated property before reporting. *)
+
+open Bss_instances
+open Bss_core
+
+type config = {
+  master : int;  (** master seed *)
+  cases : int;  (** number of cases, round-robin over [families] *)
+  families : Bss_workloads.Generator.spec list;
+  variants : Variant.t list;
+  algorithms : (string * Solver.algorithm) list;
+  max_m : int;
+  max_n : int;
+  domains : int option;  (** worker domains; [None] = {!Bss_util.Parallel.recommended} *)
+  shrink_budget : int;  (** predicate evaluations per failure minimization *)
+}
+
+(** 100 cases over all families, variants and default algorithms,
+    [master = 0], [max_m = 8], [max_n = 48], shrink budget 400. *)
+val default_config : config
+
+type failure = {
+  case : Case.t;
+  property : string;
+  message : string;
+  instance : Instance.t;  (** the raw counterexample *)
+  shrunk : Instance.t;  (** local minimum still violating the property *)
+  shrink_steps : int;
+}
+
+type prop_stats = {
+  property : string;
+  theorem : string;
+  cases : int;  (** cases the property ran on *)
+  passed : int;
+  skipped : int;
+  failed : int;
+}
+
+type report = { config : config; stats : prop_stats list; failures : failure list }
+
+(** All oracles a sweep runs: {!Property.all} followed by
+    {!Metamorphic.all}. *)
+val properties : Property.t list
+
+(** [case_of_index config i] is the [i]-th case of the sweep. *)
+val case_of_index : config -> int -> Case.t
+
+(** [run_case config case] evaluates every property on the case's
+    instance, exceptions folded into [Fail]. *)
+val run_case : config -> Case.t -> (Property.t * Property.outcome) list
+
+(** [run config] executes the sweep on the configured domains. *)
+val run : config -> report
+
+(** [render report] is the stats table plus one block per failure,
+    including the shrunk counterexample and a replay hint. Ends with a
+    one-line verdict. *)
+val render : report -> string
+
+(** [replay config case] re-runs one case verbosely: instance dump plus a
+    per-property verdict table. Returns the rendering and [true] when no
+    property failed. *)
+val replay : config -> Case.t -> string * bool

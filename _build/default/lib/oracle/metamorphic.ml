@@ -1,0 +1,218 @@
+open Bss_util
+open Bss_instances
+open Bss_core
+
+let jobs_of inst =
+  Array.init (Instance.n inst)
+    (fun j -> (inst.Instance.job_class.(j), inst.Instance.job_time.(j)))
+
+let scale k inst =
+  Instance.make ~m:inst.Instance.m
+    ~setups:(Array.map (fun s -> s * k) inst.Instance.setups)
+    ~jobs:(Array.map (fun (cls, t) -> (cls, t * k)) (jobs_of inst))
+
+let with_m m inst = Instance.make ~m ~setups:inst.Instance.setups ~jobs:(jobs_of inst)
+
+let duplicate inst =
+  let c = Instance.c inst in
+  let jobs = jobs_of inst in
+  Instance.make ~m:(2 * inst.Instance.m)
+    ~setups:(Array.append inst.Instance.setups inst.Instance.setups)
+    ~jobs:(Array.append jobs (Array.map (fun (cls, t) -> (cls + c, t)) jobs))
+
+(* Merge the first two classes sharing a setup value; [None] if all setups
+   are distinct. *)
+let merge_equal_setups inst =
+  let c = Instance.c inst in
+  let setups = inst.Instance.setups in
+  let pair = ref None in
+  for i = 0 to c - 1 do
+    for j = i + 1 to c - 1 do
+      if !pair = None && setups.(i) = setups.(j) then pair := Some (i, j)
+    done
+  done;
+  match !pair with
+  | None -> None
+  | Some (i, j) ->
+    let remap cls = if cls = j then i else if cls > j then cls - 1 else cls in
+    let setups' = Array.of_list (List.filteri (fun k _ -> k <> j) (Array.to_list setups)) in
+    let jobs' = Array.map (fun (cls, t) -> (remap cls, t)) (jobs_of inst) in
+    Some (Instance.make ~m:inst.Instance.m ~setups:setups' ~jobs:jobs')
+
+let over_solves ctx f =
+  let rec go = function
+    | [] -> Property.Pass
+    | (v, a) :: rest -> ( match f v a with Property.Pass -> go rest | o -> o)
+  in
+  go
+    (List.concat_map
+       (fun v -> List.map (fun a -> (v, a)) (Context.algorithms ctx))
+       (Context.variants ctx))
+
+let tag v (name, _) = Printf.sprintf "[%s/%s]" (Variant.to_string v) name
+
+(* The non-preemptive exact-3/2 search is the one algorithm on an integer
+   guess grid, where scaling refines the grid and can change the result. *)
+let integer_grid v (_, algorithm) =
+  v = Variant.Nonpreemptive && algorithm = Solver.Approx3_2
+
+let scale_equivariance =
+  {
+    Property.name = "scale-equivariance";
+    theorem = "meta";
+    check =
+      (fun ctx ->
+        let k = 3 in
+        let inst = Context.instance ctx in
+        let scaled = scale k inst in
+        let rec t_min_scales = function
+          | [] -> Property.Pass
+          | v :: rest ->
+            if
+              Rat.equal
+                (Lower_bounds.t_min v scaled)
+                (Rat.mul_int (Context.t_min ctx v) k)
+            then t_min_scales rest
+            else Property.Fail (Printf.sprintf "[%s] T_min does not scale by %d" (Variant.to_string v) k)
+        in
+        match t_min_scales (Context.variants ctx) with
+        | Property.Pass ->
+          over_solves ctx (fun v a ->
+              let r = Context.solve ctx v a in
+              let r' = Solver.solve ~algorithm:(snd a) v scaled in
+              let mk' = Schedule.makespan r'.Solver.schedule in
+              if not (Checker.is_feasible v scaled r'.Solver.schedule) then
+                Property.Fail (tag v a ^ " scaled schedule infeasible")
+              else if integer_grid v a then
+                if Rat.( <= ) mk' (Rat.mul_int (Context.t_min ctx v) (2 * k)) then Property.Pass
+                else Property.Fail (tag v a ^ " scaled makespan exceeds 2k*T_min")
+              else if Rat.equal mk' (Rat.mul_int (Schedule.makespan r.Solver.schedule) k) then
+                Property.Pass
+              else
+                Property.Fail
+                  (Printf.sprintf "%s makespan %s does not scale to %s" (tag v a)
+                     (Rat.to_string (Schedule.makespan r.Solver.schedule))
+                     (Rat.to_string mk')))
+        | o -> o);
+  }
+
+let machine_augment =
+  {
+    Property.name = "machine-augment";
+    theorem = "meta";
+    check =
+      (fun ctx ->
+        let inst = Context.instance ctx in
+        let aug = with_m (inst.Instance.m + 1) inst in
+        let ctx' = Context.create ~variants:(Context.variants ctx) ~algorithms:(Context.algorithms ctx) aug in
+        let rec t_min_mono = function
+          | [] -> Property.Pass
+          | v :: rest ->
+            if Rat.( <= ) (Context.t_min ctx' v) (Context.t_min ctx v) then t_min_mono rest
+            else Property.Fail (Printf.sprintf "[%s] T_min grew with an extra machine" (Variant.to_string v))
+        in
+        let exact_mono () =
+          match (Context.exact_nonp ctx, Context.exact_nonp ctx') with
+          | Some opt, Some opt' when opt' > opt ->
+            Property.Fail (Printf.sprintf "OPT_nonp grew from %d to %d with an extra machine" opt opt')
+          | _ -> (
+            match (Context.exact_split ctx, Context.exact_split ctx') with
+            | Some opt, Some opt' when Rat.( > ) opt' opt ->
+              Property.Fail "OPT_split grew with an extra machine"
+            | _ -> Property.Pass)
+        in
+        match t_min_mono (Context.variants ctx) with
+        | Property.Pass -> (
+          match exact_mono () with
+          | Property.Pass ->
+            over_solves ctx (fun v a ->
+                let r' = Context.solve ctx' v a in
+                if not (Checker.is_feasible v aug r'.Solver.schedule) then
+                  Property.Fail (tag v a ^ " schedule infeasible after adding a machine")
+                else if
+                  Rat.( <= )
+                    (Schedule.makespan r'.Solver.schedule)
+                    (Rat.mul_int (Context.t_min ctx v) 2)
+                then Property.Pass
+                else Property.Fail (tag v a ^ " makespan exceeds 2*T_min of the original"))
+          | o -> o)
+        | o -> o);
+  }
+
+let merge_classes =
+  {
+    Property.name = "merge-classes";
+    theorem = "meta";
+    check =
+      (fun ctx ->
+        let inst = Context.instance ctx in
+        match merge_equal_setups inst with
+        | None -> Property.Skip "no two classes share a setup value"
+        | Some merged -> (
+          let ctx' = Context.create ~variants:(Context.variants ctx) ~algorithms:(Context.algorithms ctx) merged in
+          let rec t_min_mono = function
+            | [] -> Property.Pass
+            | v :: rest ->
+              if Rat.( <= ) (Context.t_min ctx' v) (Context.t_min ctx v) then t_min_mono rest
+              else Property.Fail (Printf.sprintf "[%s] T_min grew after merging classes" (Variant.to_string v))
+          in
+          let exact_mono () =
+            match (Context.exact_nonp ctx, Context.exact_nonp ctx') with
+            | Some opt, Some opt' when opt' > opt ->
+              Property.Fail (Printf.sprintf "OPT_nonp grew from %d to %d after merging classes" opt opt')
+            | _ -> (
+              match (Context.exact_split ctx, Context.exact_split ctx') with
+              | Some opt, Some opt' when Rat.( > ) opt' opt ->
+                Property.Fail "OPT_split grew after merging classes"
+              | _ -> Property.Pass)
+          in
+          match t_min_mono (Context.variants ctx) with
+          | Property.Pass -> (
+            match exact_mono () with
+            | Property.Pass ->
+              over_solves ctx (fun v a ->
+                  let r' = Context.solve ctx' v a in
+                  if not (Checker.is_feasible v merged r'.Solver.schedule) then
+                    Property.Fail (tag v a ^ " schedule infeasible after merging classes")
+                  else if
+                    Rat.( <= )
+                      (Schedule.makespan r'.Solver.schedule)
+                      (Rat.mul_int (Context.t_min ctx v) 2)
+                  then Property.Pass
+                  else Property.Fail (tag v a ^ " merged makespan exceeds 2*T_min of the original"))
+            | o -> o)
+          | o -> o));
+  }
+
+let duplicate_2m =
+  {
+    Property.name = "duplicate-2m";
+    theorem = "meta";
+    check =
+      (fun ctx ->
+        let inst = Context.instance ctx in
+        let dup = duplicate inst in
+        let ctx' = Context.create ~variants:(Context.variants ctx) ~algorithms:(Context.algorithms ctx) dup in
+        let rec t_min_eq = function
+          | [] -> Property.Pass
+          | v :: rest ->
+            if Rat.equal (Context.t_min ctx' v) (Context.t_min ctx v) then t_min_eq rest
+            else Property.Fail (Printf.sprintf "[%s] T_min changed under duplication" (Variant.to_string v))
+        in
+        match t_min_eq (Context.variants ctx) with
+        | Property.Pass ->
+          over_solves ctx (fun v a ->
+              let r = Context.solve ctx v a in
+              let r' = Context.solve ctx' v a in
+              if not (Checker.is_feasible v dup r'.Solver.schedule) then
+                Property.Fail (tag v a ^ " duplicated schedule infeasible")
+              else if Rat.equal r'.Solver.certificate r.Solver.certificate then Property.Pass
+              else
+                Property.Fail
+                  (Printf.sprintf "%s certificate %s changed to %s under duplication" (tag v a)
+                     (Rat.to_string r.Solver.certificate)
+                     (Rat.to_string r'.Solver.certificate)))
+        | o -> o);
+  }
+
+let all = [ scale_equivariance; machine_augment; merge_classes; duplicate_2m ]

@@ -1,0 +1,1 @@
+lib/oracle/qc/arb.ml: Array Bss_instances Bss_oracle Bss_workloads Case QCheck Random Shrink

@@ -1,0 +1,1 @@
+lib/oracle/qc/arb.mli: Bss_instances Instance QCheck

@@ -1,0 +1,18 @@
+open Bss_oracle
+
+let families = Array.of_list Bss_workloads.Generator.all
+
+let gen ?max_m ?max_n () st =
+  let spec = families.(Random.State.int st (Array.length families)) in
+  let case =
+    Case.make
+      ~master:(Random.State.int st 1_000_000)
+      ~family:spec.Bss_workloads.Generator.name
+      ~index:(Random.State.int st 1_000)
+  in
+  Case.instance ?max_m ?max_n case
+
+let shrink inst = QCheck.Iter.of_list (Shrink.candidates inst)
+
+let arbitrary ?max_m ?max_n () =
+  QCheck.make ~print:Bss_instances.Instance.to_string ~shrink (gen ?max_m ?max_n ())

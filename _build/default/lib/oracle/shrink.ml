@@ -1,0 +1,106 @@
+open Bss_instances
+
+let jobs_of inst =
+  Array.init (Instance.n inst)
+    (fun j -> (inst.Instance.job_class.(j), inst.Instance.job_time.(j)))
+
+(* Rebuild with the given job multiset, dropping classes left without jobs
+   and renumbering; [None] when no job remains. *)
+let rebuild ~m ~setups jobs =
+  if Array.length jobs = 0 then None
+  else begin
+    let c = Array.length setups in
+    let used = Array.make c false in
+    Array.iter (fun (cls, _) -> used.(cls) <- true) jobs;
+    let remap = Array.make c (-1) in
+    let k = ref 0 in
+    for i = 0 to c - 1 do
+      if used.(i) then begin
+        remap.(i) <- !k;
+        incr k
+      end
+    done;
+    let setups' =
+      Array.of_list (List.filteri (fun i _ -> used.(i)) (Array.to_list setups))
+    in
+    let jobs' = Array.map (fun (cls, t) -> (remap.(cls), t)) jobs in
+    Some (Instance.make ~m ~setups:setups' ~jobs:jobs')
+  end
+
+let without a i =
+  Array.of_list (List.filteri (fun k _ -> k <> i) (Array.to_list a))
+
+let candidates inst =
+  let m = inst.Instance.m and c = Instance.c inst and n = Instance.n inst in
+  let setups = inst.Instance.setups in
+  let jobs = jobs_of inst in
+  let out = ref [] in
+  let push o = match o with Some i -> out := i :: !out | None -> () in
+  (* per-value halvings, least aggressive — pushed first, reversed last *)
+  Array.iteri
+    (fun i s ->
+      if s >= 2 then begin
+        let setups' = Array.copy setups in
+        setups'.(i) <- s / 2;
+        push (rebuild ~m ~setups:setups' jobs)
+      end)
+    setups;
+  Array.iteri
+    (fun j (cls, t) ->
+      if t >= 2 then begin
+        let jobs' = Array.copy jobs in
+        jobs'.(j) <- (cls, t / 2);
+        push (rebuild ~m ~setups jobs')
+      end)
+    jobs;
+  (* single-job deletion *)
+  if n >= 2 then
+    for j = n - 1 downto 0 do
+      push (rebuild ~m ~setups (without jobs j))
+    done;
+  (* global value halvings *)
+  if Array.exists (fun s -> s >= 2) setups then
+    push (rebuild ~m ~setups:(Array.map (fun s -> max 1 (s / 2)) setups) jobs);
+  if Array.exists (fun (_, t) -> t >= 2) jobs then
+    push (rebuild ~m ~setups (Array.map (fun (cls, t) -> (cls, max 1 (t / 2))) jobs));
+  (* whole-class deletion *)
+  if c >= 2 then
+    for i = c - 1 downto 0 do
+      push
+        (rebuild ~m ~setups
+           (Array.of_list (List.filter (fun (cls, _) -> cls <> i) (Array.to_list jobs))))
+    done;
+  (* drop half the jobs (both halves), most aggressive with machine cuts *)
+  if n >= 2 then begin
+    let half = n / 2 in
+    let first = Array.sub jobs 0 half and second = Array.sub jobs half (n - half) in
+    push (rebuild ~m ~setups first);
+    push (rebuild ~m ~setups second)
+  end;
+  if m >= 2 then begin
+    push (rebuild ~m:(m - 1) ~setups jobs);
+    if m / 2 <> m - 1 then push (rebuild ~m:(m / 2) ~setups jobs)
+  end;
+  !out
+
+let minimize ?(budget = 400) ~keep inst =
+  if not (keep inst) then invalid_arg "Shrink.minimize: keep does not hold on the input";
+  let budget = ref budget in
+  let cur = ref inst and steps = ref 0 and progress = ref true in
+  while !progress && !budget > 0 do
+    let rec first_kept = function
+      | [] -> None
+      | cand :: rest ->
+        if !budget <= 0 then None
+        else begin
+          decr budget;
+          if keep cand then Some cand else first_kept rest
+        end
+    in
+    match first_kept (candidates !cur) with
+    | Some cand ->
+      cur := cand;
+      incr steps
+    | None -> progress := false
+  done;
+  (!cur, !steps)

@@ -1,0 +1,25 @@
+(** Structural instance shrinking.
+
+    When a property fails, the raw counterexample is typically a 50-job
+    mutated workload. [minimize] greedily walks {!candidates} — machine
+    halving, class and job-block deletion, value halving — re-checking the
+    failing predicate at every step, and returns a local minimum: an
+    instance on which the failure still reproduces but from which no
+    single candidate step keeps it alive. Every candidate strictly
+    decreases the instance measure [m + n + Σ s_i + Σ t_j], so the walk
+    terminates; a budget caps predicate evaluations for expensive
+    properties. *)
+
+open Bss_instances
+
+(** [candidates inst] are well-formed strictly-smaller variants, most
+    aggressive first (fewer machines, half the jobs, a class dropped, a
+    single job dropped, values halved). Empty for the 1-machine 1-job
+    unit-value instance. *)
+val candidates : Instance.t -> Instance.t list
+
+(** [minimize ?budget ~keep inst] requires [keep inst = true] and greedily
+    shrinks while [keep] holds, spending at most [budget] (default [400])
+    [keep] evaluations. Returns the shrunk instance and the number of
+    accepted shrink steps. *)
+val minimize : ?budget:int -> keep:(Instance.t -> bool) -> Instance.t -> Instance.t * int

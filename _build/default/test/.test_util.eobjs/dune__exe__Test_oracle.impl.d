@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Array Bss_instances Bss_oracle Bss_oracle_qc Case Harness Instance List Metamorphic Property QCheck QCheck_alcotest Random Shrink

@@ -1,1 +1,1 @@
-test/test_util.ml: Alcotest Array Bigint Bss_util Intmath List Parallel Prng QCheck2 QCheck_alcotest Rat Select Stats String Table
+test/test_util.ml: Alcotest Array Atomic Bigint Bss_util Intmath List Parallel Prng QCheck2 QCheck_alcotest Rat Select Stats String Table

@@ -1,0 +1,5 @@
+  $ bss fuzz --seed 42 --cases 50
+  $ bss fuzz --seed 42 --cases 8 --family tiny --variant split | head -1
+  $ bss fuzz --seed 42 --replay tiny:7
+  $ bss fuzz --seed 42 --replay bogus:xx
+  $ bss fuzz --family nope --cases 5

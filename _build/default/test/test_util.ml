@@ -303,6 +303,61 @@ let test_parallel_propagates_exception () =
        false
      with Failure _ -> true)
 
+let test_parallel_uneven_work_order () =
+  (* items cost wildly different amounts; the shared work queue must not
+     leak completion order into the result *)
+  let busy k =
+    let acc = ref 0 in
+    for i = 1 to 1 + ((k * 7919) mod 5000) do
+      acc := !acc + (i mod 7)
+    done;
+    !acc + (k * 2)
+  in
+  let xs = List.init 150 (fun i -> i) in
+  check bool_c "uneven order preserved" true
+    (Parallel.map ~domains:4 busy xs = List.map busy xs)
+
+let test_parallel_exception_after_all_finish () =
+  (* the exception is re-raised only after every domain joins: any item a
+     worker started (except the raising one) must also have finished *)
+  let started = Atomic.make 0 and finished = Atomic.make 0 in
+  let raised =
+    try
+      Parallel.iter ~domains:4
+        (fun x ->
+          Atomic.incr started;
+          if x = 7 then failwith "boom";
+          (* spread the work so several domains are mid-item when the
+             failure lands *)
+          let acc = ref 0 in
+          for i = 1 to 20_000 do acc := !acc + (i mod 3) done;
+          ignore !acc;
+          Atomic.incr finished)
+        (List.init 40 (fun i -> i));
+      false
+    with Failure _ -> true
+  in
+  check bool_c "raised" true raised;
+  check int_c "only the raising item is unfinished" (Atomic.get started - 1) (Atomic.get finished)
+
+let test_parallel_single_domain_degenerate () =
+  (* domains:1 runs items in order on the caller; a failure stops the
+     sweep right there *)
+  let seen = ref [] in
+  check bool_c "map matches" true
+    (Parallel.map ~domains:1 (fun x -> x * 3) (List.init 20 (fun i -> i))
+    = List.map (fun x -> x * 3) (List.init 20 (fun i -> i)));
+  check bool_c "raises" true
+    (try
+       Parallel.iter ~domains:1
+         (fun x ->
+           if x = 5 then failwith "boom";
+           seen := x :: !seen)
+         (List.init 10 (fun i -> i));
+       false
+     with Failure _ -> true);
+  check bool_c "stopped at the failure" true (List.rev !seen = [ 0; 1; 2; 3; 4 ])
+
 let test_parallel_select_under_domains () =
   (* quickselect uses domain-local pivot PRNGs: concurrent selects agree
      with sorting *)
@@ -379,6 +434,9 @@ let () =
           Alcotest.test_case "map order" `Quick test_parallel_map_order;
           Alcotest.test_case "concurrent" `Quick test_parallel_actually_concurrent;
           Alcotest.test_case "exception" `Quick test_parallel_propagates_exception;
+          Alcotest.test_case "uneven work order" `Quick test_parallel_uneven_work_order;
+          Alcotest.test_case "exception after all finish" `Quick test_parallel_exception_after_all_finish;
+          Alcotest.test_case "single domain" `Quick test_parallel_single_domain_degenerate;
           Alcotest.test_case "select under domains" `Quick test_parallel_select_under_domains;
         ] );
       ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);

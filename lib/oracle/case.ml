@@ -1,0 +1,95 @@
+open Bss_util
+open Bss_instances
+
+type t = { master : int; family : string; index : int }
+
+let make ~master ~family ~index =
+  ignore (Bss_workloads.Generator.by_name family);
+  { master; family; index }
+
+let id t = Printf.sprintf "%s:%d" t.family t.index
+
+let of_id ~master s =
+  match String.rindex_opt s ':' with
+  | None -> invalid_arg ("Case.of_id: missing ':' in " ^ s)
+  | Some i -> (
+    let family = String.sub s 0 i in
+    let index =
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some k when k >= 0 -> k
+      | _ -> invalid_arg ("Case.of_id: bad index in " ^ s)
+    in
+    try make ~master ~family ~index
+    with Not_found -> invalid_arg ("Case.of_id: unknown family " ^ family))
+
+(* SplitMix64 finalizer: full-avalanche mixing so that master, family and
+   index each flip every bit of the case seed. *)
+let mix64 x =
+  let open Int64 in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xbf58476d1ce4e5b9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94d049bb133111ebL in
+  logxor x (shift_right_logical x 31)
+
+let seed t =
+  let h = ref 0L in
+  String.iter
+    (fun ch -> h := Int64.add (Int64.mul !h 131L) (Int64.of_int (Char.code ch)))
+    t.family;
+  let x = Int64.of_int t.master in
+  let x = mix64 (Int64.logxor x !h) in
+  let x = mix64 (Int64.logxor x (Int64.of_int t.index)) in
+  Int64.to_int (Int64.shift_right_logical x 1)
+
+let jobs_of inst =
+  Array.init (Instance.n inst)
+    (fun j -> (inst.Instance.job_class.(j), inst.Instance.job_time.(j)))
+
+(* One random mutation; every branch yields a well-formed instance. *)
+let mutate rng inst =
+  let m = inst.Instance.m and c = Instance.c inst in
+  let setups = Array.copy inst.Instance.setups in
+  let jobs = jobs_of inst in
+  match Prng.int rng 8 with
+  | 0 ->
+    (* spike one setup towards 10^9: exercises s_max-dominated regimes *)
+    setups.(Prng.int rng c) <- Prng.int_in rng 1_000_000 1_000_000_000;
+    Instance.make ~m ~setups ~jobs
+  | 1 ->
+    (* spike one job time *)
+    let j = Prng.int rng (Array.length jobs) in
+    jobs.(j) <- (fst jobs.(j), Prng.int_in rng 1_000_000 1_000_000_000);
+    Instance.make ~m ~setups ~jobs
+  | 2 ->
+    (* equalize all setups: the uniform-setup special case of the related
+       work (Schalekamp et al.) *)
+    let s = setups.(Prng.int rng c) in
+    Instance.make ~m ~setups:(Array.map (fun _ -> s) setups) ~jobs
+  | 3 ->
+    (* unit jobs: setup cost dominates everything *)
+    Instance.make ~m ~setups ~jobs:(Array.map (fun (cls, _) -> (cls, 1)) jobs)
+  | 4 -> Instance.make ~m:1 ~setups ~jobs
+  | 5 -> Instance.make ~m:((2 * m) + 1) ~setups ~jobs
+  | 6 ->
+    (* double one class's job multiset *)
+    let cls = Prng.int rng c in
+    let extra = Array.of_list (List.filter (fun (i, _) -> i = cls) (Array.to_list jobs)) in
+    Instance.make ~m ~setups ~jobs:(Array.append jobs extra)
+  | _ when Instance.delta inst <= 1_000_000 ->
+    (* uniform huge scale: stresses exact arithmetic (skipped when the
+       values are already large, to stay well inside native ints) *)
+    let k = 1_000_000 in
+    Instance.make ~m
+      ~setups:(Array.map (fun s -> s * k) setups)
+      ~jobs:(Array.map (fun (cls, t) -> (cls, t * k)) jobs)
+  | _ -> Instance.make ~m:(m + 1) ~setups ~jobs
+
+let instance ?(max_m = 8) ?(max_n = 48) t =
+  let rng = Prng.create (seed t) in
+  let spec = Bss_workloads.Generator.by_name t.family in
+  let m = Prng.int_in rng 1 (max 1 max_m) in
+  let n = Prng.int_in rng 4 (max 4 max_n) in
+  let inst = spec.Bss_workloads.Generator.generate rng ~m ~n in
+  match Prng.int rng 3 with
+  | 0 -> mutate rng inst
+  | 1 when Prng.bool rng -> mutate rng (mutate rng inst)
+  | _ -> inst

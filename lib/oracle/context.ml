@@ -1,0 +1,67 @@
+open Bss_util
+open Bss_instances
+open Bss_core
+open Bss_baselines
+
+let default_algorithms =
+  [
+    ("2", Solver.Approx2);
+    ("3/2+1/8", Solver.Approx3_2_eps (Rat.of_ints 1 8));
+    ("3/2", Solver.Approx3_2);
+  ]
+
+type t = {
+  instance : Instance.t;
+  variants : Variant.t list;
+  algorithms : (string * Solver.algorithm) list;
+  solves : (string, Solver.result) Hashtbl.t;
+  mutable nonp_opt : int option option;
+  mutable split_opt : Rat.t option option;
+}
+
+let create ?(variants = Variant.all) ?(algorithms = default_algorithms) instance =
+  { instance; variants; algorithms; solves = Hashtbl.create 16; nonp_opt = None; split_opt = None }
+
+let instance t = t.instance
+let variants t = t.variants
+let algorithms t = t.algorithms
+
+let solve t variant (name, algorithm) =
+  let key = Variant.to_string variant ^ "/" ^ name in
+  match Hashtbl.find_opt t.solves key with
+  | Some r -> r
+  | None ->
+    let r = Solver.solve ~algorithm variant t.instance in
+    Hashtbl.replace t.solves key r;
+    r
+
+let t_min t variant = Lower_bounds.t_min variant t.instance
+
+(* Conservative affordability guards (stricter than the oracles' own
+   [invalid_arg] limits, to keep fuzz sweeps fast). *)
+let nonp_affordable inst =
+  let m = inst.Instance.m and n = Instance.n inst in
+  (* c <= 62: the branch-and-bound tracks per-machine class sets in an
+     int bitmask *)
+  Instance.c inst <= 62
+  && try float_of_int m ** float_of_int n <= 1e6 with _ -> false
+
+let split_affordable inst =
+  let m = inst.Instance.m and c = Instance.c inst in
+  c <= 10 && (try float_of_int (1 lsl c) ** float_of_int m <= 5e4 with _ -> false)
+
+let exact_nonp t =
+  match t.nonp_opt with
+  | Some v -> v
+  | None ->
+    let v = if nonp_affordable t.instance then Some (Exact.nonpreemptive_opt t.instance) else None in
+    t.nonp_opt <- Some v;
+    v
+
+let exact_split t =
+  match t.split_opt with
+  | Some v -> v
+  | None ->
+    let v = if split_affordable t.instance then Some (Exact.splittable_opt_small t.instance) else None in
+    t.split_opt <- Some v;
+    v

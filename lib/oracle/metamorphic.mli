@@ -1,0 +1,26 @@
+(** Metamorphic relations: transform the instance, predict the change.
+
+    Each relation derives a second instance from the case instance and
+    checks an exact prediction, run against all variants and algorithms of
+    the context. Only *theorems* are encoded — relations that sound
+    plausible but are false for approximation algorithms (raw-makespan
+    monotonicity in [m], merge monotonicity of heuristic output) are
+    stated on [OPT], [T_min] and certified bounds instead, which the
+    paper's guarantees make mechanically checkable:
+
+    - [scale-equivariance] — multiplying every [s_i] and [t_j] by [k]
+      multiplies [T_min] and every solver makespan exactly by [k]. (The
+      non-preemptive exact-3/2 search walks an integer guess grid, so for
+      it the relation is the certified bound [makespan_k <= 2k·T_min]
+      plus feasibility.)
+    - [machine-augment] — adding a machine never increases [T_min] or the
+      exact optima, and the [(m+1)]-machine schedule still obeys
+      [makespan <= 2·T_min(m)].
+    - [merge-classes] — merging two classes of equal setup can only
+      reduce [OPT] and [T_min]; skipped when no equal-setup pair exists.
+    - [duplicate-2m] — duplicating all classes and jobs onto [2m]
+      machines preserves [T_min], every certificate, and feasibility. *)
+
+(** The relations above, in a stable order (usable anywhere
+    {!Property.t} is). *)
+val all : Property.t list

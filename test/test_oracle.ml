@@ -1,0 +1,172 @@
+(* Conformance-oracle suites: every Property and Metamorphic law as a
+   qcheck case over the oracle's own generators, plus unit tests for the
+   deterministic case machinery, harness reproducibility and the
+   structural shrinker (a planted bug must minimize to a tiny witness).
+
+   Budgets are small and the qcheck seed is pinned: tier-1 must stay fast
+   and bit-stable. The heavyweight sweep lives behind `dune build
+   @fuzz-smoke` and the `bss fuzz` CLI. *)
+
+open Bss_instances
+open Bss_oracle
+module Arb = Bss_oracle_qc.Arb
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+let string_c = Alcotest.string
+
+(* ---------------- properties as qcheck suites ---------------- *)
+
+(* Pin the qcheck seed so tier-1 sees the same instances every run. *)
+let qsuite_seeded name tests =
+  ( name,
+    List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x0b57ac1e |])) tests )
+
+let prop_test (p : Property.t) =
+  QCheck.Test.make ~name:(p.Property.name ^ " [" ^ p.Property.theorem ^ "]") ~count:15
+    (Arb.arbitrary ~max_m:4 ~max_n:20 ())
+    (fun inst ->
+      match Property.check_instance p inst with
+      | Property.Pass | Property.Skip _ -> true
+      | Property.Fail msg -> QCheck.Test.fail_report msg)
+
+let oracle_props = List.map prop_test Property.all
+let metamorphic_props = List.map prop_test Metamorphic.all
+
+(* The generator itself: instances are well-formed and print/parse
+   round-trips exactly. *)
+let prop_generator_roundtrip =
+  QCheck.Test.make ~name:"generated instances roundtrip through to_string" ~count:50
+    (Arb.arbitrary ())
+    (fun inst ->
+      inst.Instance.m >= 1
+      && Instance.n inst >= 1
+      && Instance.c inst >= 1
+      && Instance.to_string (Instance.of_string (Instance.to_string inst)) = Instance.to_string inst)
+
+(* Shrink candidates preserve well-formedness and strictly decrease the
+   instance measure m + n + sum(s) + sum(t). *)
+let measure inst =
+  inst.Instance.m + Instance.n inst
+  + Array.fold_left ( + ) 0 inst.Instance.setups
+  + Array.fold_left ( + ) 0 inst.Instance.job_time
+
+let prop_shrink_candidates =
+  QCheck.Test.make ~name:"shrink candidates well-formed and smaller" ~count:50
+    (Arb.arbitrary ())
+    (fun inst ->
+      List.for_all
+        (fun c ->
+          c.Instance.m >= 1 && Instance.n c >= 1 && Instance.c c >= 1
+          && Array.for_all (fun s -> s >= 1) c.Instance.setups
+          && Array.for_all (fun t -> t >= 1) c.Instance.job_time
+          && Array.for_all (fun k -> k >= 0 && k < Instance.c c) c.Instance.job_class
+          && measure c < measure inst)
+        (Shrink.candidates inst))
+
+(* ---------------- deterministic case machinery ---------------- *)
+
+let test_case_seed_deterministic () =
+  let c = Case.make ~master:42 ~family:"uniform" ~index:7 in
+  let c' = Case.make ~master:42 ~family:"uniform" ~index:7 in
+  check int_c "equal seed" (Case.seed c) (Case.seed c');
+  check bool_c "index changes seed" true
+    (Case.seed c <> Case.seed (Case.make ~master:42 ~family:"uniform" ~index:8));
+  check bool_c "master changes seed" true
+    (Case.seed c <> Case.seed (Case.make ~master:43 ~family:"uniform" ~index:7));
+  check bool_c "family changes seed" true
+    (Case.seed c <> Case.seed (Case.make ~master:42 ~family:"tiny" ~index:7))
+
+let test_case_instance_bit_reproducible () =
+  List.iter
+    (fun index ->
+      let c = Case.make ~master:11 ~family:"zipf" ~index in
+      check string_c "same dump"
+        (Instance.to_string (Case.instance c))
+        (Instance.to_string (Case.instance c)))
+    [ 0; 1; 2; 17 ]
+
+let test_case_id_roundtrip () =
+  let c = Case.make ~master:5 ~family:"anti-wrap" ~index:123 in
+  check string_c "id" "anti-wrap:123" (Case.id c);
+  check bool_c "roundtrip" true (Case.of_id ~master:5 (Case.id c) = c);
+  check bool_c "bad family rejected" true
+    (try ignore (Case.of_id ~master:0 "nope:3"); false with Invalid_argument _ -> true);
+  check bool_c "bad index rejected" true
+    (try ignore (Case.of_id ~master:0 "uniform:x"); false with Invalid_argument _ -> true)
+
+(* ---------------- harness reproducibility ---------------- *)
+
+let small_config =
+  { Harness.default_config with Harness.master = 42; cases = 10; max_m = 4; max_n = 16 }
+
+let test_harness_reproducible_across_domains () =
+  let render config = Harness.render (Harness.run config) in
+  let sequential = render { small_config with Harness.domains = Some 1 } in
+  let parallel = render { small_config with Harness.domains = Some 4 } in
+  check string_c "domain count does not change the report" sequential parallel;
+  check bool_c "clean sweep" true
+    (let report = Harness.run small_config in
+     report.Harness.failures = [])
+
+let test_replay_matches_sweep () =
+  let case = Harness.case_of_index small_config 3 in
+  let txt, ok = Harness.replay small_config case in
+  let txt', ok' = Harness.replay small_config case in
+  check string_c "replay deterministic" txt txt';
+  check bool_c "replay ok" true (ok && ok')
+
+(* ---------------- planted bug: catch and shrink ---------------- *)
+
+(* Plant a bug — "fails whenever the instance has >= 2 jobs and a job of
+   length >= 4" — and require the shrinker to minimize any raw
+   counterexample down to <= 4 jobs with the failure still reproducing. *)
+let test_planted_bug_shrinks_small () =
+  let planted inst =
+    Instance.n inst >= 2 && Array.exists (fun t -> t >= 4) inst.Instance.job_time
+  in
+  let rec witness index =
+    if index > 50 then Alcotest.fail "no planted-bug witness in 50 cases"
+    else
+      let inst = Case.instance (Case.make ~master:0 ~family:"uniform" ~index) in
+      if planted inst then inst else witness (index + 1)
+  in
+  let raw = witness 0 in
+  let shrunk, steps = Shrink.minimize ~keep:planted raw in
+  check bool_c "still failing after shrink" true (planted shrunk);
+  check bool_c "shrunk to <= 4 jobs" true (Instance.n shrunk <= 4);
+  check bool_c "shrinking made progress" true (steps > 0 && measure shrunk < measure raw);
+  (* local minimum: no candidate keeps the failure alive *)
+  check bool_c "local minimum" true
+    (List.for_all (fun c -> not (planted c)) (Shrink.candidates shrunk))
+
+let test_minimize_rejects_passing_instance () =
+  let inst = Case.instance (Case.make ~master:0 ~family:"uniform" ~index:0) in
+  check bool_c "requires failing start" true
+    (try ignore (Shrink.minimize ~keep:(fun _ -> false) inst); false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "oracle"
+    [
+      qsuite_seeded "properties" oracle_props;
+      qsuite_seeded "metamorphic" metamorphic_props;
+      qsuite_seeded "generator" [ prop_generator_roundtrip; prop_shrink_candidates ];
+      ( "case",
+        [
+          Alcotest.test_case "seed deterministic" `Quick test_case_seed_deterministic;
+          Alcotest.test_case "instance bit-reproducible" `Quick test_case_instance_bit_reproducible;
+          Alcotest.test_case "id roundtrip" `Quick test_case_id_roundtrip;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "reproducible across domains" `Quick test_harness_reproducible_across_domains;
+          Alcotest.test_case "replay deterministic" `Quick test_replay_matches_sweep;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "planted bug shrinks to <= 4 jobs" `Quick test_planted_bug_shrinks_small;
+          Alcotest.test_case "minimize rejects passing start" `Quick test_minimize_rejects_passing_instance;
+        ] );
+    ]

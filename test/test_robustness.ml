@@ -125,6 +125,63 @@ let prop_checker_catches_mutations =
           same || not (Checker.is_feasible Variant.Nonpreemptive inst m)
       end)
 
+(* Rebuild a schedule onto a machine array widened by [extra]. *)
+let widen sched ~extra =
+  let out = Schedule.create (Schedule.machines sched + extra) in
+  List.iter
+    (fun (u, (seg : Schedule.seg)) ->
+      match seg.Schedule.content with
+      | Schedule.Setup cls -> Schedule.add_setup out ~machine:u ~cls ~start:seg.start ~dur:seg.dur
+      | Schedule.Work job -> Schedule.add_work out ~machine:u ~job ~start:seg.start ~dur:seg.dur)
+    (Schedule.all_segments sched);
+  out
+
+let has_violation pred variant ?makespan_bound inst sched =
+  match Checker.check ?makespan_bound variant inst sched with
+  | Ok () -> false
+  | Error vs -> List.exists pred vs
+
+let test_checker_makespan_exceeded () =
+  let inst = Instance.make ~m:2 ~setups:[| 4; 2 |] ~jobs:[| (0, 6); (0, 3); (1, 5) |] in
+  let sched = Two_approx.nonpreemptive inst in
+  let mk = Schedule.makespan sched in
+  (* the exact makespan as bound passes; anything strictly below flags
+     Makespan_exceeded with the offending machine *)
+  check bool_c "tight bound ok" true
+    (Checker.is_feasible ~makespan_bound:mk Variant.Nonpreemptive inst sched);
+  check bool_c "violated bound flagged" true
+    (has_violation
+       (function Checker.Makespan_exceeded _ -> true | _ -> false)
+       Variant.Nonpreemptive
+       ~makespan_bound:(Rat.sub mk (Rat.of_ints 1 2))
+       inst sched);
+  (* the bound is orthogonal: no other violation appears *)
+  (match Checker.check ~makespan_bound:(Rat.sub mk Rat.one) Variant.Nonpreemptive inst sched with
+  | Ok () -> Alcotest.fail "expected a violation"
+  | Error vs ->
+    check bool_c "only makespan violations" true
+      (List.for_all (function Checker.Makespan_exceeded _ -> true | _ -> false) vs))
+
+let test_checker_bad_machine_index () =
+  let inst = Instance.make ~m:2 ~setups:[| 3 |] ~jobs:[| (0, 5); (0, 2) |] in
+  let sched = Two_approx.nonpreemptive inst in
+  (* an over-provisioned but empty tail is tolerated *)
+  check bool_c "empty tail ok" true
+    (Checker.is_feasible Variant.Nonpreemptive inst (widen sched ~extra:2));
+  (* load on a machine the instance does not have is flagged with its index *)
+  let stray = widen sched ~extra:2 in
+  Schedule.add_setup stray ~machine:(inst.Instance.m + 1) ~cls:0 ~start:Rat.zero
+    ~dur:(Rat.of_int 3);
+  List.iter
+    (fun v ->
+      check bool_c "stray machine flagged" true
+        (has_violation
+           (function
+             | Checker.Bad_machine_index { machine } -> machine = inst.Instance.m + 1
+             | _ -> false)
+           v inst stray))
+    Variant.all
+
 (* ---------------- huge values: exactness under ~10^12 inputs ---------------- *)
 
 let huge_instance rng =
@@ -217,6 +274,11 @@ let () =
   Alcotest.run "robustness"
     [
       Helpers.qsuite "injection" [ prop_checker_catches_mutations ];
+      ( "injection-targeted",
+        [
+          Alcotest.test_case "makespan exceeded" `Quick test_checker_makespan_exceeded;
+          Alcotest.test_case "bad machine index" `Quick test_checker_bad_machine_index;
+        ] );
       Helpers.qsuite "huge-values" [ prop_huge_values_exact ];
       ( "degenerate",
         [
