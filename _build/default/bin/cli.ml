@@ -34,6 +34,18 @@ let variant_conv =
   in
   Arg.conv (parse, fun fmt v -> Format.pp_print_string fmt (Variant.to_string v))
 
+let profile_conv =
+  let parse = function
+    | "table" -> Ok `Table
+    | "json" -> Ok `Json
+    | "csv" -> Ok `Csv
+    | s -> Error (`Msg ("unknown profile format: " ^ s ^ " (use table, json or csv)"))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt f ->
+        Format.pp_print_string fmt (match f with `Table -> "table" | `Json -> "json" | `Csv -> "csv") )
+
 let algorithm_conv =
   let parse = function
     | "2" -> Ok Solver.Approx2
@@ -70,16 +82,73 @@ let solve_cmd =
   let csv_out =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write the schedule as CSV to $(docv).")
   in
-  let run file variant algorithm gantt svg_out csv_out =
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit one machine-readable JSON object instead of text.") in
+  let profile =
+    Arg.(
+      value
+      & opt ~vopt:(Some `Table) (some profile_conv) None
+      & info [ "profile" ] ~docv:"FMT"
+          ~doc:"Record algorithm-interior telemetry and print it as $(docv): table (default), json or csv.")
+  in
+  let run file variant algorithm gantt svg_out csv_out json profile =
     let inst = read_instance file in
-    let r = Solver.solve ~algorithm variant inst in
+    let r, obs_report =
+      match profile with
+      | None -> (Solver.solve ~algorithm variant inst, None)
+      | Some _ ->
+        let r, report = Bss_obs.Probe.with_recording (fun () -> Solver.solve ~algorithm variant inst) in
+        (r, Some report)
+    in
     Checker.check_exn variant inst r.Solver.schedule;
-    Printf.printf "%s / %s\n" (Variant.to_string variant) (Solver.algorithm_name ~algorithm variant);
-    Printf.printf "makespan    %s\n" (Rat.to_string (Schedule.makespan r.Solver.schedule));
-    Printf.printf "certificate %s (makespan <= %s * OPT)\n" (Rat.to_string r.Solver.certificate)
-      (Rat.to_string r.Solver.guarantee);
-    Printf.printf "lower bound %s\n" (Rat.to_string (Lower_bounds.lower_bound variant inst));
-    Printf.printf "dual calls  %d\n" r.Solver.dual_calls;
+    let lb = Lower_bounds.lower_bound variant inst in
+    if json then begin
+      let metrics = Metrics.compute inst r.Solver.schedule in
+      let rat r = Json.str (Rat.to_string r) in
+      let fields =
+        [
+          ("variant", Json.str (Variant.to_string variant));
+          ("algorithm", Json.str (Solver.algorithm_name ~algorithm variant));
+          ("makespan", rat metrics.Metrics.makespan);
+          ("certificate", rat r.Solver.certificate);
+          ("guarantee", rat r.Solver.guarantee);
+          ("lower_bound", rat lb);
+          ("ratio_vs_lower_bound", Json.float (Metrics.ratio_vs lb metrics));
+          ("dual_calls", Json.int r.Solver.dual_calls);
+          ( "metrics",
+            Json.obj
+              [
+                ("total_load", rat metrics.Metrics.total_load);
+                ("total_setup_time", rat metrics.Metrics.total_setup_time);
+                ("setup_count", Json.int metrics.Metrics.setup_count);
+                ("preemption_count", Json.int metrics.Metrics.preemption_count);
+                ("machines_used", Json.int metrics.Metrics.machines_used);
+                ("idle_within_makespan", rat metrics.Metrics.idle_within_makespan);
+              ] );
+        ]
+      in
+      let fields =
+        match obs_report with
+        | None -> fields
+        | Some report -> fields @ [ ("profile", Bss_obs.Render.json report) ]
+      in
+      print_endline (Json.obj fields)
+    end
+    else begin
+      Printf.printf "%s / %s\n" (Variant.to_string variant) (Solver.algorithm_name ~algorithm variant);
+      Printf.printf "makespan    %s\n" (Rat.to_string (Schedule.makespan r.Solver.schedule));
+      Printf.printf "certificate %s (makespan <= %s * OPT)\n" (Rat.to_string r.Solver.certificate)
+        (Rat.to_string r.Solver.guarantee);
+      Printf.printf "lower bound %s\n" (Rat.to_string lb);
+      Printf.printf "dual calls  %d\n" r.Solver.dual_calls;
+      (match (obs_report, profile) with
+      | Some report, Some fmt ->
+        print_string
+          (match fmt with
+          | `Table -> Bss_obs.Render.table report
+          | `Json -> Bss_obs.Render.json report ^ "\n"
+          | `Csv -> Bss_obs.Render.csv report)
+      | _ -> ())
+    end;
     if gantt then print_endline (Render.gantt ~width:76 inst r.Solver.schedule);
     let write path content =
       let oc = open_out path in
@@ -90,7 +159,7 @@ let solve_cmd =
     Option.iter (fun path -> write path (Trace.to_csv inst r.Solver.schedule)) csv_out
   in
   Cmd.v (Cmd.info "solve" ~doc:"Solve an instance file.")
-    Term.(const run $ file $ variant $ algorithm $ gantt $ svg_out $ csv_out)
+    Term.(const run $ file $ variant $ algorithm $ gantt $ svg_out $ csv_out $ json $ profile)
 
 let generate_cmd =
   let family =
@@ -137,7 +206,13 @@ let fuzz_cmd =
   let replay =
     Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"CASE" ~doc:"Re-run one case id (family:index) verbosely instead of sweeping.")
   in
-  let run seed cases family variant replay =
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Sweep on one domain recording telemetry; print per-family counter sums instead of the stats table.")
+  in
+  let run seed cases family variant replay profile =
     if cases < 0 then begin
       prerr_endline "cases must be >= 0";
       exit 1
@@ -170,6 +245,38 @@ let fuzz_cmd =
       let txt, ok = Harness.replay config case in
       print_string txt;
       if not ok then exit 1
+    | None when profile ->
+      (* The telemetry sink is process-global and unsynchronized, so the
+         profiled sweep runs the cases sequentially on this domain. *)
+      let config = { config with Harness.domains = Some 1 } in
+      Printf.printf "fuzz --profile: seed=%d cases=%d families=%s variants=%s\n" seed cases
+        (String.concat "," (List.map (fun s -> s.Generator.name) families))
+        (String.concat "," (List.map Variant.to_string variants));
+      let by_family = Hashtbl.create 8 in
+      let failed = ref 0 in
+      for i = 0 to cases - 1 do
+        let case = Harness.case_of_index config i in
+        let outcomes, report =
+          Bss_obs.Probe.with_recording (fun () -> Harness.run_case config case)
+        in
+        List.iter (function _, Property.Fail _ -> incr failed | _ -> ()) outcomes;
+        let fam = case.Case.family in
+        let prev = Option.value ~default:Bss_obs.Report.empty (Hashtbl.find_opt by_family fam) in
+        Hashtbl.replace by_family fam (Bss_obs.Report.merge prev report)
+      done;
+      let fams = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) by_family []) in
+      let rows =
+        List.concat_map
+          (fun fam ->
+            let report = Hashtbl.find by_family fam in
+            List.map
+              (fun (name, v) -> [ fam; name; string_of_int v ])
+              report.Bss_obs.Report.counters)
+          fams
+      in
+      Table.print ~header:[ "family"; "counter"; "total" ] ~align:[ Table.Left; Table.Left; Table.Right ] rows;
+      Printf.printf "profile: %d cases, %d property failures\n" cases !failed;
+      if !failed > 0 then exit 1
     | None ->
       Printf.printf "fuzz: seed=%d cases=%d families=%s variants=%s\n" seed cases
         (String.concat "," (List.map (fun s -> s.Generator.name) families))
@@ -180,7 +287,7 @@ let fuzz_cmd =
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Sweep the conformance oracle over deterministic random cases.")
-    Term.(const run $ seed $ cases $ family $ variant $ replay)
+    Term.(const run $ seed $ cases $ family $ variant $ replay $ profile)
 
 let () =
   let doc = "near-linear approximation algorithms for scheduling with batch setup times" in

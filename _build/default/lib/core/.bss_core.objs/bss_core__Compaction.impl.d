@@ -1,1 +1,1 @@
-lib/core/compaction.ml: Array Bss_instances Bss_util Instance List Rat Schedule Variant
+lib/core/compaction.ml: Array Bss_instances Bss_obs Bss_util Instance List Rat Schedule Variant

@@ -1,1 +1,1 @@
-lib/core/dual_search.ml: Bss_instances Bss_util Dual Format Rat Schedule
+lib/core/dual_search.ml: Bss_instances Bss_obs Bss_util Dual Format Rat Schedule

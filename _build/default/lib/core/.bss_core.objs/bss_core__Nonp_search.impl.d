@@ -1,1 +1,1 @@
-lib/core/nonp_search.ml: Bss_instances Bss_util Dual Format Lower_bounds Nonp_dual Rat Schedule Variant
+lib/core/nonp_search.ml: Bss_instances Bss_obs Bss_util Dual Format Lower_bounds Nonp_dual Rat Schedule Variant

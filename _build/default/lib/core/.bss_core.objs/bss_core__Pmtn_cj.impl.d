@@ -1,1 +1,1 @@
-lib/core/pmtn_cj.ml: Array Bss_instances Bss_util Dual Format Instance List Lower_bounds Partition Pmtn_dual Pmtn_nice Rat Schedule
+lib/core/pmtn_cj.ml: Array Bss_instances Bss_obs Bss_util Dual Format Instance List Lower_bounds Partition Pmtn_dual Pmtn_nice Rat Schedule

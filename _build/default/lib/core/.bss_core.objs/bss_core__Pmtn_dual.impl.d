@@ -1,1 +1,1 @@
-lib/core/pmtn_dual.ml: Array Bss_instances Bss_knapsack Bss_util Bss_wrap Dual Instance Intmath Knapsack List Lower_bounds Partition Pmtn_nice Rat Schedule Sequence Template Wrap
+lib/core/pmtn_dual.ml: Array Bss_instances Bss_knapsack Bss_obs Bss_util Bss_wrap Dual Instance Intmath Knapsack List Lower_bounds Partition Pmtn_nice Rat Schedule Sequence Template Wrap

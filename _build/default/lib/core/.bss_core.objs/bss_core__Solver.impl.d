@@ -1,1 +1,1 @@
-lib/core/solver.ml: Bss_instances Bss_util Compaction Dual_search Lower_bounds Nonp_dual Nonp_search Pmtn_cj Pmtn_dual Printf Rat Schedule Splittable_cj Splittable_dual Two_approx Variant
+lib/core/solver.ml: Bss_instances Bss_obs Bss_util Compaction Dual_search Lower_bounds Nonp_dual Nonp_search Pmtn_cj Pmtn_dual Printf Rat Schedule Splittable_cj Splittable_dual Two_approx Variant

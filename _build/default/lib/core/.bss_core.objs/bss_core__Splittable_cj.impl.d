@@ -1,1 +1,1 @@
-lib/core/splittable_cj.ml: Array Bss_instances Bss_util Dual Format Instance List Partition Rat Schedule Splittable_dual
+lib/core/splittable_cj.ml: Array Bss_instances Bss_obs Bss_util Dual Format Instance List Partition Rat Schedule Splittable_dual

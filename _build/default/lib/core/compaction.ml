@@ -1,7 +1,10 @@
 open Bss_util
 open Bss_instances
+module Probe = Bss_obs.Probe
+module Event = Bss_obs.Event
 
 let compact variant inst sched =
+  Probe.count "compaction.runs";
   let m = Schedule.machines sched in
   let out = Schedule.create m in
   let machine_front = Array.make m Rat.zero in
@@ -30,4 +33,13 @@ let compact variant inst sched =
         job_front.(j) <- Rat.add start seg.Schedule.dur);
       machine_front.(u) <- Rat.add start seg.Schedule.dur)
     segments;
+  if Probe.enabled () then begin
+    (* gap volume closed = total leftward shift; busy time is invariant,
+       so end-of-machine deltas sum exactly the idle removed *)
+    let closed = ref Rat.zero in
+    for u = 0 to m - 1 do
+      closed := Rat.add !closed (Rat.sub (Schedule.machine_end sched u) (Schedule.machine_end out u))
+    done;
+    Probe.event (Event.Gap_closed { volume = !closed })
+  end;
   out

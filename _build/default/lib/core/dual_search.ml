@@ -1,19 +1,42 @@
 open Bss_util
 open Bss_instances
+module Probe = Bss_obs.Probe
+module Event = Bss_obs.Event
 
 type result = { schedule : Schedule.t; accepted : Rat.t; dual_calls : int }
+
+let observe_outcome tee = function
+  | Dual.Accepted _ ->
+    Probe.count "dual_search.accepted";
+    if Probe.enabled () then Probe.event (Event.Guess_accepted { source = "dual_search"; t = tee })
+  | Dual.Rejected r ->
+    Probe.count "dual_search.rejected";
+    if Probe.enabled () then
+      Probe.event
+        (Event.Guess_rejected
+           { source = "dual_search"; t = tee; reason = Format.asprintf "%a" Dual.pp_rejection r })
+
+let exit_interval lo hi =
+  if Probe.enabled () then Probe.event (Event.Interval_exit { source = "dual_search"; lo; hi })
 
 let search ~dual ~epsilon ~t_min inst =
   if Rat.sign epsilon <= 0 then invalid_arg "Dual_search.search: epsilon must be positive";
   let calls = ref 0 in
   let test tee =
     incr calls;
-    dual inst tee
+    Probe.count "dual_search.guesses";
+    let sp = Probe.enter "dual" in
+    let r = dual inst tee in
+    Probe.leave sp;
+    observe_outcome tee r;
+    r
   in
   (* ε' = 2ε/3 makes the final ratio exactly 3/2 + ε. *)
   let tolerance = Rat.mul t_min (Rat.mul_int (Rat.div_int epsilon 3) 2) in
   match test t_min with
-  | Dual.Accepted s -> { schedule = s; accepted = t_min; dual_calls = !calls }
+  | Dual.Accepted s ->
+    exit_interval t_min t_min;
+    { schedule = s; accepted = t_min; dual_calls = !calls }
   | Dual.Rejected _ -> begin
     let hi = Rat.mul_int t_min 2 in
     match test hi with
@@ -21,7 +44,10 @@ let search ~dual ~epsilon ~t_min inst =
       failwith (Format.asprintf "dual rejected 2*T_min >= OPT: %a" Dual.pp_rejection r)
     | Dual.Accepted s ->
       let rec go lo hi best_sched =
-        if Rat.( <= ) (Rat.sub hi lo) tolerance then { schedule = best_sched; accepted = hi; dual_calls = !calls }
+        if Rat.( <= ) (Rat.sub hi lo) tolerance then begin
+          exit_interval lo hi;
+          { schedule = best_sched; accepted = hi; dual_calls = !calls }
+        end
         else begin
           let mid = Rat.div_int (Rat.add lo hi) 2 in
           match test mid with

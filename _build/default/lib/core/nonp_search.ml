@@ -1,5 +1,7 @@
 open Bss_util
 open Bss_instances
+module Probe = Bss_obs.Probe
+module Event = Bss_obs.Event
 
 type result = { schedule : Schedule.t; accepted : Rat.t; dual_calls : int }
 
@@ -7,7 +9,26 @@ let solve inst =
   let calls = ref 0 in
   let test t =
     incr calls;
-    Nonp_dual.run inst (Rat.of_int t)
+    Probe.count "nonp_search.guesses";
+    let sp = Probe.enter "dual" in
+    let r = Nonp_dual.run inst (Rat.of_int t) in
+    Probe.leave sp;
+    (match r with
+    | Dual.Accepted _ ->
+      Probe.count "nonp_search.accepted";
+      if Probe.enabled () then
+        Probe.event (Event.Guess_accepted { source = "nonp_search"; t = Rat.of_int t })
+    | Dual.Rejected rej ->
+      Probe.count "nonp_search.rejected";
+      if Probe.enabled () then
+        Probe.event
+          (Event.Guess_rejected
+             {
+               source = "nonp_search";
+               t = Rat.of_int t;
+               reason = Format.asprintf "%a" Dual.pp_rejection rej;
+             }));
+    r
   in
   let t_min = Lower_bounds.t_min Variant.Nonpreemptive inst in
   (* lo < OPT without testing: lo = ⌈T_min⌉ − 1 < T_min <= OPT. *)
@@ -27,4 +48,7 @@ let solve inst =
         hi := mid
       | Dual.Rejected _ -> lo := mid
     done;
+    if Probe.enabled () then
+      Probe.event
+        (Event.Interval_exit { source = "nonp_search"; lo = Rat.of_int !lo; hi = Rat.of_int !hi });
     { schedule = !best; accepted = Rat.of_int !hi; dual_calls = !calls }

@@ -1,5 +1,7 @@
 open Bss_util
 open Bss_instances
+module Probe = Bss_obs.Probe
+module Event = Bss_obs.Event
 
 type result = { schedule : Schedule.t; accepted : Rat.t; bound_tests : int }
 
@@ -12,11 +14,23 @@ let solve inst =
   let tests = ref 0 in
   let accept tee =
     incr tests;
+    Probe.count "pmtn_cj.bound_tests";
     Rat.sign tee > 0
     &&
     match Pmtn_dual.test ~mode inst tee with
     | Ok () -> true
     | Error _ -> false
+  in
+  (* Same test, phase-specific counters: region search (Theorem 6 stage 1)
+     vs. the jump families of Lemmas 3/5 vs. the frontier bisection of
+     DESIGN.md §7.5. *)
+  let accept_region t =
+    Probe.count "pmtn_cj.region_steps";
+    accept t
+  in
+  let accept_jump t =
+    Probe.count "pmtn_cj.jump_steps";
+    accept t
   in
   (* ---- stage 1: region search over all partition breakpoints ---- *)
   let candidates =
@@ -38,7 +52,7 @@ let solve inst =
     let lo = ref 0 and hi = ref (Array.length candidates - 1) in
     while !hi - !lo > 1 do
       let mid = (!lo + !hi) / 2 in
-      if accept candidates.(mid) then hi := mid else lo := mid
+      if accept_region candidates.(mid) then hi := mid else lo := mid
     done;
     !hi
   in
@@ -48,13 +62,13 @@ let solve inst =
      [point κ], κ in [kmin, kmax]; keeps lo rejected / hi accepted. *)
   let narrow_by_jumps point kmin kmax =
     if kmin <= kmax then begin
-      if not (accept (point kmin)) then lo := point kmin
-      else if accept (point kmax) then hi := point kmax
+      if not (accept_jump (point kmin)) then lo := point kmin
+      else if accept_jump (point kmax) then hi := point kmax
       else begin
         let a = ref kmin and b = ref kmax in
         while !b - !a > 1 do
           let midk = (!a + !b) / 2 in
-          if accept (point midk) then a := midk else b := midk
+          if accept_jump (point midk) then a := midk else b := midk
         done;
         hi := point !a;
         lo := point !b
@@ -110,22 +124,25 @@ let solve inst =
         collect family_beta (2 * inst.Instance.class_load.(i)) 0)
       plus;
     let jumps = List.sort_uniq Rat.compare !jumps in
+    if Probe.enabled () then Probe.count ~n:(List.length jumps) "pmtn_cj.jump_candidates";
     (match jumps with
     | [] -> ()
     | _ ->
       let arr = Array.of_list jumps in
       let n = Array.length arr in
-      if accept arr.(0) then hi := arr.(0)
-      else if not (accept arr.(n - 1)) then lo := arr.(n - 1)
+      if accept_jump arr.(0) then hi := arr.(0)
+      else if not (accept_jump arr.(n - 1)) then lo := arr.(n - 1)
       else begin
         let a = ref 0 and b = ref (n - 1) in
         while !b - !a > 1 do
           let midk = (!a + !b) / 2 in
-          if accept arr.(midk) then b := midk else a := midk
+          if accept_jump arr.(midk) then b := midk else a := midk
         done;
         lo := arr.(!a);
         hi := arr.(!b)
       end));
+  if Probe.enabled () then
+    Probe.event (Event.Interval_exit { source = "pmtn_cj"; lo = !lo; hi = !hi });
   (* ---- final: resolve the crossover inside the jump-free interval ---- *)
   let t_star =
     let mid = interior () in
@@ -137,6 +154,7 @@ let solve inst =
       let base = Rat.max trivial (Rat.div_int l_low m) in
       let base =
         if case_a && Rat.sign y < 0 then begin
+          Probe.count "pmtn_cj.deviation1";
           (* Y(T) is affine increasing with slope (m − l) + star_count/2 *)
           let slope = Rat.add (Rat.of_int (m - l_large)) (Rat.of_ints star_count 2) in
           if Rat.sign slope <= 0 then !hi
@@ -158,6 +176,7 @@ let solve inst =
       let rounds = ref 0 in
       while !rounds < 40 && not (Rat.equal !rej !acc) do
         incr rounds;
+        Probe.count "pmtn_cj.frontier_rounds";
         let midp = Rat.div_int (Rat.add !rej !acc) 2 in
         if Rat.( <= ) midp !rej || Rat.( >= ) midp !acc then rounds := 40
         else if accept midp then acc := midp
@@ -166,6 +185,8 @@ let solve inst =
       !acc
     end
   in
+  if Probe.enabled () then
+    Probe.event (Event.Note { source = "pmtn_cj"; key = "t_star"; value = Rat.to_string t_star });
   match Pmtn_dual.run ~mode inst t_star with
   | Dual.Accepted schedule -> { schedule; accepted = t_star; bound_tests = !tests }
   | Dual.Rejected r ->

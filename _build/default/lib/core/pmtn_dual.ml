@@ -2,6 +2,8 @@ open Bss_util
 open Bss_instances
 open Bss_wrap
 open Bss_knapsack
+module Probe = Bss_obs.Probe
+module Event = Bss_obs.Event
 
 (* Shared analysis of (instance, T): partitions, free time, obligatory
    loads, and the knapsack decision of case 3.a. *)
@@ -63,12 +65,20 @@ let analyze ?(mode = Pmtn_nice.Alpha_prime) inst tee =
     List.fold_left (fun acc i -> Rat.add acc (class_total i)) Rat.zero p.Partition.chp_star
   in
   let case_a = Rat.( < ) free star_load in
+  Probe.count (if case_a then "pmtn_dual.case_a" else "pmtn_dual.case_b");
   let selected = Array.make (Instance.c inst) false in
   let split = ref None in
   let infeasible_outside = ref false in
   if case_a then begin
     let capacity = Rat.sub free obligatory in
-    if Rat.sign capacity < 0 then infeasible_outside := true
+    if Rat.sign capacity < 0 then begin
+      (* DESIGN.md §7.1: the paper's two tests would accept, but the
+         obligatory outside load cannot fit in F — reject later. *)
+      Probe.count "pmtn_dual.y_guard";
+      if Probe.enabled () then
+        Probe.event (Event.Y_guard_fired { t = tee; deficit = Rat.neg capacity });
+      infeasible_outside := true
+    end
     else begin
       let items =
         Array.of_list

@@ -1,5 +1,7 @@
 open Bss_util
 open Bss_instances
+module Probe = Bss_obs.Probe
+module Event = Bss_obs.Event
 
 type algorithm =
   | Approx2
@@ -17,14 +19,24 @@ let three_half = Rat.of_ints 3 2
    only improves); EXPERIMENTS.md reports the raw constructions
    separately. *)
 let prefer_shorter primary fallback =
-  if Rat.( <= ) (Schedule.makespan fallback) (Schedule.makespan primary) then fallback else primary
+  let mp = Schedule.makespan primary and mf = Schedule.makespan fallback in
+  let won = Rat.( <= ) mf mp in
+  if Probe.enabled () then begin
+    Probe.count (if won then "solver.won_two_approx" else "solver.won_construction");
+    let name = if won then "two-approx" else "construction" in
+    let winner = if won then mf else mp in
+    Probe.event
+      (Event.Candidate_won { name; makespan = winner; margin = Rat.abs (Rat.sub mp mf) })
+  end;
+  if won then fallback else primary
 
 (* compacted best-of: close idle gaps in both candidates, keep the
    shorter *)
 let polish variant inst primary =
-  let primary = Compaction.compact variant inst primary in
-  let fallback = Compaction.compact variant inst (Two_approx.solve variant inst) in
-  prefer_shorter primary fallback
+  Probe.span "polish" (fun () ->
+      let primary = Compaction.compact variant inst primary in
+      let fallback = Compaction.compact variant inst (Two_approx.solve variant inst) in
+      prefer_shorter primary fallback)
 
 let dual_for variant =
   match variant with
@@ -33,46 +45,52 @@ let dual_for variant =
   | Variant.Nonpreemptive -> Nonp_dual.run
 
 let solve ~algorithm variant inst =
-  match algorithm with
-  | Approx2 ->
-    let schedule = Compaction.compact variant inst (Two_approx.solve variant inst) in
-    let t_min = Lower_bounds.t_min variant inst in
-    { schedule; guarantee = Rat.two; certificate = Rat.mul_int t_min 2; dual_calls = 0 }
-  | Approx3_2_eps epsilon ->
-    let t_min = Lower_bounds.t_min variant inst in
-    let r = Dual_search.search ~dual:(dual_for variant) ~epsilon ~t_min inst in
-    {
-      schedule = polish variant inst r.Dual_search.schedule;
-      guarantee = Rat.add three_half epsilon;
-      certificate = Rat.mul three_half r.Dual_search.accepted;
-      dual_calls = r.Dual_search.dual_calls;
-    }
-  | Approx3_2 -> (
-    match variant with
-    | Variant.Splittable ->
-      let r = Splittable_cj.solve inst in
-      {
-        schedule = polish variant inst r.Splittable_cj.schedule;
-        guarantee = three_half;
-        certificate = Rat.mul three_half r.Splittable_cj.accepted;
-        dual_calls = r.Splittable_cj.bound_tests;
-      }
-    | Variant.Preemptive ->
-      let r = Pmtn_cj.solve inst in
-      {
-        schedule = polish variant inst r.Pmtn_cj.schedule;
-        guarantee = three_half;
-        certificate = Rat.mul three_half r.Pmtn_cj.accepted;
-        dual_calls = r.Pmtn_cj.bound_tests;
-      }
-    | Variant.Nonpreemptive ->
-      let r = Nonp_search.solve inst in
-      {
-        schedule = polish variant inst r.Nonp_search.schedule;
-        guarantee = three_half;
-        certificate = Rat.mul three_half r.Nonp_search.accepted;
-        dual_calls = r.Nonp_search.dual_calls;
-      })
+  Probe.span "solve" (fun () ->
+      match algorithm with
+      | Approx2 ->
+        let schedule =
+          Probe.span "two_approx" (fun () ->
+              Compaction.compact variant inst (Two_approx.solve variant inst))
+        in
+        let t_min = Lower_bounds.t_min variant inst in
+        { schedule; guarantee = Rat.two; certificate = Rat.mul_int t_min 2; dual_calls = 0 }
+      | Approx3_2_eps epsilon ->
+        let t_min = Lower_bounds.t_min variant inst in
+        let r =
+          Probe.span "search" (fun () -> Dual_search.search ~dual:(dual_for variant) ~epsilon ~t_min inst)
+        in
+        {
+          schedule = polish variant inst r.Dual_search.schedule;
+          guarantee = Rat.add three_half epsilon;
+          certificate = Rat.mul three_half r.Dual_search.accepted;
+          dual_calls = r.Dual_search.dual_calls;
+        }
+      | Approx3_2 -> (
+        match variant with
+        | Variant.Splittable ->
+          let r = Probe.span "search" (fun () -> Splittable_cj.solve inst) in
+          {
+            schedule = polish variant inst r.Splittable_cj.schedule;
+            guarantee = three_half;
+            certificate = Rat.mul three_half r.Splittable_cj.accepted;
+            dual_calls = r.Splittable_cj.bound_tests;
+          }
+        | Variant.Preemptive ->
+          let r = Probe.span "search" (fun () -> Pmtn_cj.solve inst) in
+          {
+            schedule = polish variant inst r.Pmtn_cj.schedule;
+            guarantee = three_half;
+            certificate = Rat.mul three_half r.Pmtn_cj.accepted;
+            dual_calls = r.Pmtn_cj.bound_tests;
+          }
+        | Variant.Nonpreemptive ->
+          let r = Probe.span "search" (fun () -> Nonp_search.solve inst) in
+          {
+            schedule = polish variant inst r.Nonp_search.schedule;
+            guarantee = three_half;
+            certificate = Rat.mul three_half r.Nonp_search.accepted;
+            dual_calls = r.Nonp_search.dual_calls;
+          }))
 
 let algorithm_name ~algorithm variant =
   match (algorithm, variant) with

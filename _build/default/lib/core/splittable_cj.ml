@@ -1,5 +1,7 @@
 open Bss_util
 open Bss_instances
+module Probe = Bss_obs.Probe
+module Event = Bss_obs.Event
 
 type result = { schedule : Schedule.t; accepted : Rat.t; bound_tests : int }
 
@@ -13,11 +15,23 @@ let find_t_star inst =
      clamp; monotone in [tee]. *)
   let accept tee =
     incr tests;
+    Probe.count "splittable_cj.bound_tests";
     if Rat.( < ) tee smax then false
     else begin
       let l_split, m_exp = Splittable_dual.bounds inst tee in
       Rat.( >= ) (Rat.mul_int tee m) l_split && m_exp <= m
     end
+  in
+  (* [accept] on a region breakpoint vs. on a class-jump point: same test,
+     separate counters, so a profile attributes the O(log c) region phase
+     and the O(log m) jump phases individually (Theorem 3's accounting). *)
+  let accept_region t =
+    Probe.count "splittable_cj.region_steps";
+    accept t
+  in
+  let accept_jump t =
+    Probe.count "splittable_cj.jump_steps";
+    accept t
   in
   (* Step 1-2: region search over partition breakpoints {0, 2 s_i, 2N}. *)
   let candidates =
@@ -32,7 +46,7 @@ let find_t_star inst =
     (* invariant: candidates.(!lo) rejected, candidates.(!hi) accepted *)
     while !hi - !lo > 1 do
       let mid = (!lo + !hi) / 2 in
-      if accept candidates.(mid) then hi := mid else lo := mid
+      if accept_region candidates.(mid) then hi := mid else lo := mid
     done;
     !hi
   in
@@ -69,8 +83,8 @@ let find_t_star inst =
     if kmin <= kmax then begin
       (* jump f κ is decreasing in κ; accept is monotone increasing in T,
          so accept (jump f κ) is monotone decreasing in κ. *)
-      if not (accept (jump f kmin)) then lo := jump f kmin
-      else if accept (jump f kmax) then begin
+      if not (accept_jump (jump f kmin)) then lo := jump f kmin
+      else if accept_jump (jump f kmax) then begin
         hi := jump f kmax;
         (* κ was capped only when the capped jump is rejected, so reaching
            here means kmax was the true range end: no f-jumps below. *)
@@ -81,7 +95,7 @@ let find_t_star inst =
         let a = ref kmin and b = ref kmax in
         while !b - !a > 1 do
           let midk = (!a + !b) / 2 in
-          if accept (jump f midk) then a := midk else b := midk
+          if accept_jump (jump f midk) then a := midk else b := midk
         done;
         lo := jump f !b;
         hi := jump f !a
@@ -101,24 +115,27 @@ let find_t_star inst =
         done)
       expensive_interior;
     let jumps = List.sort_uniq Rat.compare !jumps in
+    if Probe.enabled () then Probe.count ~n:(List.length jumps) "splittable_cj.jump_candidates";
     if jumps <> [] then begin
       let arr = Array.of_list jumps in
       let n = Array.length arr in
       (* binary search first accepted jump; endpoints !lo/!hi keep their
          rejected/accepted roles *)
-      if accept arr.(0) then hi := arr.(0)
-      else if not (accept arr.(n - 1)) then lo := arr.(n - 1)
+      if accept_jump arr.(0) then hi := arr.(0)
+      else if not (accept_jump arr.(n - 1)) then lo := arr.(n - 1)
       else begin
         let a = ref 0 and b = ref (n - 1) in
         (* invariant: arr.(!a) rejected, arr.(!b) accepted *)
         while !b - !a > 1 do
           let midk = (!a + !b) / 2 in
-          if accept arr.(midk) then b := midk else a := midk
+          if accept_jump arr.(midk) then b := midk else a := midk
         done;
         lo := arr.(!a);
         hi := arr.(!b)
       end
     end);
+  if Probe.enabled () then
+    Probe.event (Event.Interval_exit { source = "splittable_cj"; lo = !lo; hi = !hi });
   (* Step 9: inside (!lo, !hi) no quantity jumps, so acceptance is
      T >= max(s_max, L_split/m) — or never, when the machine test binds. *)
   let t_star =
@@ -137,6 +154,8 @@ let find_t_star inst =
       else !hi
     end
   in
+  if Probe.enabled () then
+    Probe.event (Event.Note { source = "splittable_cj"; key = "t_star"; value = Rat.to_string t_star });
   (t_star, !tests)
 
 let solve inst =

@@ -18,16 +18,20 @@ type violation =
           the instance has) *)
   | Overlap of { machine : int; at : Rat.t }
       (** two segments on one machine intersect in time *)
-  | Bad_setup_duration of { machine : int; cls : int; got : Rat.t }
-      (** a setup segment shorter/longer than [s_i] (setups are unpreemptable) *)
-  | Missing_setup of { machine : int; job : int }
-      (** class-[i] work not preceded by a class-[i] setup or class-[i] work *)
-  | Wrong_volume of { job : int; got : Rat.t }
-      (** total processed time differs from [t_j] *)
-  | Self_parallel of { job : int; at : Rat.t }
-      (** (preemptive) two pieces of one job overlap in time *)
-  | Not_contiguous of { job : int }
-      (** (non-preemptive) job is preempted or split across machines *)
+  | Bad_setup_duration of { machine : int; cls : int; at : Rat.t; got : Rat.t }
+      (** a setup segment shorter/longer than [s_i] (setups are
+          unpreemptable); [at] is the segment's start *)
+  | Missing_setup of { machine : int; job : int; at : Rat.t }
+      (** class-[i] work starting at [at] not preceded by a class-[i] setup
+          or class-[i] work *)
+  | Wrong_volume of { job : int; got : Rat.t; expected : Rat.t }
+      (** total processed time differs from [t_j = expected] *)
+  | Self_parallel of { machine : int; job : int; at : Rat.t }
+      (** (preemptive) two pieces of one job overlap in time; [machine]
+          runs the later-starting piece *)
+  | Not_contiguous of { machine : int; job : int; at : Rat.t }
+      (** (non-preemptive) job is preempted or split across machines;
+          [(machine, at)] locate the first piece that breaks contiguity *)
   | Makespan_exceeded of { machine : int; got : Rat.t; bound : Rat.t }
 
 val pp_violation : Format.formatter -> violation -> unit

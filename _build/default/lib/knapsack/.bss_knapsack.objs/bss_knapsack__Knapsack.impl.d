@@ -1,1 +1,1 @@
-lib/knapsack/knapsack.ml: Array Bss_util List Rat Select
+lib/knapsack/knapsack.ml: Array Bss_obs Bss_util List Rat Select

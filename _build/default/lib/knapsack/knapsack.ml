@@ -1,4 +1,6 @@
 open Bss_util
+module Probe = Bss_obs.Probe
+module Event = Bss_obs.Event
 
 type item = { id : int; profit : Rat.t; weight : Rat.t }
 
@@ -58,6 +60,9 @@ let split_zero_weight items =
 
 let solve_sorted items ~capacity =
   validate items;
+  Probe.count "knapsack.sorted_calls";
+  if Probe.enabled () then
+    Probe.event (Event.Knapsack_path { path = "sorted"; items = Array.length items });
   let take = Array.make (Array.length items) Rat.zero in
   let zero, positive = split_zero_weight items in
   List.iter (fun p -> take.(p) <- Rat.one) zero;
@@ -72,6 +77,9 @@ let solve_sorted items ~capacity =
 
 let solve_linear items ~capacity =
   validate items;
+  Probe.count "knapsack.linear_calls";
+  if Probe.enabled () then
+    Probe.event (Event.Knapsack_path { path = "linear"; items = Array.length items });
   let take = Array.make (Array.length items) Rat.zero in
   let zero, positive = split_zero_weight items in
   List.iter (fun p -> take.(p) <- Rat.one) zero;

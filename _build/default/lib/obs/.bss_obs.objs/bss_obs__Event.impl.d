@@ -1,0 +1,1 @@
+lib/obs/event.ml: Bss_util Format Json Printf Rat

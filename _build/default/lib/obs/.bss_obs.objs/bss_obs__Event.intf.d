@@ -1,0 +1,1 @@
+lib/obs/event.mli: Bss_util Format Rat

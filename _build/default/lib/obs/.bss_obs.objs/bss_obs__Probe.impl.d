@@ -1,0 +1,1 @@
+lib/obs/probe.ml: Event Fun Hashtbl Int64 List Monotonic_clock Report

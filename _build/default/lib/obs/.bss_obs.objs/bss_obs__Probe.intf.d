@@ -1,0 +1,1 @@
+lib/obs/probe.mli: Event Report

@@ -1,0 +1,1 @@
+lib/obs/render.ml: Bss_util Buffer Event Format Int64 Json List Printf Report String Table

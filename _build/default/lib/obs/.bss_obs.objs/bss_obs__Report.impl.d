@@ -1,0 +1,1 @@
+lib/obs/report.ml: Event Int64 List

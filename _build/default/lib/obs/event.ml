@@ -1,0 +1,57 @@
+open Bss_util
+
+type t =
+  | Guess_accepted of { source : string; t : Rat.t }
+  | Guess_rejected of { source : string; t : Rat.t; reason : string }
+  | Interval_exit of { source : string; lo : Rat.t; hi : Rat.t }
+  | Knapsack_path of { path : string; items : int }
+  | Y_guard_fired of { t : Rat.t; deficit : Rat.t }
+  | Gap_closed of { volume : Rat.t }
+  | Candidate_won of { name : string; makespan : Rat.t; margin : Rat.t }
+  | Note of { source : string; key : string; value : string }
+
+let tag = function
+  | Guess_accepted _ -> "guess_accepted"
+  | Guess_rejected _ -> "guess_rejected"
+  | Interval_exit _ -> "interval_exit"
+  | Knapsack_path _ -> "knapsack_path"
+  | Y_guard_fired _ -> "y_guard_fired"
+  | Gap_closed _ -> "gap_closed"
+  | Candidate_won _ -> "candidate_won"
+  | Note _ -> "note"
+
+let summary ev =
+  match ev with
+  | Guess_accepted { source; t } -> (tag ev, Rat.to_string t, source)
+  | Guess_rejected { source; t; reason } -> (tag ev, Rat.to_string t, source ^ ": " ^ reason)
+  | Interval_exit { source; lo; hi } ->
+    (tag ev, Printf.sprintf "(%s, %s]" (Rat.to_string lo) (Rat.to_string hi), source)
+  | Knapsack_path { path; items } -> (tag ev, path, Printf.sprintf "%d items" items)
+  | Y_guard_fired { t; deficit } -> (tag ev, Rat.to_string t, "deficit " ^ Rat.to_string deficit)
+  | Gap_closed { volume } -> (tag ev, Rat.to_string volume, "")
+  | Candidate_won { name; makespan; margin } ->
+    (tag ev, name, Printf.sprintf "makespan %s, margin %s" (Rat.to_string makespan) (Rat.to_string margin))
+  | Note { source; key; value } -> (tag ev, value, source ^ ": " ^ key)
+
+let to_json ev =
+  let rat r = Json.str (Rat.to_string r) in
+  let fields =
+    match ev with
+    | Guess_accepted { source; t } -> [ ("source", Json.str source); ("t", rat t) ]
+    | Guess_rejected { source; t; reason } ->
+      [ ("source", Json.str source); ("t", rat t); ("reason", Json.str reason) ]
+    | Interval_exit { source; lo; hi } -> [ ("source", Json.str source); ("lo", rat lo); ("hi", rat hi) ]
+    | Knapsack_path { path; items } -> [ ("path", Json.str path); ("items", Json.int items) ]
+    | Y_guard_fired { t; deficit } -> [ ("t", rat t); ("deficit", rat deficit) ]
+    | Gap_closed { volume } -> [ ("volume", rat volume) ]
+    | Candidate_won { name; makespan; margin } ->
+      [ ("name", Json.str name); ("makespan", rat makespan); ("margin", rat margin) ]
+    | Note { source; key; value } ->
+      [ ("source", Json.str source); ("key", Json.str key); ("value", Json.str value) ]
+  in
+  Json.obj (("event", Json.str (tag ev)) :: fields)
+
+let pp fmt ev =
+  let tag, value, detail = summary ev in
+  if detail = "" then Format.fprintf fmt "%s %s" tag value
+  else Format.fprintf fmt "%s %s (%s)" tag value detail

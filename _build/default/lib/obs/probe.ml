@@ -1,0 +1,113 @@
+(* The disabled path must stay allocation-free: every probe first reads
+   [current] and returns on [None]. Structured constants at call sites
+   (string literals, [~n:5]) are statically allocated by the compiler, so
+   a disabled probe costs one load and one branch. *)
+
+type agg = { mutable calls : int; mutable ns : int64 }
+type frame = { path : string; start : int64 }
+
+type collector = {
+  counters : (string, int ref) Hashtbl.t;
+  spans : (string, agg) Hashtbl.t;
+  mutable events_rev : Event.t list;
+  mutable nevents : int;
+  mutable dropped : int;
+  mutable stack : frame list;  (* innermost first *)
+}
+
+let current : collector option ref = ref None
+let enabled () = !current != None
+
+let count ?(n = 1) name =
+  match !current with
+  | None -> ()
+  | Some c -> (
+    match Hashtbl.find_opt c.counters name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add c.counters name (ref n))
+
+let event ev =
+  match !current with
+  | None -> ()
+  | Some c ->
+    if c.nevents >= Report.event_cap then c.dropped <- c.dropped + 1
+    else begin
+      c.events_rev <- ev :: c.events_rev;
+      c.nevents <- c.nevents + 1
+    end
+
+(* A span token is the frame's depth (1-based); [leave] unwinds to it, so
+   an exception that skips inner [leave]s cannot misattribute time to the
+   wrong path — the skipped frames are closed when the ancestor leaves. *)
+type span = int
+
+let enter name =
+  match !current with
+  | None -> 0
+  | Some c ->
+    let path = match c.stack with [] -> name | parent :: _ -> parent.path ^ "/" ^ name in
+    c.stack <- { path; start = Monotonic_clock.now () } :: c.stack;
+    List.length c.stack
+
+let record c frame now =
+  let elapsed = Int64.max 0L (Int64.sub now frame.start) in
+  match Hashtbl.find_opt c.spans frame.path with
+  | Some a ->
+    a.calls <- a.calls + 1;
+    a.ns <- Int64.add a.ns elapsed
+  | None -> Hashtbl.add c.spans frame.path { calls = 1; ns = elapsed }
+
+let leave tok =
+  match !current with
+  | None -> ()
+  | Some c ->
+    let depth = List.length c.stack in
+    if tok >= 1 && depth >= tok then begin
+      let now = Monotonic_clock.now () in
+      let rec pop st d =
+        match st with
+        | f :: rest when d >= tok ->
+          record c f now;
+          pop rest (d - 1)
+        | st -> st
+      in
+      c.stack <- pop c.stack depth
+    end
+
+let span name f =
+  let tok = enter name in
+  Fun.protect ~finally:(fun () -> leave tok) f
+
+let harvest c =
+  let sorted_bindings to_value tbl =
+    Hashtbl.fold (fun k v acc -> (k, to_value v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  {
+    Report.counters = sorted_bindings (fun r -> !r) c.counters;
+    spans = sorted_bindings (fun (a : agg) -> { Report.calls = a.calls; ns = a.ns }) c.spans;
+    events = List.rev c.events_rev;
+    dropped_events = c.dropped;
+  }
+
+let with_recording f =
+  let c =
+    {
+      counters = Hashtbl.create 32;
+      spans = Hashtbl.create 16;
+      events_rev = [];
+      nevents = 0;
+      dropped = 0;
+      stack = [];
+    }
+  in
+  let prev = !current in
+  current := Some c;
+  let result =
+    try f ()
+    with e ->
+      current := prev;
+      raise e
+  in
+  current := prev;
+  (result, harvest c)

@@ -1,0 +1,54 @@
+(** Probe points: the API instrumented code calls.
+
+    Design choice (see docs/observability.md): a {e scoped global sink}
+    rather than an [?obs] parameter threaded through every algorithm — the
+    algorithms' [.mli]s stay untouched and call sites stay one line. A
+    recording is installed with {!with_recording}; outside such a scope
+    every probe is a no-op.
+
+    Cost contract when disabled: {!count}, {!event}, {!enter} and {!leave}
+    read one root ref and return — no allocation, no branch beyond the
+    [None] check (verified by a Gc-stat test in [test/test_obs.ml]). Guard
+    any payload construction that itself allocates with {!enabled}:
+
+    {[
+      if Probe.enabled () then
+        Probe.event (Event.Guess_rejected { source = "dual_search"; t; reason })
+    ]}
+
+    The sink is process-global and not synchronized: record on one domain
+    at a time (the fuzz driver forces a single domain under [--profile]). *)
+
+(** [enabled ()] is true inside a {!with_recording} scope. *)
+val enabled : unit -> bool
+
+(** [count ?n name] adds [n] (default 1) to counter [name]. Names are
+    dot-separated ["module.metric"]; the full vocabulary is tabled in
+    docs/observability.md. *)
+val count : ?n:int -> string -> unit
+
+(** [event ev] appends [ev] to the event stream (dropped beyond
+    {!Report.event_cap}, counted in [dropped_events]). *)
+val event : Event.t -> unit
+
+(** Span token returned by {!enter}; pass it to {!leave}. *)
+type span
+
+(** [enter name] opens a nested monotonic-clock span; the span's path is
+    its ancestors' names joined with ['/']. Returns a token ({!leave}
+    unwinds to it, so a raise between enter and leave only loses the
+    unwound frames' timings, never corrupts the stack). *)
+val enter : string -> span
+
+val leave : span -> unit
+
+(** [span name f] = [enter]/[f ()]/[leave], exception-safe. Allocates a
+    closure even when disabled — fine at per-run phase granularity, avoid
+    in per-item loops (use {!enter}/{!leave} there). *)
+val span : string -> (unit -> 'a) -> 'a
+
+(** [with_recording f] installs a fresh collector, runs [f], and returns
+    its result with the harvested report. Nests: the innermost recording
+    wins; the outer one resumes afterwards (probes hit one sink at a time,
+    so nested scopes partition, not duplicate, the observations). *)
+val with_recording : (unit -> 'a) -> 'a * Report.t

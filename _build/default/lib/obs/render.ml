@@ -1,0 +1,84 @@
+open Bss_util
+
+let ms ns = Printf.sprintf "%.3f" (Int64.to_float ns /. 1e6)
+
+let table ?(events = false) (r : Report.t) =
+  let buf = Buffer.create 1024 in
+  if r.spans <> [] then begin
+    Buffer.add_string buf
+      (Table.render
+         ~header:[ "span"; "calls"; "total ms" ]
+         ~align:[ Table.Left; Table.Right; Table.Right ]
+         (List.map
+            (fun (path, (s : Report.span_total)) -> [ path; string_of_int s.calls; ms s.ns ])
+            r.spans));
+    Buffer.add_char buf '\n'
+  end;
+  if r.counters <> [] then begin
+    Buffer.add_string buf
+      (Table.render ~header:[ "counter"; "value" ]
+         ~align:[ Table.Left; Table.Right ]
+         (List.map (fun (name, v) -> [ name; string_of_int v ]) r.counters));
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.add_string buf
+    (Printf.sprintf "events: %d recorded%s\n" (List.length r.events)
+       (if r.dropped_events > 0 then Printf.sprintf " (+%d dropped)" r.dropped_events else ""));
+  if events then
+    List.iter (fun ev -> Buffer.add_string buf (Format.asprintf "  %a\n" Event.pp ev)) r.events;
+  Buffer.contents buf
+
+let json (r : Report.t) =
+  Json.obj
+    [
+      ("counters", Json.obj (List.map (fun (name, v) -> (name, Json.int v)) r.counters));
+      ( "spans",
+        Json.obj
+          (List.map
+             (fun (path, (s : Report.span_total)) ->
+               (path, Json.obj [ ("calls", Json.int s.calls); ("ns", Json.int64 s.ns) ]))
+             r.spans) );
+      ("events", Json.arr (List.map Event.to_json r.events));
+      ("dropped_events", Json.int r.dropped_events);
+    ]
+
+let jsonl (r : Report.t) =
+  let buf = Buffer.create 1024 in
+  let line s =
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun (name, v) -> line (Json.obj [ ("counter", Json.str name); ("value", Json.int v) ]))
+    r.counters;
+  List.iter
+    (fun (path, (s : Report.span_total)) ->
+      line (Json.obj [ ("span", Json.str path); ("calls", Json.int s.calls); ("ns", Json.int64 s.ns) ]))
+    r.spans;
+  List.iter (fun ev -> line (Event.to_json ev)) r.events;
+  if r.dropped_events > 0 then line (Json.obj [ ("dropped_events", Json.int r.dropped_events) ]);
+  Buffer.contents buf
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv (r : Report.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "kind,name,value,detail\n";
+  let row kind name value detail =
+    Buffer.add_string buf
+      (Printf.sprintf "%s,%s,%s,%s\n" kind (csv_cell name) (csv_cell value) (csv_cell detail))
+  in
+  List.iter (fun (name, v) -> row "counter" name (string_of_int v) "") r.counters;
+  List.iter
+    (fun (path, (s : Report.span_total)) ->
+      row "span" path (string_of_int s.calls) (Int64.to_string s.ns))
+    r.spans;
+  List.iter
+    (fun ev ->
+      let tag, value, detail = Event.summary ev in
+      row "event" tag value detail)
+    r.events;
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Report sinks: ASCII table (via {!Bss_util.Table}), JSON, CSV.
+
+    Counters and span structure are deterministic for a fixed instance and
+    algorithm; span durations are wall-clock and are not. Tests pin
+    counter rows and treat timings as opaque. *)
+
+(** Monospace tables: spans (path, calls, total ms), counters
+    (name, value), then a one-line event count. [?events] (default false)
+    additionally lists every recorded event. *)
+val table : ?events:bool -> Report.t -> string
+
+(** One JSON object: [{"counters":{...},"spans":{...},"events":[...],
+    "dropped_events":n}]. Span times in integer nanoseconds. *)
+val json : Report.t -> string
+
+(** JSON-lines: one object per counter, span and event. *)
+val jsonl : Report.t -> string
+
+(** CSV with header [kind,name,value,detail]: counters
+    ([counter,<name>,<value>,]), spans ([span,<path>,<calls>,<ns>]) and
+    events ([event,<tag>,<value>,<detail>]). *)
+val csv : Report.t -> string

@@ -1,0 +1,40 @@
+type span_total = { calls : int; ns : int64 }
+
+type t = {
+  counters : (string * int) list;
+  spans : (string * span_total) list;
+  events : Event.t list;
+  dropped_events : int;
+}
+
+let empty = { counters = []; spans = []; events = []; dropped_events = 0 }
+let event_cap = 10_000
+
+let counter t name = match List.assoc_opt name t.counters with Some v -> v | None -> 0
+
+(* merge two name-sorted association lists with [add] on collisions *)
+let rec merge_sorted add a b =
+  match (a, b) with
+  | [], rest | rest, [] -> rest
+  | (ka, va) :: ta, (kb, vb) :: tb ->
+    let c = compare ka kb in
+    if c < 0 then (ka, va) :: merge_sorted add ta b
+    else if c > 0 then (kb, vb) :: merge_sorted add a tb
+    else (ka, add va vb) :: merge_sorted add ta tb
+
+let merge a b =
+  let events, dropped =
+    let na = List.length a.events in
+    let room = event_cap - na in
+    if room >= List.length b.events then (a.events @ b.events, 0)
+    else (a.events @ List.filteri (fun i _ -> i < room) b.events, List.length b.events - max 0 room)
+  in
+  {
+    counters = merge_sorted ( + ) a.counters b.counters;
+    spans =
+      merge_sorted
+        (fun x y -> { calls = x.calls + y.calls; ns = Int64.add x.ns y.ns })
+        a.spans b.spans;
+    events;
+    dropped_events = a.dropped_events + b.dropped_events + dropped;
+  }

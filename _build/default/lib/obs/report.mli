@@ -1,0 +1,30 @@
+(** The immutable outcome of one recorded run (or a merge of several).
+
+    Produced by {!Probe.with_recording}; rendered by {!Render}. All three
+    collections are sorted by name so equal runs render identically. *)
+
+type span_total = {
+  calls : int;  (** completed enter/leave pairs on this path *)
+  ns : int64;  (** inclusive monotonic-clock nanoseconds *)
+}
+
+type t = {
+  counters : (string * int) list;  (** sorted by counter name *)
+  spans : (string * span_total) list;  (** sorted by span path, e.g. ["solve/search/dual"] *)
+  events : Event.t list;  (** chronological *)
+  dropped_events : int;  (** events beyond the per-run cap, counted not stored *)
+}
+
+val empty : t
+
+(** [counter t name] is the counter's value, [0] when absent. *)
+val counter : t -> string -> int
+
+(** [merge a b] sums counters and spans pointwise and concatenates events
+    (capped; overflow adds to [dropped_events]). Used by aggregate sinks
+    such as [bss fuzz --profile]. *)
+val merge : t -> t -> t
+
+(** Maximum events a report stores; {!merge} and the collector both
+    enforce it. *)
+val event_cap : int

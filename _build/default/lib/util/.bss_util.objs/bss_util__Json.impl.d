@@ -1,0 +1,1 @@
+lib/util/json.ml: Buffer Char Float Int64 List Printf String

@@ -1,0 +1,23 @@
+(** Minimal JSON writer (no parser, no dependency).
+
+    Combinators return already-serialized fragments; [obj]/[arr] compose
+    them. Enough for the CLI's [--json] output and the telemetry sinks —
+    exact rationals are emitted as strings to avoid float loss. *)
+
+(** [escape s] is [s] with JSON string escapes applied (no quotes added). *)
+val escape : string -> string
+
+(** [str s] is the quoted, escaped string literal. *)
+val str : string -> string
+
+val int : int -> string
+val int64 : int64 -> string
+val bool : bool -> string
+
+(** [float f] uses ["%.6g"]; non-finite values become [null]. *)
+val float : float -> string
+
+(** [obj fields] where each value is an already-serialized fragment. *)
+val obj : (string * string) list -> string
+
+val arr : string list -> string

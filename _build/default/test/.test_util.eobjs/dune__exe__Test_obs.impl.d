@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Bss_core Bss_instances Bss_obs Bss_util Bss_workloads Event Gc Int64 List Prng Probe Rat Render Report Solver String Variant

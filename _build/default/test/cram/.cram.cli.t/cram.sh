@@ -9,3 +9,9 @@
   $ head -c 4 out.svg
   $ head -1 out.csv
   $ tail -1 out.svg
+  $ bss solve inst.txt -v split -a 3/2 --json
+  $ bss generate -f expensive -m 16 -n 48 -s 1 > exp.txt
+  $ bss solve exp.txt -v split -a 3/2 --profile=table | grep -E 'bound_tests|jump_steps|region_steps'
+  $ bss solve exp.txt -v pmtn -a 3/2 --profile=csv | grep '^counter,pmtn'
+  $ bss solve exp.txt -v nonp -a 3/2+1/8 --profile=table | grep dual_search
+  $ bss solve exp.txt -v split -a 3/2 --json --profile | python3 -c "import json,sys; d=json.load(sys.stdin); print(sorted(d['profile']['counters'].items()))"

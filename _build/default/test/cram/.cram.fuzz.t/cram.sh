@@ -3,3 +3,4 @@
   $ bss fuzz --seed 42 --replay tiny:7
   $ bss fuzz --seed 42 --replay bogus:xx
   $ bss fuzz --family nope --cases 5
+  $ bss fuzz --seed 42 --cases 6 --family tiny --variant split --profile

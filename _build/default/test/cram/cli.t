@@ -43,3 +43,42 @@ SVG and CSV exports:
   machine,start,duration,kind,id,class
   $ tail -1 out.svg
   </svg>
+
+Machine-readable solve output (exact rationals as strings, pinnable):
+
+  $ bss solve inst.txt -v split -a 3/2 --json
+  {"variant":"splittable","algorithm":"3/2 class-jumping (Thm 3)","makespan":"931/4","certificate":"2433/8","guarantee":"3/2","lower_bound":"811/4","ratio_vs_lower_bound":1.14797,"dual_calls":2,"metrics":{"total_load":"875","total_setup_time":"111","setup_count":5,"preemption_count":3,"machines_used":4,"idle_within_makespan":"56"}}
+
+Telemetry profiles: counter values are deterministic per instance and
+algorithm (timings are not, so tests only pin counter rows). The class
+jumping searches show nonzero guess/jump work:
+
+  $ bss generate -f expensive -m 16 -n 48 -s 1 > exp.txt
+
+  $ bss solve exp.txt -v split -a 3/2 --profile=table | grep -E 'bound_tests|jump_steps|region_steps'
+  | splittable_cj.bound_tests     |     7 |
+  | splittable_cj.jump_steps      |     4 |
+  | splittable_cj.region_steps    |     3 |
+
+  $ bss solve exp.txt -v pmtn -a 3/2 --profile=csv | grep '^counter,pmtn'
+  counter,pmtn_cj.bound_tests,51,
+  counter,pmtn_cj.deviation1,1,
+  counter,pmtn_cj.frontier_rounds,40,
+  counter,pmtn_cj.jump_candidates,4,
+  counter,pmtn_cj.jump_steps,5,
+  counter,pmtn_cj.region_steps,6,
+  counter,pmtn_dual.case_a,43,
+  counter,pmtn_dual.case_b,10,
+  counter,pmtn_dual.y_guard,43,
+
+The binary search of Theorem 2 counts its guesses:
+
+  $ bss solve exp.txt -v nonp -a 3/2+1/8 --profile=table | grep dual_search
+  | dual_search.accepted    |     3 |
+  | dual_search.guesses     |     6 |
+  | dual_search.rejected    |     3 |
+
+With --json the profile embeds as one more field:
+
+  $ bss solve exp.txt -v split -a 3/2 --json --profile | python3 -c "import json,sys; d=json.load(sys.stdin); print(sorted(d['profile']['counters'].items()))"
+  [('compaction.runs', 2), ('solver.won_construction', 1), ('splittable_cj.bound_tests', 7), ('splittable_cj.jump_candidates', 3), ('splittable_cj.jump_steps', 4), ('splittable_cj.region_steps', 3)]

@@ -66,3 +66,22 @@ Bad inputs fail cleanly:
   $ bss fuzz --family nope --cases 5
   unknown family; available: uniform, small-batches, single-job, expensive, zipf, anti-list, anti-wrap, tiny
   [1]
+
+Profiled sweeps run on one domain and sum counters per family — still
+deterministic for a fixed seed:
+
+  $ bss fuzz --seed 42 --cases 6 --family tiny --variant split --profile
+  fuzz --profile: seed=42 cases=6 families=tiny variants=splittable
+  +--------+-------------------------------+-------+
+  | family | counter                       | total |
+  +--------+-------------------------------+-------+
+  | tiny   | compaction.runs               |   125 |
+  | tiny   | dual_search.accepted          |    25 |
+  | tiny   | dual_search.guesses           |    25 |
+  | tiny   | solver.won_two_approx         |    50 |
+  | tiny   | splittable_cj.bound_tests     |    53 |
+  | tiny   | splittable_cj.jump_candidates |     0 |
+  | tiny   | splittable_cj.jump_steps      |     8 |
+  | tiny   | splittable_cj.region_steps    |    45 |
+  +--------+-------------------------------+-------+
+  profile: 6 cases, 0 property failures

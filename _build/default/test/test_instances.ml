@@ -203,7 +203,7 @@ let test_checker_preemption_rules () =
   check bool_c "pmtn ok" true (Checker.is_feasible Variant.Preemptive inst s);
   let vs = violations Variant.Nonpreemptive inst s in
   check bool_c "nonp flags" true
-    (List.exists (function Checker.Not_contiguous { job = 1 } -> true | _ -> false) vs)
+    (List.exists (function Checker.Not_contiguous { job = 1; _ } -> true | _ -> false) vs)
 
 let test_checker_makespan_bound () =
   let inst = fixture () in
@@ -217,6 +217,40 @@ let test_checker_makespan_bound () =
   in
   check bool_c "exceeds 11" true
     (List.exists (function Checker.Makespan_exceeded _ -> true | _ -> false) vs)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* every violation message locates itself: machine index + exact time *)
+let test_checker_message_coordinates () =
+  let inst = fixture () in
+  let s = Schedule.create inst.Instance.m in
+  (* setup-less work at a non-integral time on machine 1 *)
+  Schedule.add_work s ~machine:1 ~job:0 ~start:(Rat.of_ints 7 2) ~dur:(Rat.of_int 5);
+  let vs = violations Variant.Splittable inst s in
+  let msg = String.concat "; " (List.map Checker.violation_to_string vs) in
+  check bool_c "missing-setup names machine" true (contains msg "machine 1");
+  check bool_c "missing-setup names time" true (contains msg "t=7/2");
+  (* non-contiguous job: message points at the piece breaking contiguity *)
+  let s = Schedule.create inst.Instance.m in
+  let r = Rat.of_int in
+  Schedule.add_setup s ~machine:0 ~cls:1 ~start:(r 0) ~dur:(r 2);
+  Schedule.add_work s ~machine:0 ~job:1 ~start:(r 2) ~dur:(r 3);
+  Schedule.add_setup s ~machine:2 ~cls:1 ~start:(r 0) ~dur:(r 2);
+  Schedule.add_work s ~machine:2 ~job:1 ~start:(r 9) ~dur:(r 4);
+  let vs = violations Variant.Nonpreemptive inst s in
+  let nc =
+    List.find_map
+      (function Checker.Not_contiguous _ as v -> Some (Checker.violation_to_string v) | _ -> None)
+      vs
+  in
+  match nc with
+  | None -> Alcotest.fail "expected Not_contiguous"
+  | Some msg ->
+    check bool_c "not-contiguous names machine" true (contains msg "machine 2");
+    check bool_c "not-contiguous names time" true (contains msg "t=9")
 
 (* ---------------- Partition ---------------- *)
 
@@ -375,6 +409,45 @@ let test_trace_completions () =
   (* flow time = sum of completions *)
   check rat_c "flow" (Rat.of_int (9 + 9 + 12 + 3 + 4)) (Trace.total_flow_time inst s)
 
+(* at equal time: all ends precede all starts, then machine order *)
+let test_trace_tie_breaking () =
+  let inst = fixture () in
+  let s = feasible_schedule inst in
+  let evs = Trace.events inst s in
+  let at_4 = List.filter (fun e -> Rat.equal e.Trace.time (Rat.of_int 4)) evs in
+  let shape =
+    List.map
+      (fun e ->
+        match e.Trace.kind with
+        | Trace.Setup_end c -> ("setup_end", c, e.Trace.machine)
+        | Trace.Job_end j -> ("job_end", j, e.Trace.machine)
+        | Trace.Setup_start c -> ("setup_start", c, e.Trace.machine)
+        | Trace.Job_start j -> ("job_start", j, e.Trace.machine))
+      at_4
+  in
+  (* machine 0's setup ends and machine 2's job 4 ends before machine 0's
+     job 0 starts; the two ends order by machine *)
+  Alcotest.(check (list (triple string int int)))
+    "t=4 order"
+    [ ("setup_end", 0, 0); ("job_end", 4, 2); ("job_start", 0, 0) ]
+    shape
+
+(* flow time on a preemptive schedule: a job's completion is the end of
+   its last piece, counted once *)
+let test_trace_flow_preemptive () =
+  let inst = fixture () in
+  let s = Schedule.create inst.Instance.m in
+  let r = Rat.of_int in
+  Schedule.add_setup s ~machine:0 ~cls:1 ~start:(r 0) ~dur:(r 2);
+  Schedule.add_work s ~machine:0 ~job:1 ~start:(r 2) ~dur:(r 3);
+  Schedule.add_work s ~machine:0 ~job:3 ~start:(r 5) ~dur:(r 1);
+  Schedule.add_work s ~machine:0 ~job:1 ~start:(r 6) ~dur:(r 4);
+  let done_at = Trace.completion_times inst s in
+  check rat_c "job 1 completes at its last piece" (r 10) done_at.(1);
+  check rat_c "job 3" (r 6) done_at.(3);
+  (* unscheduled jobs contribute zero, preempted job counts once *)
+  check rat_c "flow" (r 16) (Trace.total_flow_time inst s)
+
 let test_trace_csv () =
   let inst = fixture () in
   let s = feasible_schedule inst in
@@ -468,6 +541,7 @@ let () =
           Alcotest.test_case "self parallel" `Quick test_checker_self_parallel;
           Alcotest.test_case "preemption rules" `Quick test_checker_preemption_rules;
           Alcotest.test_case "makespan bound" `Quick test_checker_makespan_bound;
+          Alcotest.test_case "message coordinates" `Quick test_checker_message_coordinates;
         ] );
       ( "partition",
         [
@@ -482,7 +556,9 @@ let () =
       ( "trace",
         [
           Alcotest.test_case "events ordered" `Quick test_trace_events_ordered;
+          Alcotest.test_case "tie breaking" `Quick test_trace_tie_breaking;
           Alcotest.test_case "completions" `Quick test_trace_completions;
+          Alcotest.test_case "flow preemptive" `Quick test_trace_flow_preemptive;
           Alcotest.test_case "csv" `Quick test_trace_csv;
         ] );
       ( "render-metrics",

@@ -1,0 +1,213 @@
+(* Tests for the telemetry layer: the disabled path must be free (no
+   counters, no observable allocation), the enabled path must see the
+   paper-level counters the searches advertise. *)
+
+open Bss_util
+open Bss_instances
+open Bss_core
+open Bss_obs
+
+let check = Alcotest.check
+let int_c = Alcotest.int
+let bool_c = Alcotest.bool
+
+(* ---------------- disabled path ---------------- *)
+
+(* Outside a recording, probes must not allocate: count/enter/leave take
+   the [None] fast path and span tokens are unboxed ints. Event payload
+   construction is the caller's responsibility (guard with [enabled]), so
+   the event here is built once, before measuring. *)
+let test_disabled_no_alloc () =
+  assert (not (Probe.enabled ()));
+  let static_event = Event.Note { source = "test"; key = "k"; value = "v" } in
+  (* warm-up triggers any lazy initialization *)
+  for _ = 1 to 128 do
+    Probe.count "warmup";
+    Probe.leave (Probe.enter "warmup")
+  done;
+  Gc.minor ();
+  let before = Gc.minor_words () in
+  for _ = 1 to 100_000 do
+    Probe.count "noop.counter";
+    Probe.count ~n:5 "noop.counter5";
+    Probe.event static_event;
+    let tok = Probe.enter "noop.span" in
+    Probe.leave tok
+  done;
+  let delta = Gc.minor_words () -. before in
+  check (Alcotest.float 0.0) "minor words allocated while disabled" 0.0 delta
+
+(* Probes fired outside any recording leave no trace in a later one. *)
+let test_disabled_adds_nothing () =
+  Probe.count "leaked.counter";
+  Probe.event (Event.Note { source = "leak"; key = "k"; value = "v" });
+  Probe.leave (Probe.enter "leaked.span");
+  let (), report = Probe.with_recording (fun () -> ()) in
+  check int_c "no counters" 0 (List.length report.Report.counters);
+  check int_c "no spans" 0 (List.length report.Report.spans);
+  check int_c "no events" 0 (List.length report.Report.events);
+  check int_c "no drops" 0 report.Report.dropped_events
+
+(* ---------------- enabled path ---------------- *)
+
+let test_recording_basics () =
+  let x, report =
+    Probe.with_recording (fun () ->
+        Probe.count "a";
+        Probe.count ~n:4 "a";
+        Probe.count "b";
+        Probe.event (Event.Note { source = "t"; key = "k"; value = "v" });
+        Probe.span "outer" (fun () -> Probe.span "inner" (fun () -> 42)))
+  in
+  check int_c "result" 42 x;
+  check int_c "a" 5 (Report.counter report "a");
+  check int_c "b" 1 (Report.counter report "b");
+  check int_c "absent" 0 (Report.counter report "zzz");
+  check int_c "events" 1 (List.length report.Report.events);
+  let span_paths = List.map fst report.Report.spans in
+  check bool_c "outer span" true (List.mem "outer" span_paths);
+  check bool_c "nested path" true (List.mem "outer/inner" span_paths);
+  List.iter
+    (fun (_, { Report.calls; ns }) ->
+      check int_c "calls" 1 calls;
+      check bool_c "time >= 0" true (Int64.compare ns 0L >= 0))
+    report.Report.spans
+
+(* a raise between enter and leave only loses the skipped frames *)
+let test_span_unwind_on_raise () =
+  let (), report =
+    Probe.with_recording (fun () ->
+        try Probe.span "guarded" (fun () -> failwith "boom") with Failure _ -> ())
+  in
+  match report.Report.spans with
+  | [ ("guarded", { Report.calls = 1; _ }) ] -> ()
+  | spans -> Alcotest.failf "unexpected spans: %s" (String.concat "," (List.map fst spans))
+
+let test_merge () =
+  let (), r1 =
+    Probe.with_recording (fun () ->
+        Probe.count ~n:3 "x";
+        Probe.leave (Probe.enter "s"))
+  in
+  let (), r2 =
+    Probe.with_recording (fun () ->
+        Probe.count ~n:4 "x";
+        Probe.count "y";
+        Probe.leave (Probe.enter "s"))
+  in
+  let m = Report.merge r1 r2 in
+  check int_c "x summed" 7 (Report.counter m "x");
+  check int_c "y" 1 (Report.counter m "y");
+  match List.assoc_opt "s" m.Report.spans with
+  | Some { Report.calls = 2; _ } -> ()
+  | _ -> Alcotest.fail "span calls not summed"
+
+(* ---------------- counters the algorithms advertise ---------------- *)
+
+(* Deterministic instance on which both class-jumping searches take jump
+   steps (the [expensive] family stresses Lemma 3 / Lemma 5 paths; the
+   cram test pins the same instance's exact counter values). *)
+let jumpy_instance () =
+  let spec = Bss_workloads.Generator.by_name "expensive" in
+  spec.Bss_workloads.Generator.generate (Prng.create 1) ~m:16 ~n:48
+
+let profile algorithm variant inst =
+  let _, report = Probe.with_recording (fun () -> Solver.solve ~algorithm variant inst) in
+  report
+
+let test_solver_counters () =
+  let inst = jumpy_instance () in
+  let r = profile Solver.Approx3_2 Variant.Splittable inst in
+  check bool_c "split bound tests" true (Report.counter r "splittable_cj.bound_tests" > 0);
+  check bool_c "split jump steps" true (Report.counter r "splittable_cj.jump_steps" > 0);
+  let r = profile Solver.Approx3_2 Variant.Preemptive inst in
+  check bool_c "pmtn bound tests" true (Report.counter r "pmtn_cj.bound_tests" > 0);
+  check bool_c "pmtn jump steps" true (Report.counter r "pmtn_cj.jump_steps" > 0);
+  let r = profile Solver.Approx3_2 Variant.Nonpreemptive inst in
+  check bool_c "nonp guesses" true (Report.counter r "nonp_search.guesses" > 0);
+  let r = profile (Solver.Approx3_2_eps (Rat.of_ints 1 8)) Variant.Nonpreemptive inst in
+  check bool_c "eps guesses" true (Report.counter r "dual_search.guesses" > 0);
+  check bool_c "eps verdicts partition guesses" true
+    (Report.counter r "dual_search.accepted" + Report.counter r "dual_search.rejected"
+    = Report.counter r "dual_search.guesses")
+
+(* counters are deterministic: two identical runs, identical reports
+   modulo span timings *)
+let test_counters_deterministic () =
+  let inst = jumpy_instance () in
+  let r1 = profile Solver.Approx3_2 Variant.Preemptive inst in
+  let r2 = profile Solver.Approx3_2 Variant.Preemptive inst in
+  check bool_c "counters equal" true (r1.Report.counters = r2.Report.counters);
+  check int_c "event count equal" (List.length r1.Report.events) (List.length r2.Report.events)
+
+(* ---------------- sinks ---------------- *)
+
+let sample_report () =
+  let _, report =
+    Probe.with_recording (fun () ->
+        Probe.count ~n:2 "k";
+        Probe.event (Event.Guess_rejected { source = "t"; t = Rat.of_ints 7 2; reason = "load" });
+        Probe.span "s" (fun () -> ()))
+  in
+  report
+
+let string_contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_render_table () =
+  let t = Render.table ~events:true (sample_report ()) in
+  List.iter
+    (fun needle -> check bool_c ("table has " ^ needle) true (string_contains t needle))
+    [ "counter"; "k"; "2"; "span"; "s"; "guess_rejected" ]
+
+let test_render_json_and_csv () =
+  let r = sample_report () in
+  let j = Render.json r in
+  check bool_c "json counters" true (string_contains j "\"k\":2");
+  check bool_c "json rejected event" true (string_contains j "\"guess_rejected\"");
+  check bool_c "json rational" true (string_contains j "7/2");
+  let lines = String.split_on_char '\n' (Render.jsonl r) |> List.filter (fun l -> l <> "") in
+  check bool_c "jsonl one object per line" true
+    (List.for_all (fun l -> l.[0] = '{' && l.[String.length l - 1] = '}') lines);
+  let csv = Render.csv r in
+  check bool_c "csv header" true (string_contains csv "kind,name,value,detail");
+  check bool_c "csv counter row" true (string_contains csv "counter,k,2,")
+
+let test_event_cap () =
+  let (), report =
+    Probe.with_recording (fun () ->
+        for i = 1 to Report.event_cap + 10 do
+          Probe.event (Event.Note { source = "t"; key = "i"; value = string_of_int i })
+        done)
+  in
+  check int_c "capped" Report.event_cap (List.length report.Report.events);
+  check int_c "drops counted" 10 report.Report.dropped_events
+
+let () =
+  Alcotest.run "bss_obs"
+    [
+      ( "disabled",
+        [
+          Alcotest.test_case "no allocation" `Quick test_disabled_no_alloc;
+          Alcotest.test_case "adds nothing" `Quick test_disabled_adds_nothing;
+        ] );
+      ( "recording",
+        [
+          Alcotest.test_case "basics" `Quick test_recording_basics;
+          Alcotest.test_case "unwind on raise" `Quick test_span_unwind_on_raise;
+          Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "event cap" `Quick test_event_cap;
+        ] );
+      ( "algorithms",
+        [
+          Alcotest.test_case "advertised counters" `Quick test_solver_counters;
+          Alcotest.test_case "deterministic" `Quick test_counters_deterministic;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "table" `Quick test_render_table;
+          Alcotest.test_case "json+csv" `Quick test_render_json_and_csv;
+        ] );
+    ]

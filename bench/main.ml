@@ -116,6 +116,31 @@ let benchmark tests =
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false () in
   Benchmark.all cfg instances tests
 
+(* One instrumented run per algorithm: where inside the solver the time
+   goes (bechamel answers how much in total; the spans answer where). *)
+let span_profile () =
+  let algorithms =
+    [
+      ("3/2-split-cj", Solver.Approx3_2, Variant.Splittable);
+      ("3/2-pmtn-cj", Solver.Approx3_2, Variant.Preemptive);
+      ("3/2-nonp-bs", Solver.Approx3_2, Variant.Nonpreemptive);
+      ("3/2+1/10-nonp", Solver.Approx3_2_eps (Rat.of_ints 1 10), Variant.Nonpreemptive);
+    ]
+  in
+  print_endline "";
+  print_endline "per-phase span totals (one instrumented run each, n=2000 m=16):";
+  List.iter
+    (fun (name, algorithm, variant) ->
+      let _, report =
+        Bss_obs.Probe.with_recording (fun () -> Solver.solve ~algorithm variant mid)
+      in
+      Printf.printf "  %s\n" name;
+      List.iter
+        (fun (path, { Bss_obs.Report.calls; ns }) ->
+          Printf.printf "    %-24s %5d call(s) %10.3f ms\n" path calls (Int64.to_float ns /. 1e6))
+        report.Bss_obs.Report.spans)
+    algorithms
+
 let () =
   let all = Test.make_grouped ~name:"bss" [ table1_tests; scaling_tests; ablation_tests ] in
   let raw = benchmark all in
@@ -133,4 +158,5 @@ let () =
         | Some _ | None -> "        n/a"
       in
       Printf.printf "  %-40s %s\n" name estimate)
-    rows
+    rows;
+  span_profile ()

@@ -3,24 +3,34 @@ open Bss_util
 type violation =
   | Bad_machine_index of { machine : int }
   | Overlap of { machine : int; at : Rat.t }
-  | Bad_setup_duration of { machine : int; cls : int; got : Rat.t }
-  | Missing_setup of { machine : int; job : int }
-  | Wrong_volume of { job : int; got : Rat.t }
-  | Self_parallel of { job : int; at : Rat.t }
-  | Not_contiguous of { job : int }
+  | Bad_setup_duration of { machine : int; cls : int; at : Rat.t; got : Rat.t }
+  | Missing_setup of { machine : int; job : int; at : Rat.t }
+  | Wrong_volume of { job : int; got : Rat.t; expected : Rat.t }
+  | Self_parallel of { machine : int; job : int; at : Rat.t }
+  | Not_contiguous of { machine : int; job : int; at : Rat.t }
   | Makespan_exceeded of { machine : int; got : Rat.t; bound : Rat.t }
 
+(* Every rendering names the machine and the exact (rational) time
+   coordinate where the violation is visible, so a failing fuzz case can
+   be located in a Gantt chart without re-running the checker. *)
 let pp_violation fmt = function
   | Bad_machine_index { machine } -> Format.fprintf fmt "bad machine index %d" machine
-  | Overlap { machine; at } -> Format.fprintf fmt "overlap on machine %d at %a" machine Rat.pp at
-  | Bad_setup_duration { machine; cls; got } ->
-    Format.fprintf fmt "setup of class %d on machine %d has duration %a" cls machine Rat.pp got
-  | Missing_setup { machine; job } -> Format.fprintf fmt "job %d on machine %d lacks a preceding setup" job machine
-  | Wrong_volume { job; got } -> Format.fprintf fmt "job %d processed for %a, not its full time" job Rat.pp got
-  | Self_parallel { job; at } -> Format.fprintf fmt "job %d runs in parallel with itself at %a" job Rat.pp at
-  | Not_contiguous { job } -> Format.fprintf fmt "job %d is not one contiguous block" job
+  | Overlap { machine; at } -> Format.fprintf fmt "overlap on machine %d at t=%a" machine Rat.pp at
+  | Bad_setup_duration { machine; cls; at; got } ->
+    Format.fprintf fmt "setup of class %d on machine %d at t=%a has duration %a" cls machine Rat.pp at
+      Rat.pp got
+  | Missing_setup { machine; job; at } ->
+    Format.fprintf fmt "job %d on machine %d at t=%a lacks a preceding setup" job machine Rat.pp at
+  | Wrong_volume { job; got; expected } ->
+    Format.fprintf fmt "job %d processed for %a, not its full time %a" job Rat.pp got Rat.pp expected
+  | Self_parallel { machine; job; at } ->
+    Format.fprintf fmt "job %d runs in parallel with itself on machine %d at t=%a" job machine Rat.pp
+      at
+  | Not_contiguous { machine; job; at } ->
+    Format.fprintf fmt "job %d is not one contiguous block (breaks on machine %d at t=%a)" job
+      machine Rat.pp at
   | Makespan_exceeded { machine; got; bound } ->
-    Format.fprintf fmt "machine %d ends at %a > bound %a" machine Rat.pp got Rat.pp bound
+    Format.fprintf fmt "machine %d ends at t=%a > bound %a" machine Rat.pp got Rat.pp bound
 
 let violation_to_string v = Format.asprintf "%a" pp_violation v
 
@@ -45,7 +55,7 @@ let check ?makespan_bound variant instance schedule =
         (match seg.content with
         | Schedule.Setup cls ->
           if not (Rat.equal seg.dur (Rat.of_int instance.Instance.setups.(cls))) then
-            report (Bad_setup_duration { machine = u; cls; got = seg.dur })
+            report (Bad_setup_duration { machine = u; cls; at = seg.start; got = seg.dur })
         | Schedule.Work job ->
           let cls = instance.Instance.job_class.(job) in
           let ok =
@@ -54,7 +64,7 @@ let check ?makespan_bound variant instance schedule =
             | Some (Schedule.Work j) -> instance.Instance.job_class.(j) = cls
             | None -> false
           in
-          if not ok then report (Missing_setup { machine = u; job }));
+          if not ok then report (Missing_setup { machine = u; job; at = seg.start }));
         scan (Rat.add seg.start seg.dur) (Some seg.content) rest
     in
     scan Rat.zero None segs;
@@ -69,16 +79,16 @@ let check ?makespan_bound variant instance schedule =
   for j = 0 to n - 1 do
     let pieces = idx.(j) in
     let volume = List.fold_left (fun acc (_, _, d) -> Rat.add acc d) Rat.zero pieces in
-    if not (Rat.equal volume (Rat.of_int instance.Instance.job_time.(j))) then
-      report (Wrong_volume { job = j; got = volume });
+    let expected = Rat.of_int instance.Instance.job_time.(j) in
+    if not (Rat.equal volume expected) then report (Wrong_volume { job = j; got = volume; expected });
     match variant with
     | Variant.Splittable -> ()
     | Variant.Preemptive ->
       let sorted = List.sort (fun (_, a, _) (_, b, _) -> Rat.compare a b) pieces in
       let rec no_parallel prev_end = function
         | [] -> ()
-        | (_, start, dur) :: rest ->
-          if Rat.( < ) start prev_end then report (Self_parallel { job = j; at = start });
+        | (u, start, dur) :: rest ->
+          if Rat.( < ) start prev_end then report (Self_parallel { machine = u; job = j; at = start });
           no_parallel (Rat.max prev_end (Rat.add start dur)) rest
       in
       no_parallel Rat.zero sorted
@@ -86,13 +96,23 @@ let check ?makespan_bound variant instance schedule =
       match List.sort (fun (_, a, _) (_, b, _) -> Rat.compare a b) pieces with
       | [] -> () (* already reported as Wrong_volume *)
       | (u0, s0, d0) :: rest ->
-        let contiguous, _ =
+        (* report the first piece breaking contiguity: a machine change or
+           a start later/earlier than the previous piece's end *)
+        let break, _ =
           List.fold_left
-            (fun (ok, prev_end) (u, s, d) -> (ok && u = u0 && Rat.equal s prev_end, Rat.add s d))
-            (true, Rat.add s0 d0)
+            (fun (break, prev_end) (u, s, d) ->
+              let break =
+                match break with
+                | Some _ -> break
+                | None -> if u = u0 && Rat.equal s prev_end then None else Some (u, s)
+              in
+              (break, Rat.add s d))
+            (None, Rat.add s0 d0)
             rest
         in
-        if not contiguous then report (Not_contiguous { job = j }))
+        match break with
+        | Some (u, at) -> report (Not_contiguous { machine = u; job = j; at })
+        | None -> ())
   done;
   match !violations with
   | [] -> Ok ()

@@ -85,7 +85,9 @@ let check_splittable inst t =
           (match seg.Schedule.content with
           | Schedule.Setup cls ->
             if not (Rat.equal seg.Schedule.dur (Rat.of_int inst.Instance.setups.(cls))) then
-              report (Checker.Bad_setup_duration { machine = idx; cls; got = seg.Schedule.dur })
+              report
+                (Checker.Bad_setup_duration
+                   { machine = idx; cls; at = seg.Schedule.start; got = seg.Schedule.dur })
           | Schedule.Work job ->
             volumes.(job) <-
               Rat.add volumes.(job) (Rat.mul_int seg.Schedule.dur c.multiplicity);
@@ -96,15 +98,16 @@ let check_splittable inst t =
               | Some (Schedule.Work j') -> inst.Instance.job_class.(j') = cls
               | None -> false
             in
-            if not ok then report (Checker.Missing_setup { machine = idx; job }));
+            if not ok then
+              report (Checker.Missing_setup { machine = idx; job; at = seg.Schedule.start }));
           scan (Rat.add seg.Schedule.start seg.Schedule.dur) (Some seg.Schedule.content) rest
       in
       scan Rat.zero None c.segments)
     t.configs;
   Array.iteri
     (fun j v ->
-      if not (Rat.equal v (Rat.of_int inst.Instance.job_time.(j))) then
-        report (Checker.Wrong_volume { job = j; got = v }))
+      let expected = Rat.of_int inst.Instance.job_time.(j) in
+      if not (Rat.equal v expected) then report (Checker.Wrong_volume { job = j; got = v; expected }))
     volumes;
   match !violations with
   | [] -> Ok ()
