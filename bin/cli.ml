@@ -18,12 +18,24 @@ open Bss_core
 open Bss_workloads
 open Cmdliner
 
+module Rerror = Bss_resilience.Error
+
 let read_instance path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let s = really_input_string ic len in
   close_in ic;
   Instance.of_string s
+
+(* Typed-error boundary: malformed input surfaces as one structured JSON
+   object (under --json) or a one-line message, with exit code 2 — never a
+   raw OCaml backtrace. *)
+let or_invalid_input ~json f =
+  try f ()
+  with Rerror.Error (Rerror.Invalid_input _ as e) ->
+    if json then print_endline (Json.obj [ ("error", Rerror.to_json e) ])
+    else prerr_endline ("bss: " ^ Rerror.to_string e);
+    exit 2
 
 let variant_conv =
   let parse = function
@@ -90,76 +102,148 @@ let solve_cmd =
       & info [ "profile" ] ~docv:"FMT"
           ~doc:"Record algorithm-interior telemetry and print it as $(docv): table (default), json or csv.")
   in
-  let run file variant algorithm gantt svg_out csv_out json profile =
-    let inst = read_instance file in
-    let r, obs_report =
-      match profile with
-      | None -> (Solver.solve ~algorithm variant inst, None)
-      | Some _ ->
-        let r, report = Bss_obs.Probe.with_recording (fun () -> Solver.solve ~algorithm variant inst) in
-        (r, Some report)
-    in
-    Checker.check_exn variant inst r.Solver.schedule;
-    let lb = Lower_bounds.lower_bound variant inst in
-    if json then begin
-      let metrics = Metrics.compute inst r.Solver.schedule in
-      let rat r = Json.str (Rat.to_string r) in
-      let fields =
-        [
-          ("variant", Json.str (Variant.to_string variant));
-          ("algorithm", Json.str (Solver.algorithm_name ~algorithm variant));
-          ("makespan", rat metrics.Metrics.makespan);
-          ("certificate", rat r.Solver.certificate);
-          ("guarantee", rat r.Solver.guarantee);
-          ("lower_bound", rat lb);
-          ("ratio_vs_lower_bound", Json.float (Metrics.ratio_vs lb metrics));
-          ("dual_calls", Json.int r.Solver.dual_calls);
-          ( "metrics",
-            Json.obj
-              [
-                ("total_load", rat metrics.Metrics.total_load);
-                ("total_setup_time", rat metrics.Metrics.total_setup_time);
-                ("setup_count", Json.int metrics.Metrics.setup_count);
-                ("preemption_count", Json.int metrics.Metrics.preemption_count);
-                ("machines_used", Json.int metrics.Metrics.machines_used);
-                ("idle_within_makespan", rat metrics.Metrics.idle_within_makespan);
-              ] );
-        ]
-      in
-      let fields =
-        match obs_report with
-        | None -> fields
-        | Some report -> fields @ [ ("profile", Bss_obs.Render.json report) ]
-      in
-      print_endline (Json.obj fields)
-    end
-    else begin
-      Printf.printf "%s / %s\n" (Variant.to_string variant) (Solver.algorithm_name ~algorithm variant);
-      Printf.printf "makespan    %s\n" (Rat.to_string (Schedule.makespan r.Solver.schedule));
-      Printf.printf "certificate %s (makespan <= %s * OPT)\n" (Rat.to_string r.Solver.certificate)
-        (Rat.to_string r.Solver.guarantee);
-      Printf.printf "lower bound %s\n" (Rat.to_string lb);
-      Printf.printf "dual calls  %d\n" r.Solver.dual_calls;
-      (match (obs_report, profile) with
-      | Some report, Some fmt ->
-        print_string
-          (match fmt with
-          | `Table -> Bss_obs.Render.table report
-          | `Json -> Bss_obs.Render.json report ^ "\n"
-          | `Csv -> Bss_obs.Render.csv report)
-      | _ -> ())
-    end;
-    if gantt then print_endline (Render.gantt ~width:76 inst r.Solver.schedule);
-    let write path content =
-      let oc = open_out path in
-      output_string oc content;
-      close_out oc
-    in
-    Option.iter (fun path -> write path (Render.svg inst r.Solver.schedule)) svg_out;
-    Option.iter (fun path -> write path (Trace.to_csv inst r.Solver.schedule)) csv_out
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Solve under a wall-clock deadline: when the search exceeds it, degrade down the \
+             resilience ladder instead of running on (0 degrades immediately).")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"TICKS"
+          ~doc:"Solve under a step budget: at most $(docv) guarded dual/bound evaluations.")
+  in
+  let error_brief (e : Rerror.t) =
+    match e with
+    | Rerror.Budget_exhausted { phase; _ } -> "budget_exhausted at " ^ phase
+    | Rerror.Deadline_exceeded { phase; _ } -> "deadline_exceeded at " ^ phase
+    | Rerror.Internal _ -> "internal"
+    | Rerror.Invalid_input _ -> "invalid_input"
+  in
+  let run file variant algorithm gantt svg_out csv_out json profile deadline_ms fuel =
+    or_invalid_input ~json (fun () ->
+        let inst = read_instance file in
+        let robust_mode = deadline_ms <> None || fuel <> None in
+        let solve_once () =
+          if robust_mode then `Robust (Solver.solve_robust ?deadline_ms ?fuel ~algorithm variant inst)
+          else `Plain (Solver.solve ~algorithm variant inst)
+        in
+        let r, obs_report =
+          match profile with
+          | None -> (solve_once (), None)
+          | Some _ ->
+            let r, report = Bss_obs.Probe.with_recording solve_once in
+            (r, Some report)
+        in
+        let schedule, certificate, guarantee, dual_calls, robust =
+          match r with
+          | `Plain r ->
+            Checker.check_exn variant inst r.Solver.schedule;
+            (r.Solver.schedule, Some r.Solver.certificate, Some r.Solver.guarantee, r.Solver.dual_calls, None)
+          | `Robust r ->
+            (* solve_robust already checker-verified its result *)
+            (r.Solver.schedule, r.Solver.certificate, r.Solver.guarantee, r.Solver.dual_calls, Some r)
+        in
+        let lb = Lower_bounds.lower_bound variant inst in
+        if json then begin
+          let metrics = Metrics.compute inst schedule in
+          let rat r = Json.str (Rat.to_string r) in
+          let rat_opt = function Some r -> rat r | None -> "null" in
+          let fields =
+            [
+              ("variant", Json.str (Variant.to_string variant));
+              ("algorithm", Json.str (Solver.algorithm_name ~algorithm variant));
+              ("makespan", rat metrics.Metrics.makespan);
+              ("certificate", rat_opt certificate);
+              ("guarantee", rat_opt guarantee);
+              ("lower_bound", rat lb);
+              ("ratio_vs_lower_bound", Json.float (Metrics.ratio_vs lb metrics));
+              ("dual_calls", Json.int dual_calls);
+              ( "metrics",
+                Json.obj
+                  [
+                    ("total_load", rat metrics.Metrics.total_load);
+                    ("total_setup_time", rat metrics.Metrics.total_setup_time);
+                    ("setup_count", Json.int metrics.Metrics.setup_count);
+                    ("preemption_count", Json.int metrics.Metrics.preemption_count);
+                    ("machines_used", Json.int metrics.Metrics.machines_used);
+                    ("idle_within_makespan", rat metrics.Metrics.idle_within_makespan);
+                  ] );
+            ]
+          in
+          let fields =
+            match robust with
+            | None -> fields
+            | Some r ->
+              fields
+              @ [
+                  ( "resilience",
+                    Json.obj
+                      [
+                        ("rung", Json.str r.Solver.rung);
+                        ("degraded", Json.bool (r.Solver.attempts <> []));
+                        ("fuel_spent", Json.int r.Solver.fuel_spent);
+                        ( "attempts",
+                          Json.arr
+                            (List.map
+                               (fun (a : Solver.attempt) ->
+                                 Json.obj
+                                   [ ("rung", Json.str a.Solver.rung); ("error", Rerror.to_json a.Solver.error) ])
+                               r.Solver.attempts) );
+                      ] );
+                ]
+          in
+          let fields =
+            match obs_report with
+            | None -> fields
+            | Some report -> fields @ [ ("profile", Bss_obs.Render.json report) ]
+          in
+          print_endline (Json.obj fields)
+        end
+        else begin
+          Printf.printf "%s / %s\n" (Variant.to_string variant) (Solver.algorithm_name ~algorithm variant);
+          Printf.printf "makespan    %s\n" (Rat.to_string (Schedule.makespan schedule));
+          (match (certificate, guarantee) with
+          | Some c, Some g ->
+            Printf.printf "certificate %s (makespan <= %s * OPT)\n" (Rat.to_string c) (Rat.to_string g)
+          | _ -> Printf.printf "certificate none (no certified rung completed)\n");
+          Printf.printf "lower bound %s\n" (Rat.to_string lb);
+          Printf.printf "dual calls  %d\n" dual_calls;
+          (match robust with
+          | None -> ()
+          | Some r ->
+            Printf.printf "rung        %s\n" r.Solver.rung;
+            List.iter
+              (fun (a : Solver.attempt) ->
+                Printf.printf "fallback    %s failed: %s\n" a.Solver.rung (error_brief a.Solver.error))
+              r.Solver.attempts);
+          (match (obs_report, profile) with
+          | Some report, Some fmt ->
+            print_string
+              (match fmt with
+              | `Table -> Bss_obs.Render.table report
+              | `Json -> Bss_obs.Render.json report ^ "\n"
+              | `Csv -> Bss_obs.Render.csv report)
+          | _ -> ())
+        end;
+        if gantt then print_endline (Render.gantt ~width:76 inst schedule);
+        let write path content =
+          let oc = open_out path in
+          output_string oc content;
+          close_out oc
+        in
+        Option.iter (fun path -> write path (Render.svg inst schedule)) svg_out;
+        Option.iter (fun path -> write path (Trace.to_csv inst schedule)) csv_out)
   in
   Cmd.v (Cmd.info "solve" ~doc:"Solve an instance file.")
-    Term.(const run $ file $ variant $ algorithm $ gantt $ svg_out $ csv_out $ json $ profile)
+    Term.(
+      const run $ file $ variant $ algorithm $ gantt $ svg_out $ csv_out $ json $ profile $ deadline_ms
+      $ fuel)
 
 let generate_cmd =
   let family =
@@ -183,13 +267,14 @@ let generate_cmd =
 let check_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Instance file.") in
   let run file =
-    let inst = read_instance file in
-    print_endline (Instance.describe inst);
-    List.iter
-      (fun v ->
-        Printf.printf "%-15s T_min = %s\n" (Variant.to_string v)
-          (Rat.to_string (Lower_bounds.t_min v inst)))
-      Variant.all
+    or_invalid_input ~json:false (fun () ->
+        let inst = read_instance file in
+        print_endline (Instance.describe inst);
+        List.iter
+          (fun v ->
+            Printf.printf "%-15s T_min = %s\n" (Variant.to_string v)
+              (Rat.to_string (Lower_bounds.t_min v inst)))
+          Variant.all)
   in
   Cmd.v (Cmd.info "check" ~doc:"Validate an instance file and print statistics.") Term.(const run $ file)
 
@@ -204,7 +289,13 @@ let fuzz_cmd =
     Arg.(value & opt_all variant_conv [] & info [ "variant"; "v" ] ~doc:"Restrict to a problem variant (repeatable; default all).")
   in
   let replay =
-    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"CASE" ~doc:"Re-run one case id (family:index) verbosely instead of sweeping.")
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"CASE"
+          ~doc:
+            "Re-run one case id (family:index) verbosely instead of sweeping; @FILE replays every id \
+             recorded in a corpus file.")
   in
   let profile =
     Arg.(
@@ -212,7 +303,45 @@ let fuzz_cmd =
       & info [ "profile" ]
           ~doc:"Sweep on one domain recording telemetry; print per-family counter sums instead of the stats table.")
   in
-  let run seed cases family variant replay profile =
+  let chaos =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos" ] ~docv:"SEED"
+          ~doc:
+            "Chaos sweep: inject deterministic seeded faults into the algorithm interiors and assert \
+             the degradation ladder contains every one of them (single domain).")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"FILE"
+          ~doc:
+            "Append the replay ids of failing, crashing or chaos-degraded cases to $(docv) for later \
+             --replay @$(docv).")
+  in
+  let append_corpus path ids =
+    let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
+    List.iter (fun id -> output_string oc (id ^ "\n")) (List.sort_uniq compare ids);
+    close_out oc;
+    Printf.printf "corpus: recorded %d id%s in %s\n" (List.length ids)
+      (if List.length ids = 1 then "" else "s")
+      path
+  in
+  let read_corpus path =
+    let ic = open_in path in
+    let ids = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" && line.[0] <> '#' then ids := line :: !ids
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !ids
+  in
+  let run seed cases family variant replay profile chaos corpus =
     if cases < 0 then begin
       prerr_endline "cases must be >= 0";
       exit 1
@@ -234,17 +363,47 @@ let fuzz_cmd =
     in
     let variants = match variant with [] -> Variant.all | vs -> vs in
     let config = { Harness.default_config with Harness.master = seed; cases; families; variants } in
+    let parse_case id =
+      try Case.of_id ~master:seed id
+      with Invalid_argument msg ->
+        prerr_endline msg;
+        exit 1
+    in
     match replay with
-    | Some id ->
-      let case =
-        try Case.of_id ~master:seed id
-        with Invalid_argument msg ->
-          prerr_endline msg;
-          exit 1
+    | Some spec when String.length spec > 1 && spec.[0] = '@' ->
+      (* corpus round-trip: replay every recorded id *)
+      let path = String.sub spec 1 (String.length spec - 1) in
+      let ids = read_corpus path in
+      Printf.printf "replaying %d corpus case%s from %s\n" (List.length ids)
+        (if List.length ids = 1 then "" else "s")
+        path;
+      let all_ok =
+        List.fold_left
+          (fun acc id ->
+            let txt, ok = Harness.replay config (parse_case id) in
+            print_string txt;
+            acc && ok)
+          true ids
       in
-      let txt, ok = Harness.replay config case in
+      if not all_ok then exit 1
+    | Some id ->
+      let txt, ok = Harness.replay config (parse_case id) in
       print_string txt;
       if not ok then exit 1
+    | None when chaos <> None ->
+      (* chaos plans are process-global, so the sweep is single-domain *)
+      let chaos = Option.get chaos in
+      Printf.printf "fuzz --chaos: seed=%d chaos=%d cases=%d families=%s variants=%s\n" seed chaos cases
+        (String.concat "," (List.map (fun s -> s.Generator.name) families))
+        (String.concat "," (List.map Variant.to_string variants));
+      let r = Harness.chaos_sweep config ~chaos in
+      print_string (Harness.render_chaos r);
+      Option.iter
+        (fun path ->
+          append_corpus path
+            (List.map Case.id r.Harness.degraded @ List.map (fun (c, _) -> Case.id c) r.Harness.chaos_crashes))
+        corpus;
+      if r.Harness.chaos_crashes <> [] || r.Harness.chaos_infeasible <> [] then exit 1
     | None when profile ->
       (* The telemetry sink is process-global and unsynchronized, so the
          profiled sweep runs the cases sequentially on this domain. *)
@@ -283,11 +442,17 @@ let fuzz_cmd =
         (String.concat "," (List.map Variant.to_string variants));
       let report = Harness.run config in
       print_string (Harness.render report);
-      if report.Harness.failures <> [] then exit 1
+      Option.iter
+        (fun path ->
+          append_corpus path
+            (List.map (fun (f : Harness.failure) -> Case.id f.Harness.case) report.Harness.failures
+            @ List.map (fun (c : Harness.crash) -> Case.id c.Harness.case) report.Harness.crashes))
+        corpus;
+      if report.Harness.failures <> [] || report.Harness.crashes <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Sweep the conformance oracle over deterministic random cases.")
-    Term.(const run $ seed $ cases $ family $ variant $ replay $ profile)
+    Term.(const run $ seed $ cases $ family $ variant $ replay $ profile $ chaos $ corpus)
 
 let () =
   let doc = "near-linear approximation algorithms for scheduling with batch setup times" in

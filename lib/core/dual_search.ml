@@ -2,6 +2,7 @@ open Bss_util
 open Bss_instances
 module Probe = Bss_obs.Probe
 module Event = Bss_obs.Event
+module Guard = Bss_resilience.Guard
 
 type result = { schedule : Schedule.t; accepted : Rat.t; dual_calls : int }
 
@@ -24,6 +25,7 @@ let search ~dual ~epsilon ~t_min inst =
   let calls = ref 0 in
   let test tee =
     incr calls;
+    Guard.tick "dual_search.guess";
     Probe.count "dual_search.guesses";
     let sp = Probe.enter "dual" in
     let r = dual inst tee in

@@ -2,6 +2,7 @@ open Bss_util
 open Bss_instances
 module Probe = Bss_obs.Probe
 module Event = Bss_obs.Event
+module Guard = Bss_resilience.Guard
 
 type result = { schedule : Schedule.t; accepted : Rat.t; dual_calls : int }
 
@@ -9,6 +10,7 @@ let solve inst =
   let calls = ref 0 in
   let test t =
     incr calls;
+    Guard.tick "nonp_search.guess";
     Probe.count "nonp_search.guesses";
     let sp = Probe.enter "dual" in
     let r = Nonp_dual.run inst (Rat.of_int t) in

@@ -2,6 +2,7 @@ open Bss_util
 open Bss_instances
 module Probe = Bss_obs.Probe
 module Event = Bss_obs.Event
+module Guard = Bss_resilience.Guard
 
 type result = { schedule : Schedule.t; accepted : Rat.t; bound_tests : int }
 
@@ -14,6 +15,7 @@ let solve inst =
   let tests = ref 0 in
   let accept tee =
     incr tests;
+    Guard.tick "pmtn_cj.bound_test";
     Probe.count "pmtn_cj.bound_tests";
     Rat.sign tee > 0
     &&

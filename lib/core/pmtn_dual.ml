@@ -306,11 +306,13 @@ let construct inst tee a =
   sched
 
 let test ?mode inst tee =
+  Bss_resilience.Guard.tick "pmtn_dual.test";
   let trivial = Rat.of_int (Lower_bounds.setup_plus_tmax inst) in
   if Rat.( < ) tee trivial then Error (Dual.Below_trivial_bound { bound = trivial })
   else test_of_analysis inst tee (analyze ?mode inst tee)
 
 let run ?mode inst tee =
+  Bss_resilience.Guard.tick "pmtn_dual.test";
   let trivial = Rat.of_int (Lower_bounds.setup_plus_tmax inst) in
   if Rat.( < ) tee trivial then Dual.Rejected (Dual.Below_trivial_bound { bound = trivial })
   else begin

@@ -92,6 +92,102 @@ let solve ~algorithm variant inst =
             dual_calls = r.Nonp_search.dual_calls;
           }))
 
+(* ---------------- resilient solving: the degradation ladder ---------------- *)
+
+module Rerror = Bss_resilience.Error
+module Guard = Bss_resilience.Guard
+
+type attempt = { rung : string; error : Rerror.t }
+
+type robust = {
+  schedule : Schedule.t;
+  rung : string;
+  guarantee : Rat.t option;
+  certificate : Rat.t option;
+  dual_calls : int;
+  attempts : attempt list;
+  fuel_spent : int;
+}
+
+(* Terminal rung: whole-batch list scheduling onto the least-loaded
+   machine. Every class stays contiguous on one machine, so the schedule
+   is feasible for all three variants; plain array walking with no search,
+   no guard charge and no chaos site — it cannot be cut short. No
+   approximation guarantee (see lib/baselines/list_scheduling.mli for why
+   none exists). *)
+let last_resort inst =
+  let m = inst.Instance.m in
+  let sched = Schedule.create m in
+  let ends = Array.make m Rat.zero in
+  for i = 0 to Instance.c inst - 1 do
+    let u = ref 0 in
+    for v = 1 to m - 1 do
+      if Rat.( < ) ends.(v) ends.(!u) then u := v
+    done;
+    let t = ref ends.(!u) in
+    let s = Rat.of_int inst.Instance.setups.(i) in
+    Schedule.add_setup sched ~machine:!u ~cls:i ~start:!t ~dur:s;
+    t := Rat.add !t s;
+    Array.iter
+      (fun j ->
+        let d = Rat.of_int inst.Instance.job_time.(j) in
+        Schedule.add_work sched ~machine:!u ~job:j ~start:!t ~dur:d;
+        t := Rat.add !t d)
+      (Instance.jobs_of_class inst i);
+    ends.(!u) <- !t
+  done;
+  sched
+
+let solve_robust ?deadline_ms ?fuel ~algorithm variant inst =
+  let guard = Guard.make ?deadline_ms ?fuel () in
+  let of_result (r : result) = (r.schedule, Some r.guarantee, Some r.certificate, r.dual_calls) in
+  let rungs =
+    ("requested", fun () -> of_result (solve ~algorithm variant inst))
+    ::
+    (match algorithm with
+    | Approx2 -> []
+    | Approx3_2 | Approx3_2_eps _ ->
+      [ ("two-approx", fun () -> of_result (solve ~algorithm:Approx2 variant inst)) ])
+  in
+  let finish rung (schedule, guarantee, certificate, dual_calls) attempts =
+    if Probe.enabled () then begin
+      Probe.count ("resilience.rung." ^ rung);
+      if attempts <> [] then Probe.count "resilience.degraded"
+    end;
+    {
+      schedule;
+      rung;
+      guarantee;
+      certificate;
+      dual_calls;
+      attempts = List.rev attempts;
+      fuel_spent = Guard.spent guard;
+    }
+  in
+  let rec go attempts = function
+    | [] -> finish "list-scheduling" (last_resort inst, None, None, 0) attempts
+    | (name, f) :: rest -> (
+      let outcome =
+        Guard.run guard (fun () ->
+            let ((schedule, _, _, _) as out) = f () in
+            (* a rung that survives its guard must still hand back a
+               checker-feasible schedule, or it degrades like any fault *)
+            if not (Checker.is_feasible variant inst schedule) then
+              raise (Rerror.Error (Rerror.Internal (Failure (name ^ " rung: infeasible schedule"))));
+            out)
+      in
+      match outcome with
+      | Ok out -> finish name out attempts
+      | Error error ->
+        if Probe.enabled () then begin
+          Probe.count "resilience.rung_failed";
+          Probe.event
+            (Event.Note { source = "resilience"; key = "rung_failed:" ^ name; value = Rerror.to_string error })
+        end;
+        go ({ rung = name; error } :: attempts) rest)
+  in
+  go [] rungs
+
 let algorithm_name ~algorithm variant =
   match (algorithm, variant) with
   | Approx2, _ -> "2-approx (Thm 1)"

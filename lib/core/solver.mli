@@ -35,3 +35,47 @@ val solve : algorithm:algorithm -> Variant.t -> Instance.t -> result
 (** [algorithm_name ~algorithm variant] is a short display name, e.g.
     ["3/2 class-jumping (split)"] . *)
 val algorithm_name : algorithm:algorithm -> Variant.t -> string
+
+(** {1 Resilient solving}
+
+    [solve_robust] runs the requested algorithm under a
+    {!Bss_resilience.Guard} and, when the run is cut short — budget
+    exhausted, deadline passed, an internal raise, or an injected
+    {!Bss_resilience.Chaos} fault — walks down a degradation ladder:
+
+    {v requested algorithm → 2-approx (Thm 1) → list scheduling v}
+
+    Every rung's output is re-validated with the exact checker before it is
+    returned, and each rung it descends past is recorded in [attempts]. The
+    terminal rung is unguarded straight-line code and always succeeds, so
+    [solve_robust] never raises. *)
+
+type attempt = { rung : string; error : Bss_resilience.Error.t }
+
+type robust = {
+  schedule : Schedule.t;  (** feasible for the variant (checker-verified) *)
+  rung : string;
+      (** the rung that produced [schedule]: ["requested"], ["two-approx"]
+          or ["list-scheduling"] *)
+  guarantee : Rat.t option;
+      (** certified approximation ratio of the rung actually used; [None]
+          for the uncertified terminal rung *)
+  certificate : Rat.t option;  (** as in {!result}; [None] for the terminal rung *)
+  dual_calls : int;  (** dual/bound evaluations of the successful rung *)
+  attempts : attempt list;  (** rungs that failed before it, in ladder order *)
+  fuel_spent : int;  (** guard ticks charged across all guarded rungs *)
+}
+
+(** [solve_robust ?deadline_ms ?fuel ~algorithm variant inst] solves under
+    a budget. The deadline and fuel are shared by the guarded rungs (fuel
+    spent on a failed rung stays spent); the 2-approx rung charges no
+    ticks, so it completes even on an exhausted budget — the paper's
+    Theorem 1 guarantee is what the ladder degrades {e to}, not through.
+    With no limits and no armed chaos this is {!solve} plus one
+    feasibility check. *)
+val solve_robust :
+  ?deadline_ms:int -> ?fuel:int -> algorithm:algorithm -> Variant.t -> Instance.t -> robust
+
+(** The terminal rung, exposed for tests: whole-batch list scheduling onto
+    the least-loaded machine. Feasible for every variant; no guarantee. *)
+val last_resort : Instance.t -> Schedule.t

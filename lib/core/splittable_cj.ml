@@ -2,6 +2,7 @@ open Bss_util
 open Bss_instances
 module Probe = Bss_obs.Probe
 module Event = Bss_obs.Event
+module Guard = Bss_resilience.Guard
 
 type result = { schedule : Schedule.t; accepted : Rat.t; bound_tests : int }
 
@@ -15,6 +16,7 @@ let find_t_star inst =
      clamp; monotone in [tee]. *)
   let accept tee =
     incr tests;
+    Guard.tick "splittable_cj.bound_test";
     Probe.count "splittable_cj.bound_tests";
     if Rat.( < ) tee smax then false
     else begin

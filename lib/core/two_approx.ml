@@ -96,6 +96,10 @@ let nonpreemptive inst =
 let preemptive = nonpreemptive
 
 let solve variant inst =
+  (* fault-only chaos point, no budget charge: the 2-approximation is the
+     ladder's certified fallback and must finish even on an exhausted
+     guard, but tests still need to crash it to reach the terminal rung *)
+  Bss_resilience.Guard.point "two_approx.solve";
   match variant with
   | Variant.Splittable -> splittable inst
   | Variant.Nonpreemptive -> nonpreemptive inst

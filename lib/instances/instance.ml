@@ -1,3 +1,5 @@
+module Error = Bss_resilience.Error
+
 type t = {
   m : int;
   setups : int array;
@@ -11,24 +13,49 @@ type t = {
   t_max : int;
 }
 
+(* Headroom cap: the searches evaluate breakpoints like [2N], [4 s_i] and
+   [4(s_i + P_i)/3] in native ints, so construction rejects instances whose
+   total size N could make those overflow. *)
+let max_total = max_int / 8
+
+let checked_total ~setups ~job_time =
+  let acc = ref 0 in
+  let add v =
+    let s = !acc + v in
+    if s < 0 then Error.invalid_input ~field:"total" "instance size overflows max_int";
+    acc := s
+  in
+  Array.iter add setups;
+  Array.iter add job_time;
+  if !acc > max_total then
+    Error.invalid_input ~field:"total"
+      (Printf.sprintf "instance size %d exceeds the supported maximum max_int/8" !acc);
+  !acc
+
 let make ~m ~setups ~jobs =
   let c = Array.length setups in
-  if m < 1 then invalid_arg "Instance.make: m < 1";
-  if c < 1 then invalid_arg "Instance.make: no classes";
-  Array.iter (fun s -> if s < 1 then invalid_arg "Instance.make: setup < 1") setups;
+  if m < 1 then Error.invalid_input ~field:"m" "m < 1";
+  if c < 1 then Error.invalid_input ~field:"setups" "no classes";
+  Array.iteri
+    (fun i s -> if s < 1 then Error.invalid_input ~field:"setup" (Printf.sprintf "setup of class %d < 1" i))
+    setups;
   let n = Array.length jobs in
-  if n < 1 then invalid_arg "Instance.make: no jobs";
+  if n < 1 then Error.invalid_input ~field:"jobs" "no jobs";
   let job_class = Array.make n 0 and job_time = Array.make n 0 in
   let count = Array.make c 0 in
   Array.iteri
     (fun j (cls, time) ->
-      if cls < 0 || cls >= c then invalid_arg "Instance.make: class out of range";
-      if time < 1 then invalid_arg "Instance.make: job time < 1";
+      if cls < 0 || cls >= c then
+        Error.invalid_input ~field:"class" (Printf.sprintf "job %d: class %d out of range [0, %d)" j cls c);
+      if time < 1 then Error.invalid_input ~field:"time" (Printf.sprintf "job %d: time < 1" j);
       job_class.(j) <- cls;
       job_time.(j) <- time;
       count.(cls) <- count.(cls) + 1)
     jobs;
-  Array.iteri (fun i k -> if k = 0 then invalid_arg (Printf.sprintf "Instance.make: class %d empty" i)) count;
+  Array.iteri
+    (fun i k -> if k = 0 then Error.invalid_input ~field:"class" (Printf.sprintf "class %d empty" i))
+    count;
+  let total = checked_total ~setups ~job_time in
   let class_jobs = Array.map (fun k -> Array.make k 0) count in
   let fill = Array.make c 0 in
   for j = 0 to n - 1 do
@@ -42,7 +69,6 @@ let make ~m ~setups ~jobs =
     class_load.(i) <- class_load.(i) + job_time.(j);
     if job_time.(j) > class_tmax.(i) then class_tmax.(i) <- job_time.(j)
   done;
-  let total = Bss_util.Intmath.sum_array setups + Bss_util.Intmath.sum_array job_time in
   {
     m;
     setups = Array.copy setups;
@@ -80,21 +106,36 @@ let to_string t =
 let of_string s =
   let lines = String.split_on_char '\n' s in
   let m = ref None and setups = ref None and jobs = ref [] in
-  let parse_line line =
-    let line = String.trim line in
-    if line = "" || line.[0] = '#' then ()
+  let parse_int ~line ~field w =
+    (* [int_of_string_opt] rejects both garbage and numbers beyond
+       max_int, so overflow-adjacent literals surface here, typed *)
+    match int_of_string_opt w with
+    | Some v -> v
+    | None -> Error.invalid_input ~line ~field ("not a machine integer: " ^ w)
+  in
+  let parse_line idx raw =
+    let line = idx + 1 in
+    let text = String.trim raw in
+    if text = "" || text.[0] = '#' then ()
     else begin
-      match String.split_on_char ' ' line |> List.filter (fun w -> w <> "") with
-      | [ "m"; v ] -> m := Some (int_of_string v)
-      | "setups" :: vs -> setups := Some (Array.of_list (List.map int_of_string vs))
-      | [ "job"; cls; time ] -> jobs := (int_of_string cls, int_of_string time) :: !jobs
-      | _ -> invalid_arg ("Instance.of_string: bad line: " ^ line)
+      match String.split_on_char ' ' text |> List.filter (fun w -> w <> "") with
+      | [ "m"; v ] ->
+        if !m <> None then Error.invalid_input ~line ~field:"m" "duplicate m line";
+        m := Some (parse_int ~line ~field:"m" v)
+      | "setups" :: vs ->
+        if !setups <> None then Error.invalid_input ~line ~field:"setups" "duplicate setups line";
+        if vs = [] then Error.invalid_input ~line ~field:"setups" "setups line has no values";
+        setups := Some (Array.of_list (List.map (fun v -> parse_int ~line ~field:"setup" v) vs))
+      | [ "job"; cls; time ] ->
+        jobs := (parse_int ~line ~field:"class" cls, parse_int ~line ~field:"time" time) :: !jobs
+      | _ -> Error.invalid_input ~line ~field:"line" ("unrecognized: " ^ text)
     end
   in
-  (try List.iter parse_line lines with Failure _ -> invalid_arg "Instance.of_string: bad number");
+  List.iteri parse_line lines;
   match (!m, !setups) with
   | Some m, Some setups -> make ~m ~setups ~jobs:(Array.of_list (List.rev !jobs))
-  | _ -> invalid_arg "Instance.of_string: missing m or setups"
+  | None, _ -> Error.invalid_input ~field:"m" "missing m line"
+  | _, None -> Error.invalid_input ~field:"setups" "missing setups line"
 
 let equal a b =
   a.m = b.m && a.setups = b.setups && a.job_class = b.job_class && a.job_time = b.job_time

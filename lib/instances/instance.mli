@@ -20,8 +20,11 @@ type t = private {
 }
 
 (** [make ~m ~setups ~jobs] builds an instance from [(class, time)] pairs.
-    @raise Invalid_argument when [m < 1], any setup or time is [< 1], a class
-    index is out of range, or some class has no job. *)
+    @raise Bss_resilience.Error.Error
+      ([Invalid_input]) when [m < 1], any setup or time is [< 1], a class
+      index is out of range, some class has no job, or the instance size
+      [N] overflows the arithmetic headroom the searches need
+      ([N <= max_int/8] — they evaluate points like [4(s_i + P_i)/3]). *)
 val make : m:int -> setups:int array -> jobs:(int * int) array -> t
 
 (** [n t] is the number of jobs. *)
@@ -56,7 +59,11 @@ val to_string : t -> string
     job <class> <time>        (one line per job)
     v}
     Blank lines and [#] comments are ignored.
-    @raise Invalid_argument on malformed input. *)
+    @raise Bss_resilience.Error.Error
+      ([Invalid_input], carrying the 1-based line and field) on malformed
+      input: unparseable or overflowing numbers, duplicate [m]/[setups]
+      lines, trailing garbage on a line, or a missing [m]/[setups] line —
+      plus everything {!make} rejects. *)
 val of_string : string -> t
 
 (** Structural equality (same machines, setups, and job multiset per class in

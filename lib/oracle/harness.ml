@@ -45,7 +45,14 @@ type prop_stats = {
   failed : int;
 }
 
-type report = { config : config; stats : prop_stats list; failures : failure list }
+type crash = { case : Case.t; attempts : int; message : string }
+
+type report = {
+  config : config;
+  stats : prop_stats list;
+  failures : failure list;
+  crashes : crash list;
+}
 
 let properties = Property.all @ Metamorphic.all
 
@@ -74,7 +81,23 @@ let run_case (config : config) case =
 
 let run (config : config) =
   let cases = List.init config.cases (case_of_index config) in
-  let outcomes = Parallel.map ?domains:config.domains (fun c -> (c, run_case config c)) cases in
+  (* per-case crash containment: a case whose realization or property run
+     dies (outside the per-property try) is reported, not fatal. Cases are
+     deterministic, so a retry would only repeat the crash. *)
+  let contained =
+    Parallel.map_results ?domains:config.domains ~retries:0
+      (fun c -> (c, run_case config c))
+      cases
+  in
+  let outcomes = List.filter_map (function Ok o -> Some o | Error _ -> None) contained in
+  let crashes =
+    List.filter_map
+      (function
+        | Ok _ -> None
+        | Error { Parallel.index; attempts; exn } ->
+          Some { case = List.nth cases index; attempts; message = Printexc.to_string exn })
+      contained
+  in
   let stats =
     List.map
       (fun p ->
@@ -117,7 +140,7 @@ let run (config : config) =
           os)
       outcomes
   in
-  { config; stats; failures }
+  { config; stats; failures; crashes }
 
 let indent s =
   String.split_on_char '\n' s
@@ -151,12 +174,96 @@ let render report =
   let table = Table.render ~header ~align rows in
   let total_failed = List.fold_left (fun acc s -> acc + s.failed) 0 report.stats in
   let verdict =
-    Printf.sprintf "%d cases x %d properties: %d violation%s" report.config.cases
+    Printf.sprintf "%d cases x %d properties: %d violation%s%s" report.config.cases
       (List.length report.stats) total_failed
       (if total_failed = 1 then "" else "s")
+      (match report.crashes with
+      | [] -> ""
+      | cs -> Printf.sprintf ", %d crashed case%s" (List.length cs) (if List.length cs = 1 then "" else "s"))
   in
   let blocks = List.map (render_failure report.config.master) report.failures in
-  String.concat "\n" ((table :: blocks) @ [ verdict; "" ])
+  let crash_blocks =
+    List.map
+      (fun cr ->
+        Printf.sprintf "CRASH case %s (%d attempt%s)\n  %s\n  replay: bss fuzz --seed %d --replay %s\n"
+          (Case.id cr.case) cr.attempts
+          (if cr.attempts = 1 then "" else "s")
+          cr.message report.config.master (Case.id cr.case))
+      report.crashes
+  in
+  String.concat "\n" ((table :: blocks) @ crash_blocks @ [ verdict; "" ])
+
+(* ---------------- chaos sweeps ---------------- *)
+
+module Chaos = Bss_resilience.Chaos
+
+type chaos_report = {
+  chaos_config : config;
+  chaos_seed : int;
+  sweeps : int;  (* (case, variant, algorithm) ladder runs *)
+  rung_counts : (string * int) list;  (* sorted by rung name *)
+  degraded : Case.t list;  (* cases where at least one run left the requested rung *)
+  chaos_crashes : (Case.t * string) list;  (* escaped exceptions — must stay empty *)
+  chaos_infeasible : (Case.t * string) list;  (* checker rejections — must stay empty *)
+}
+
+let chaos_sweep (config : config) ~chaos =
+  (* Chaos state is a process-global scoped sink (like the probe layer),
+     so the sweep runs sequentially on this domain. *)
+  let rungs = Hashtbl.create 8 in
+  let bump r = Hashtbl.replace rungs r (1 + Option.value ~default:0 (Hashtbl.find_opt rungs r)) in
+  let degraded = ref [] and crashes = ref [] and infeasible = ref [] and sweeps = ref 0 in
+  for i = 0 to config.cases - 1 do
+    let case = case_of_index config i in
+    (* the plan derives from (master, family, index, chaos): replaying the
+       same sweep re-injects the same faults at the same sites *)
+    let plan = Chaos.plan_of_seed (chaos lxor Case.seed case) in
+    match
+      Chaos.with_plan plan (fun () ->
+          let inst = Case.instance ~max_m:config.max_m ~max_n:config.max_n case in
+          List.iter
+            (fun variant ->
+              List.iter
+                (fun (_, algorithm) ->
+                  incr sweeps;
+                  let r = Solver.solve_robust ~algorithm variant inst in
+                  bump r.Solver.rung;
+                  if r.Solver.attempts <> [] && not (List.memq case !degraded) then
+                    degraded := case :: !degraded;
+                  if not (Checker.is_feasible variant inst r.Solver.schedule) then
+                    infeasible :=
+                      (case, Variant.to_string variant ^ ": degraded schedule infeasible") :: !infeasible)
+                config.algorithms)
+            config.variants)
+    with
+    | () -> ()
+    | exception e -> crashes := (case, Printexc.to_string e) :: !crashes
+  done;
+  {
+    chaos_config = config;
+    chaos_seed = chaos;
+    sweeps = !sweeps;
+    rung_counts =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) rungs []);
+    degraded = List.rev !degraded;
+    chaos_crashes = List.rev !crashes;
+    chaos_infeasible = List.rev !infeasible;
+  }
+
+let render_chaos (r : chaos_report) =
+  let rows = List.map (fun (rung, k) -> [ rung; string_of_int k ]) r.rung_counts in
+  let table = Table.render ~header:[ "rung"; "runs" ] ~align:Table.[ Left; Right ] rows in
+  let problems =
+    List.map (fun (c, msg) -> Printf.sprintf "CRASH case %s: %s" (Case.id c) msg) r.chaos_crashes
+    @ List.map (fun (c, msg) -> Printf.sprintf "INFEASIBLE case %s: %s" (Case.id c) msg) r.chaos_infeasible
+  in
+  let verdict =
+    Printf.sprintf "chaos: %d cases, %d ladder runs, %d degraded case%s, %d crashes, %d infeasible"
+      r.chaos_config.cases r.sweeps (List.length r.degraded)
+      (if List.length r.degraded = 1 then "" else "s")
+      (List.length r.chaos_crashes) (List.length r.chaos_infeasible)
+  in
+  String.concat "\n" ((table :: problems) @ [ verdict; "" ])
 
 let replay (config : config) case =
   let inst = Case.instance ~max_m:config.max_m ~max_n:config.max_n case in

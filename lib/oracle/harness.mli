@@ -43,7 +43,21 @@ type prop_stats = {
   failed : int;
 }
 
-type report = { config : config; stats : prop_stats list; failures : failure list }
+type crash = {
+  case : Case.t;
+  attempts : int;  (** evaluations the parallel driver performed *)
+  message : string;  (** the escaped exception, printed *)
+}
+
+type report = {
+  config : config;
+  stats : prop_stats list;
+  failures : failure list;
+  crashes : crash list;
+      (** cases whose evaluation itself died (outside the per-property
+          containment). The sweep survives them: all other cases report
+          normally and the crashed case's replay id is preserved. *)
+}
 
 (** All oracles a sweep runs: {!Property.all} followed by
     {!Metamorphic.all}. *)
@@ -68,3 +82,31 @@ val render : report -> string
     per-property verdict table. Returns the rendering and [true] when no
     property failed. *)
 val replay : config -> Case.t -> string * bool
+
+(** {1 Chaos sweeps}
+
+    A chaos sweep drives {!Bss_core.Solver.solve_robust} — not the
+    property oracles — over the configured cases while
+    {!Bss_resilience.Chaos} injects deterministic faults into the
+    algorithm interiors, and asserts the resilience contract: every run
+    returns a checker-feasible schedule from some ladder rung and no
+    exception escapes. *)
+
+type chaos_report = {
+  chaos_config : config;
+  chaos_seed : int;
+  sweeps : int;  (** ladder runs: cases × variants × algorithms *)
+  rung_counts : (string * int) list;  (** runs finishing on each rung, sorted *)
+  degraded : Case.t list;  (** cases where some run left the requested rung *)
+  chaos_crashes : (Case.t * string) list;  (** escaped exceptions — contract violations *)
+  chaos_infeasible : (Case.t * string) list;  (** checker rejections — contract violations *)
+}
+
+(** [chaos_sweep config ~chaos] runs sequentially on the calling domain
+    (the chaos plan is process-global state). Each case's fault plan is
+    {!Bss_resilience.Chaos.plan_of_seed} on a hash of [(chaos, case)], so
+    equal configs and seeds inject identical faults. *)
+val chaos_sweep : config -> chaos:int -> chaos_report
+
+(** Rung-count table, one line per contract violation, and a verdict. *)
+val render_chaos : chaos_report -> string

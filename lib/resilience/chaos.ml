@@ -1,0 +1,75 @@
+type action = Raise | Stall of int
+
+exception Injected of { site : string; hit : int }
+
+let sites =
+  [
+    "dual_search.guess";
+    "nonp_search.guess";
+    "pmtn_cj.bound_test";
+    "pmtn_dual.test";
+    "splittable_cj.bound_test";
+    "two_approx.solve";
+  ]
+
+type state = { plan : (string * int * action) list; hits : (string, int ref) Hashtbl.t }
+
+let current : state option ref = ref None
+let armed () = !current != None
+
+let stall_us us =
+  let stop = Int64.add (Monotonic_clock.now ()) (Int64.mul (Int64.of_int us) 1_000L) in
+  while Int64.compare (Monotonic_clock.now ()) stop < 0 do
+    ()
+  done
+
+let fire site =
+  match !current with
+  | None -> ()
+  | Some st ->
+    let counter =
+      match Hashtbl.find_opt st.hits site with
+      | Some r -> r
+      | None ->
+        let r = ref 0 in
+        Hashtbl.add st.hits site r;
+        r
+    in
+    let hit = !counter in
+    incr counter;
+    List.iter
+      (fun (s, h, action) ->
+        if s = site && h = hit then begin
+          match action with
+          | Raise -> raise (Injected { site; hit })
+          | Stall us -> stall_us us
+        end)
+      st.plan
+
+let with_plan plan f =
+  match plan with
+  | [] -> f ()
+  | _ ->
+    let prev = !current in
+    current := Some { plan; hits = Hashtbl.create 8 };
+    Fun.protect ~finally:(fun () -> current := prev) f
+
+let plan_of_seed seed =
+  let rng = Bss_util.Prng.create (0x5eed_c4a0 lxor seed) in
+  let arr = Array.of_list sites in
+  let draw () =
+    let site = Bss_util.Prng.choose rng arr in
+    let hit = Bss_util.Prng.int rng 12 in
+    let action = if Bss_util.Prng.int rng 4 = 0 then Stall 2_000 else Raise in
+    (site, hit, action)
+  in
+  let n = 1 + Bss_util.Prng.int rng 2 in
+  List.init n (fun _ -> draw ())
+
+let describe_plan plan =
+  String.concat " "
+    (List.map
+       (fun (site, hit, action) ->
+         Printf.sprintf "%s@%d:%s" site hit
+           (match action with Raise -> "raise" | Stall us -> Printf.sprintf "stall(%dus)" us))
+       plan)

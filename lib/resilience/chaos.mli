@@ -1,0 +1,51 @@
+(** Deterministic seeded fault injection.
+
+    A {e chaos site} is a named point inside an algorithm (the same
+    vocabulary as the guard's charge sites, plus a few fault-only points —
+    the full catalogue is {!sites} and docs/resilience.md). Arming a plan
+    makes chosen sites misbehave at chosen hit counts: raise {!Injected},
+    or stall long enough to trip an armed deadline. Tests use this to prove
+    every edge of the degradation ladder is actually taken; [bss fuzz
+    --chaos] sweeps seeded plans over random instances.
+
+    Like {!Bss_obs.Probe}, the armed plan is a process-global scoped sink:
+    disarmed, {!fire} reads one ref and returns (allocation-free — pinned
+    by the Gc test in [test/test_resilience.ml]). The state is not
+    synchronized; arm on one domain at a time (the chaos sweep forces a
+    single domain). *)
+
+type action =
+  | Raise  (** raise {!Injected} out of the instrumented algorithm *)
+  | Stall of int
+      (** busy-wait this many microseconds on the monotonic clock — enough
+          to push an armed deadline past, without wall-clock sleeps *)
+
+(** The injected fault. Deliberately NOT {!Error.Error}: an armed site
+    simulates an arbitrary crash, so resilient layers must contain it via
+    their catch-all ([Internal]) path, not via the typed-error path. *)
+exception Injected of { site : string; hit : int }
+
+(** The site catalogue, sorted: every name instrumented code passes to
+    {!fire} (via {!Guard.tick} or {!Guard.point}). *)
+val sites : string list
+
+(** [armed ()] is true inside a {!with_plan} scope with a non-empty plan. *)
+val armed : unit -> bool
+
+(** [fire site] applies any armed [(site, hit, action)] whose 0-based hit
+    counter matches the number of earlier [fire site] calls in this scope.
+    No-op when disarmed. *)
+val fire : string -> unit
+
+(** [with_plan plan f] arms [plan] (a list of [(site, hit, action)]), runs
+    [f], and disarms — also on exception. Hit counters start at zero; scopes
+    nest (innermost plan wins). *)
+val with_plan : (string * int * action) list -> (unit -> 'a) -> 'a
+
+(** [plan_of_seed seed] draws a small deterministic plan (1-2 armed sites,
+    hits in [0, 12), mostly [Raise] with occasional [Stall]) from the
+    catalogue. Equal seeds give equal plans. *)
+val plan_of_seed : int -> (string * int * action) list
+
+(** ["site@hit:raise site@hit:stall(2000us)"] — for logs and reports. *)
+val describe_plan : (string * int * action) list -> string

@@ -1,0 +1,40 @@
+open Bss_util
+
+type t =
+  | Invalid_input of { line : int option; field : string; reason : string }
+  | Budget_exhausted of { phase : string; spent : int }
+  | Deadline_exceeded of { phase : string; elapsed_ns : int64 }
+  | Internal of exn
+
+exception Error of t
+
+let invalid_input ?line ~field reason = raise (Error (Invalid_input { line; field; reason }))
+
+let to_string = function
+  | Invalid_input { line; field; reason } ->
+    let where = match line with None -> "" | Some l -> Printf.sprintf "line %d, " l in
+    Printf.sprintf "invalid input (%sfield %s): %s" where field reason
+  | Budget_exhausted { phase; spent } ->
+    Printf.sprintf "budget exhausted at %s after %d ticks" phase spent
+  | Deadline_exceeded { phase; elapsed_ns } ->
+    Printf.sprintf "deadline exceeded at %s after %.3fms" phase
+      (Int64.to_float elapsed_ns /. 1e6)
+  | Internal e -> "internal: " ^ Printexc.to_string e
+
+let to_json = function
+  | Invalid_input { line; field; reason } ->
+    Json.obj
+      ([ ("kind", Json.str "invalid_input") ]
+      @ (match line with None -> [] | Some l -> [ ("line", Json.int l) ])
+      @ [ ("field", Json.str field); ("reason", Json.str reason) ])
+  | Budget_exhausted { phase; spent } ->
+    Json.obj
+      [ ("kind", Json.str "budget_exhausted"); ("phase", Json.str phase); ("spent", Json.int spent) ]
+  | Deadline_exceeded { phase; elapsed_ns } ->
+    Json.obj
+      [
+        ("kind", Json.str "deadline_exceeded");
+        ("phase", Json.str phase);
+        ("elapsed_ns", Json.int64 elapsed_ns);
+      ]
+  | Internal e -> Json.obj [ ("kind", Json.str "internal"); ("exn", Json.str (Printexc.to_string e)) ]

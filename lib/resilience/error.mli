@@ -1,0 +1,36 @@
+(** The typed error taxonomy of the resilient runtime.
+
+    Every failure a hardened entry point can report is one of these
+    constructors; stringly [Invalid_argument]/[Failure] raises are reserved
+    for programming errors (broken invariants), not for inputs or budgets.
+    The CLI renders {!to_json} verbatim, so constructors carry structured
+    payloads rather than pre-formatted prose. *)
+
+type t =
+  | Invalid_input of { line : int option; field : string; reason : string }
+      (** a malformed instance: [field] names the offending datum (["m"],
+          ["setup"], ["time"], ...); [line] is the 1-based source line when
+          the input came from a textual instance file *)
+  | Budget_exhausted of { phase : string; spent : int }
+      (** the fuel counter ran out; [phase] is the guard site that observed
+          it and [spent] the ticks charged so far *)
+  | Deadline_exceeded of { phase : string; elapsed_ns : int64 }
+      (** the monotonic-clock deadline passed; [phase] is the guard site
+          that observed it *)
+  | Internal of exn
+      (** an exception escaped an algorithm run under {!Guard.run} —
+          including faults injected by {!Chaos} *)
+
+(** The carrier exception: hardened code raises [Error e] and boundary
+    layers ({!Guard.run}, the CLI) catch it. *)
+exception Error of t
+
+(** [invalid_input ?line ~field reason] raises [Error (Invalid_input _)]. *)
+val invalid_input : ?line:int -> field:string -> string -> 'a
+
+(** One-line human rendering, e.g.
+    ["invalid input (line 3, field time): job time < 1"]. *)
+val to_string : t -> string
+
+(** One JSON object: [{"kind": ..., ...payload}]. *)
+val to_json : t -> string

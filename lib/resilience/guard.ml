@@ -1,0 +1,56 @@
+(* Like Probe, the disabled path must stay allocation-free: [tick] reads
+   two root refs (chaos, guard) and returns. *)
+
+type t = {
+  start : int64;
+  deadline : int64 option;  (* absolute monotonic ns *)
+  fuel : int option;
+  mutable spent : int;
+}
+
+let current : t option ref = ref None
+
+let make ?deadline_ms ?fuel () =
+  let start = match deadline_ms with None -> 0L | Some _ -> Monotonic_clock.now () in
+  let deadline =
+    Option.map (fun ms -> Int64.add start (Int64.mul (Int64.of_int ms) 1_000_000L)) deadline_ms
+  in
+  { start; deadline; fuel; spent = 0 }
+
+let spent g = g.spent
+let limited g = g.deadline <> None || g.fuel <> None
+let active () = !current != None
+
+let tick site =
+  Chaos.fire site;
+  match !current with
+  | None -> ()
+  | Some g ->
+    g.spent <- g.spent + 1;
+    (match g.fuel with
+    | Some f when g.spent > f ->
+      raise (Error.Error (Error.Budget_exhausted { phase = site; spent = g.spent }))
+    | _ -> ());
+    (match g.deadline with
+    | Some d ->
+      let now = Monotonic_clock.now () in
+      if Int64.compare now d >= 0 then
+        raise (Error.Error (Error.Deadline_exceeded { phase = site; elapsed_ns = Int64.sub now g.start }))
+    | None -> ())
+
+let point site = Chaos.fire site
+
+let run g f =
+  let prev = !current in
+  current := Some g;
+  let restore () = current := prev in
+  match f () with
+  | v ->
+    restore ();
+    Ok v
+  | exception Error.Error e ->
+    restore ();
+    Error e
+  | exception e ->
+    restore ();
+    Error (Error.Internal e)

@@ -1,0 +1,51 @@
+(** Budget/deadline guard: bounded worst-case behavior for the searches.
+
+    A guard couples a monotonic-clock deadline with a fuel counter.
+    Instrumented algorithms charge it by calling {!tick} at their probe
+    sites (one tick per dual/bound evaluation — the unit the paper's
+    running-time analysis counts); when the budget is exhausted the tick
+    raises {!Error.Error}, which {!run} converts to a [result] so callers
+    such as the degradation ladder can fall back instead of crashing.
+
+    Same discipline as {!Bss_obs.Probe}: a scoped process-global sink, not
+    a threaded parameter — algorithm signatures stay untouched, and with no
+    guard installed {!tick} reads one ref and returns (allocation-free;
+    pinned by a Gc-stat test in [test/test_resilience.ml]). Not
+    synchronized: guard on one domain at a time. *)
+
+(** A guard's mutable state. One value can be shared by several {!run}
+    scopes — the ladder reuses it across rungs so fuel spent on a failed
+    rung stays spent. *)
+type t
+
+(** [make ?deadline_ms ?fuel ()] builds a guard. The deadline is absolute
+    from now ([deadline_ms = 0] trips on the first tick); [fuel] is the
+    number of ticks allowed. Omitted limits are unlimited. *)
+val make : ?deadline_ms:int -> ?fuel:int -> unit -> t
+
+(** Ticks charged so far (across all {!run} scopes of this guard). *)
+val spent : t -> int
+
+(** [limited g] is false when [g] was built with no deadline and no fuel. *)
+val limited : t -> bool
+
+(** [active ()] is true inside a {!run} scope. *)
+val active : unit -> bool
+
+(** [tick site] fires {!Chaos.fire}[ site], then charges the installed
+    guard (if any): one fuel unit, plus a deadline check.
+    @raise Error.Error
+      [Budget_exhausted] or [Deadline_exceeded] with [phase = site]. Also
+      whatever an armed chaos site raises. *)
+val tick : string -> unit
+
+(** [point site] is {!Chaos.fire}[ site] only — a fault-injection point
+    that charges no budget. Used by the always-terminating constructions
+    (e.g. the 2-approximation) that the ladder must still be able to test
+    under injected faults. *)
+val point : string -> unit
+
+(** [run g f] installs [g], runs [f], uninstalls. [Error.Error] raises
+    become [Error e]; any other exception becomes [Error (Internal exn)] —
+    nothing escapes. Scopes nest (innermost guard is charged). *)
+val run : t -> (unit -> 'a) -> ('a, Error.t) result

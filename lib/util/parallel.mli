@@ -21,3 +21,24 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 
 (** [iter ?domains f xs] is [map] for side effects. *)
 val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit
+
+(** {1 Crash containment}
+
+    {!map} aborts the whole sweep on the first exception — right for
+    all-or-nothing experiment batches, wrong for a fuzz driver that must
+    survive a crashing case. {!map_results} contains failures per item. *)
+
+type failure = {
+  index : int;  (** position of the failing item in the input list *)
+  attempts : int;  (** evaluations performed, in [\[1, retries + 1\]] *)
+  exn : exn;  (** the exception of the {e last} attempt *)
+}
+
+(** [map_results ?domains ?retries f xs] evaluates [f] on every item,
+    capturing each item's outcome: [Ok y], or — after the item raised on
+    an initial attempt plus up to [retries] (default 1) further attempts —
+    [Error failure]. Order-preserving; every item is evaluated no matter
+    how many others fail, and no exception escapes.
+    @raise Invalid_argument when [retries < 0]. *)
+val map_results :
+  ?domains:int -> ?retries:int -> ('a -> 'b) -> 'a list -> ('b, failure) result list

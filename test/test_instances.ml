@@ -30,15 +30,82 @@ let test_instance_derived () =
   check int_c "class size 1" 3 (Instance.class_size inst 1);
   check bool_c "class jobs" true (Instance.jobs_of_class inst 0 = [| 0; 2 |])
 
+module Rerror = Bss_resilience.Error
+
+(* [make]/[of_string] report malformed input through the typed taxonomy:
+   always [Invalid_input], with the field (and, for [of_string], the line)
+   that identifies the offending datum. *)
+let invalid_field f =
+  match f () with
+  | _ -> None
+  | exception Rerror.Error (Rerror.Invalid_input { field; _ }) -> Some field
+
+let invalid_loc f =
+  match f () with
+  | _ -> None
+  | exception Rerror.Error (Rerror.Invalid_input { line; field; _ }) -> Some (line, field)
+
+let str_opt_c = Alcotest.(option string)
+
 let test_instance_validation () =
-  let expect_invalid f = try ignore (f ()); false with Invalid_argument _ -> true in
-  check bool_c "m=0" true (expect_invalid (fun () -> Instance.make ~m:0 ~setups:[| 1 |] ~jobs:[| (0, 1) |]));
-  check bool_c "setup=0" true (expect_invalid (fun () -> Instance.make ~m:1 ~setups:[| 0 |] ~jobs:[| (0, 1) |]));
-  check bool_c "time=0" true (expect_invalid (fun () -> Instance.make ~m:1 ~setups:[| 1 |] ~jobs:[| (0, 0) |]));
-  check bool_c "bad class" true (expect_invalid (fun () -> Instance.make ~m:1 ~setups:[| 1 |] ~jobs:[| (1, 1) |]));
-  check bool_c "empty class" true
-    (expect_invalid (fun () -> Instance.make ~m:1 ~setups:[| 1; 1 |] ~jobs:[| (0, 1) |]));
-  check bool_c "no jobs" true (expect_invalid (fun () -> Instance.make ~m:1 ~setups:[| 1 |] ~jobs:[||]))
+  let field f = invalid_field f in
+  check str_opt_c "m=0" (Some "m") (field (fun () -> Instance.make ~m:0 ~setups:[| 1 |] ~jobs:[| (0, 1) |]));
+  check str_opt_c "setup=0" (Some "setup")
+    (field (fun () -> Instance.make ~m:1 ~setups:[| 0 |] ~jobs:[| (0, 1) |]));
+  check str_opt_c "time=0" (Some "time")
+    (field (fun () -> Instance.make ~m:1 ~setups:[| 1 |] ~jobs:[| (0, 0) |]));
+  check str_opt_c "bad class" (Some "class")
+    (field (fun () -> Instance.make ~m:1 ~setups:[| 1 |] ~jobs:[| (1, 1) |]));
+  check str_opt_c "empty class" (Some "class")
+    (field (fun () -> Instance.make ~m:1 ~setups:[| 1; 1 |] ~jobs:[| (0, 1) |]));
+  check str_opt_c "no jobs" (Some "jobs") (field (fun () -> Instance.make ~m:1 ~setups:[| 1 |] ~jobs:[||]))
+
+(* overflow-adjacent values: the searches need arithmetic headroom
+   (breakpoints like 2N and 4(s_i+P_i)/3), so construction caps N *)
+let test_instance_overflow_guard () =
+  check str_opt_c "single near-max setup" (Some "total")
+    (invalid_field (fun () -> Instance.make ~m:2 ~setups:[| max_int - 1 |] ~jobs:[| (0, 1) |]));
+  check str_opt_c "sum wraps max_int" (Some "total")
+    (invalid_field (fun () ->
+         Instance.make ~m:2
+           ~setups:[| max_int / 3; 1 |]
+           ~jobs:[| (0, max_int / 3); (1, max_int / 3) |]));
+  check str_opt_c "just over the cap" (Some "total")
+    (invalid_field (fun () -> Instance.make ~m:2 ~setups:[| (max_int / 8) + 1 |] ~jobs:[| (0, 1) |]));
+  (* 1e12-scale values stay accepted: the huge-value robustness suite
+     depends on this headroom *)
+  let big = 1_000_000_000_000 in
+  let inst = Instance.make ~m:3 ~setups:[| big |] ~jobs:[| (0, big); (0, big) |] in
+  check bool_c "1e12 accepted" true (inst.Instance.total = 3 * big)
+
+let test_of_string_hardening () =
+  check (Alcotest.option (Alcotest.pair (Alcotest.option int_c) Alcotest.string))
+    "overflowing literal carries line+field"
+    (Some (Some 3, "time"))
+    (invalid_loc (fun () -> Instance.of_string "m 2\nsetups 3\njob 0 123456789012345678901234567890\n"));
+  check (Alcotest.option (Alcotest.pair (Alcotest.option int_c) Alcotest.string)) "duplicate m line"
+    (Some (Some 3, "m"))
+    (invalid_loc (fun () -> Instance.of_string "m 2\nsetups 3\nm 4\njob 0 5\n"));
+  check (Alcotest.option (Alcotest.pair (Alcotest.option int_c) Alcotest.string)) "duplicate setups line"
+    (Some (Some 3, "setups"))
+    (invalid_loc (fun () -> Instance.of_string "m 2\nsetups 3\nsetups 4\njob 0 5\n"));
+  check (Alcotest.option (Alcotest.pair (Alcotest.option int_c) Alcotest.string)) "trailing garbage"
+    (Some (Some 3, "line"))
+    (invalid_loc (fun () -> Instance.of_string "m 2\nsetups 3\njob 0 5 9\n"));
+  check (Alcotest.option (Alcotest.pair (Alcotest.option int_c) Alcotest.string)) "empty setups"
+    (Some (Some 2, "setups"))
+    (invalid_loc (fun () -> Instance.of_string "m 2\nsetups\njob 0 5\n"));
+  check (Alcotest.option (Alcotest.pair (Alcotest.option int_c) Alcotest.string)) "bad number in m"
+    (Some (Some 1, "m"))
+    (invalid_loc (fun () -> Instance.of_string "m x\nsetups 3\njob 0 5\n"));
+  check str_opt_c "missing m" (Some "m") (invalid_field (fun () -> Instance.of_string "setups 3\njob 0 5\n"));
+  check str_opt_c "missing setups" (Some "setups")
+    (invalid_field (fun () -> Instance.of_string "m 2\njob 0 5\n"));
+  (* near-max values that parse but trip the headroom cap still carry the
+     typed taxonomy end to end through of_string *)
+  check str_opt_c "near-max value via of_string" (Some "total")
+    (invalid_field (fun () ->
+         Instance.of_string (Printf.sprintf "m 2\nsetups %d\njob 0 1\n" (max_int - 1))))
 
 let test_instance_serialize_roundtrip () =
   let inst = fixture () in
@@ -523,6 +590,8 @@ let () =
           Alcotest.test_case "validation" `Quick test_instance_validation;
           Alcotest.test_case "serialize roundtrip" `Quick test_instance_serialize_roundtrip;
           Alcotest.test_case "parse comments" `Quick test_instance_of_string_comments;
+          Alcotest.test_case "overflow guard" `Quick test_instance_overflow_guard;
+          Alcotest.test_case "of_string hardening" `Quick test_of_string_hardening;
         ] );
       ( "schedule",
         [

@@ -373,6 +373,84 @@ let test_parallel_select_under_domains () =
   in
   check bool_c "all agree" true (List.for_all (fun b -> b) ok)
 
+(* ---------------- Parallel.map_results: crash containment ---------------- *)
+
+let test_map_results_all_ok () =
+  let r = Parallel.map_results ~domains:4 (fun x -> x * x) (List.init 50 (fun i -> i)) in
+  check bool_c "all ok in order" true
+    (r = List.init 50 (fun i -> Ok (i * i)));
+  check bool_c "empty" true (Parallel.map_results (fun x -> x) [] = ([] : (int, Parallel.failure) result list));
+  check bool_c "singleton" true (Parallel.map_results (fun x -> x + 1) [ 41 ] = [ Ok 42 ])
+
+(* several items fail at once on different domains; the sweep still
+   evaluates everything, keeps order, and attributes each failure to the
+   right index with the right exception *)
+let test_map_results_multi_failure () =
+  let bad x = x mod 7 = 3 in
+  let r =
+    Parallel.map_results ~domains:4 ~retries:0
+      (fun x -> if bad x then failwith (string_of_int x) else x * 10)
+      (List.init 60 (fun i -> i))
+  in
+  check int_c "length" 60 (List.length r);
+  List.iteri
+    (fun i o ->
+      match o with
+      | Ok y ->
+        check bool_c (Printf.sprintf "item %d ok" i) false (bad i);
+        check int_c (Printf.sprintf "item %d value" i) (i * 10) y
+      | Error { Parallel.index; attempts; exn } ->
+        check bool_c (Printf.sprintf "item %d failed" i) true (bad i);
+        check int_c "index attribution" i index;
+        check int_c "no retries requested" 1 attempts;
+        check bool_c "exn attribution" true (exn = Failure (string_of_int i)))
+    r
+
+(* an item that raises is retried at most [retries] extra times, and a
+   flaky item that recovers within the bound reports Ok *)
+let test_map_results_retry_bound () =
+  let n = 12 in
+  let calls = Array.init n (fun _ -> Atomic.make 0) in
+  let r =
+    Parallel.map_results ~domains:3 ~retries:2
+      (fun i ->
+        let k = Atomic.fetch_and_add calls.(i) 1 in
+        (* item 4 recovers on its second attempt; item 9 never does *)
+        if (i = 4 && k = 0) || i = 9 then failwith "flaky";
+        i)
+      (List.init n (fun i -> i))
+  in
+  List.iteri
+    (fun i o ->
+      let made = Atomic.get calls.(i) in
+      match o with
+      | Ok y ->
+        check int_c (Printf.sprintf "item %d value" i) i y;
+        check int_c (Printf.sprintf "item %d calls" i) (if i = 4 then 2 else 1) made
+      | Error { Parallel.attempts; _ } ->
+        check int_c "only the hopeless item fails" 9 i;
+        check int_c "attempts = 1 + retries" 3 attempts;
+        check int_c "calls match attempts" 3 made)
+    r;
+  check bool_c "retries < 0 rejected" true
+    (try ignore (Parallel.map_results ~retries:(-1) (fun x -> x) [ 1 ]); false
+     with Invalid_argument _ -> true)
+
+(* unlike [map], a failure must not abort the items after it *)
+let test_map_results_no_early_abort () =
+  let evaluated = Atomic.make 0 in
+  let r =
+    Parallel.map_results ~domains:1 ~retries:0
+      (fun x ->
+        Atomic.incr evaluated;
+        if x = 0 then failwith "first";
+        x)
+      (List.init 10 (fun i -> i))
+  in
+  check int_c "every item evaluated" 10 (Atomic.get evaluated);
+  check int_c "one failure" 1
+    (List.length (List.filter (function Error _ -> true | Ok _ -> false) r))
+
 (* ---------------- Table ---------------- *)
 
 let test_table_render () =
@@ -438,6 +516,10 @@ let () =
           Alcotest.test_case "exception after all finish" `Quick test_parallel_exception_after_all_finish;
           Alcotest.test_case "single domain" `Quick test_parallel_single_domain_degenerate;
           Alcotest.test_case "select under domains" `Quick test_parallel_select_under_domains;
+          Alcotest.test_case "map_results all ok" `Quick test_map_results_all_ok;
+          Alcotest.test_case "map_results multi failure" `Quick test_map_results_multi_failure;
+          Alcotest.test_case "map_results retry bound" `Quick test_map_results_retry_bound;
+          Alcotest.test_case "map_results no early abort" `Quick test_map_results_no_early_abort;
         ] );
       ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
     ]
