@@ -5,6 +5,8 @@
      generate  emit a random instance from a workload family
      check     validate an instance file and print its statistics
      fuzz      sweep the conformance oracle over random cases
+     serve     run a batch of requests through the fault-tolerant service runtime
+     soak      stream a generated workload through the service runtime
 
    Instance file format (see Instance.of_string):
      m 4
@@ -122,6 +124,7 @@ let solve_cmd =
     match e with
     | Rerror.Budget_exhausted { phase; _ } -> "budget_exhausted at " ^ phase
     | Rerror.Deadline_exceeded { phase; _ } -> "deadline_exceeded at " ^ phase
+    | Rerror.Overloaded _ -> "overloaded"
     | Rerror.Internal _ -> "internal"
     | Rerror.Invalid_input _ -> "invalid_input"
   in
@@ -321,14 +324,6 @@ let fuzz_cmd =
             "Append the replay ids of failing, crashing or chaos-degraded cases to $(docv) for later \
              --replay @$(docv).")
   in
-  let append_corpus path ids =
-    let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
-    List.iter (fun id -> output_string oc (id ^ "\n")) (List.sort_uniq compare ids);
-    close_out oc;
-    Printf.printf "corpus: recorded %d id%s in %s\n" (List.length ids)
-      (if List.length ids = 1 then "" else "s")
-      path
-  in
   let read_corpus path =
     let ic = open_in path in
     let ids = ref [] in
@@ -340,6 +335,16 @@ let fuzz_cmd =
      with End_of_file -> ());
     close_in ic;
     List.rev !ids
+  in
+  (* merge + atomic replace (temp file + rename, the journal's helper): a
+     crash mid-write can never truncate or corrupt an existing corpus *)
+  let append_corpus path ids =
+    let existing = if Sys.file_exists path then read_corpus path else [] in
+    let merged = List.sort_uniq compare (existing @ ids) in
+    Atomic_file.write path (String.concat "" (List.map (fun id -> id ^ "\n") merged));
+    Printf.printf "corpus: recorded %d id%s in %s\n" (List.length ids)
+      (if List.length ids = 1 then "" else "s")
+      path
   in
   let run seed cases family variant replay profile chaos corpus =
     if cases < 0 then begin
@@ -454,6 +459,205 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Sweep the conformance oracle over deterministic random cases.")
     Term.(const run $ seed $ cases $ family $ variant $ replay $ profile $ chaos $ corpus)
 
+(* ---------------- the batch-service runtime ---------------- *)
+
+module Service = Bss_service
+
+(* shared flags of `bss serve` and `bss soak` *)
+let service_config_term =
+  let open Service.Runtime in
+  let queue =
+    Arg.(value & opt int default_config.queue_capacity
+         & info [ "queue" ] ~docv:"N" ~doc:"Bounded work-queue capacity (admission beyond it is rejected).")
+  in
+  let burst =
+    Arg.(value & opt (some int) None
+         & info [ "burst" ] ~docv:"N"
+             ~doc:"Admissions attempted per dispatch wave (default: the queue capacity). A burst above \
+                   the capacity exercises backpressure: the excess is rejected with a typed error.")
+  in
+  let workers =
+    Arg.(value & opt (some int) None
+         & info [ "workers" ] ~docv:"N" ~doc:"Worker domains (default: the runtime's recommendation; chaos forces 1).")
+  in
+  let retries =
+    Arg.(value & opt int default_config.retries
+         & info [ "retries" ] ~docv:"N" ~doc:"Retry attempts per request beyond the first, with exponential backoff.")
+  in
+  let breaker_k =
+    Arg.(value & opt int default_config.breaker_k
+         & info [ "breaker-k" ] ~docv:"K" ~doc:"Consecutive ladder failures that trip a variant's circuit breaker.")
+  in
+  let breaker_cooldown =
+    Arg.(value & opt int default_config.breaker_cooldown
+         & info [ "breaker-cooldown" ] ~docv:"N"
+             ~doc:"Requests routed to the certified 2-approx rung before a half-open probe.")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request wall-clock budget (degrades down the resilience ladder).")
+  in
+  let fuel =
+    Arg.(value & opt (some int) None
+         & info [ "fuel" ] ~docv:"TICKS" ~doc:"Per-request step budget: guarded dual/bound evaluations.")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int default_config.checkpoint_every
+         & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Journal flush cadence, in completed requests.")
+  in
+  let chaos =
+    Arg.(value & opt (some int) None
+         & info [ "chaos" ] ~docv:"SEED"
+             ~doc:"Inject deterministic seeded faults into the service layer (admission, journal flush, \
+                   breaker probe, solve envelope) and the algorithm interiors (single worker).")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"Master seed (backoff jitter; soak stream).") in
+  let build queue burst workers retries breaker_k breaker_cooldown deadline_ms fuel checkpoint_every chaos seed =
+    {
+      default_config with
+      queue_capacity = queue;
+      burst = Option.value burst ~default:queue;
+      workers;
+      retries;
+      breaker_k;
+      breaker_cooldown;
+      deadline_ms;
+      fuel;
+      checkpoint_every;
+      chaos;
+      seed;
+    }
+  in
+  Term.(
+    const build $ queue $ burst $ workers $ retries $ breaker_k $ breaker_cooldown $ deadline_ms $ fuel
+    $ checkpoint_every $ chaos $ seed)
+
+(* SIGINT/SIGTERM request a graceful drain: stop admitting, finish the
+   in-flight wave, flush the journal, exit 3. *)
+let install_drain_signals () =
+  let stop = ref false in
+  let handler _ = stop := true in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle handler) with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle handler) with Invalid_argument _ -> ());
+  fun () -> !stop
+
+let service_exit (s : Service.Runtime.summary) ~strict =
+  if s.Service.Runtime.interrupted then exit 3;
+  if s.Service.Runtime.dropped > 0 || s.Service.Runtime.journal_dirty > 0 then exit 1;
+  if strict && (s.Service.Runtime.rejected > 0 || s.Service.Runtime.aborted > 0) then exit 1
+
+let service_profile_term =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Record service telemetry (queue depth, retries, breaker transitions, per-request \
+           latency) and print it after the summary. Forces a single worker so counters are \
+           deterministic.")
+
+(* The probe sink is a plain scoped Hashtbl, so a profiled run pins the
+   pool to one worker; emissions then all happen on one domain. *)
+let with_service_profile ~profile ~json config run =
+  let config =
+    if profile then { config with Service.Runtime.workers = Some 1 } else config
+  in
+  if profile then
+    let summary, report = Bss_obs.Probe.with_recording (fun () -> run config) in
+    (summary, Some (if json then Bss_obs.Render.json report ^ "\n" else Bss_obs.Render.table report))
+  else (run config, None)
+
+let serve_cmd =
+  let batch =
+    Arg.(required & opt (some file) None
+         & info [ "batch" ] ~docv:"FILE" ~doc:"Batch request file: one request per line (see docs/service.md).")
+  in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE" ~doc:"Checkpoint journal path (default: $(b,BATCH).journal).")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ] ~doc:"Restore completions from the journal and re-solve only the rest.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit one machine-readable JSON object instead of text.") in
+  let run config batch journal resume json profile =
+    or_invalid_input ~json (fun () ->
+        let requests =
+          let ic = open_in batch in
+          let len = in_channel_length ic in
+          let s = really_input_string ic len in
+          close_in ic;
+          Service.Request.of_batch_string s
+        in
+        let journal_path = Option.value journal ~default:(batch ^ ".journal") in
+        let journal =
+          if resume then Service.Journal.load journal_path else Service.Journal.fresh journal_path
+        in
+        let should_stop = install_drain_signals () in
+        if not json then
+          Printf.printf "serve: batch=%s requests=%d queue=%d workers=%s resume=%b\n" batch
+            (List.length requests) config.Service.Runtime.queue_capacity
+            (match config.Service.Runtime.workers with
+            | Some w -> string_of_int w
+            | None ->
+              if profile || config.Service.Runtime.chaos <> None then "1" else "auto")
+            resume;
+        let summary, report =
+          with_service_profile ~profile ~json config (fun config ->
+              Service.Runtime.run ~journal ~should_stop config requests)
+        in
+        if json then print_endline (Service.Runtime.render_json summary)
+        else print_string (Service.Runtime.render_text summary);
+        Option.iter print_string report;
+        service_exit summary ~strict:true)
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run a batch of solve requests through the fault-tolerant service runtime.")
+    Term.(const run $ service_config_term $ batch $ journal $ resume $ json $ service_profile_term)
+
+let soak_cmd =
+  let requests =
+    Arg.(value & opt int 200 & info [ "requests"; "n" ] ~docv:"N" ~doc:"Generated requests to stream.")
+  in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE" ~doc:"Checkpoint journal path (enables kill-and-resume for long soaks).")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ] ~doc:"Restore completions from the journal and re-solve only the rest.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit one machine-readable JSON object instead of text.") in
+  let run config requests journal resume json profile =
+    let stream = Service.Request.soak_stream ~seed:config.Service.Runtime.seed ~requests in
+    let journal =
+      Option.map
+        (fun path -> if resume then Service.Journal.load path else Service.Journal.fresh path)
+        journal
+    in
+    let should_stop = install_drain_signals () in
+    if not json then
+      Printf.printf "soak: seed=%d requests=%d queue=%d burst=%d chaos=%s\n"
+        config.Service.Runtime.seed requests config.Service.Runtime.queue_capacity
+        config.Service.Runtime.burst
+        (match config.Service.Runtime.chaos with None -> "off" | Some c -> string_of_int c);
+    let summary, report =
+      with_service_profile ~profile ~json config (fun config ->
+          Service.Runtime.run ?journal ~should_stop config stream)
+    in
+    if json then print_endline (Service.Runtime.render_json summary)
+    else print_string (Service.Runtime.render_text summary);
+    Option.iter print_string report;
+    service_exit summary ~strict:false
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Stream a generated workload through the service runtime, optionally under chaos.")
+    Term.(const run $ service_config_term $ requests $ journal $ resume $ json $ service_profile_term)
+
 let () =
   let doc = "near-linear approximation algorithms for scheduling with batch setup times" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "bss" ~doc) [ solve_cmd; generate_cmd; check_cmd; fuzz_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "bss" ~doc)
+          [ solve_cmd; generate_cmd; check_cmd; fuzz_cmd; serve_cmd; soak_cmd ]))

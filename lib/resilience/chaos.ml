@@ -12,6 +12,9 @@ let sites =
     "two_approx.solve";
   ]
 
+let service_sites =
+  [ "service.admit"; "service.breaker.probe"; "service.journal.flush"; "service.solve" ]
+
 type state = { plan : (string * int * action) list; hits : (string, int ref) Hashtbl.t }
 
 let current : state option ref = ref None
@@ -54,12 +57,12 @@ let with_plan plan f =
     current := Some { plan; hits = Hashtbl.create 8 };
     Fun.protect ~finally:(fun () -> current := prev) f
 
-let plan_of_seed seed =
+let plan_of_seed ?(sites = sites) ?(spread = 12) seed =
   let rng = Bss_util.Prng.create (0x5eed_c4a0 lxor seed) in
   let arr = Array.of_list sites in
   let draw () =
     let site = Bss_util.Prng.choose rng arr in
-    let hit = Bss_util.Prng.int rng 12 in
+    let hit = Bss_util.Prng.int rng spread in
     let action = if Bss_util.Prng.int rng 4 = 0 then Stall 2_000 else Raise in
     (site, hit, action)
   in

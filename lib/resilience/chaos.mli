@@ -25,9 +25,17 @@ type action =
     their catch-all ([Internal]) path, not via the typed-error path. *)
 exception Injected of { site : string; hit : int }
 
-(** The site catalogue, sorted: every name instrumented code passes to
-    {!fire} (via {!Guard.tick} or {!Guard.point}). *)
+(** The algorithm-interior site catalogue, sorted: every name the solver
+    pipeline passes to {!fire} (via {!Guard.tick} or {!Guard.point}). *)
 val sites : string list
+
+(** The batch-service runtime's fault sites ([Bss_service]):
+    ["service.admit"] (bounded-queue admission), ["service.breaker.probe"]
+    (half-open circuit-breaker probe), ["service.journal.flush"]
+    (checkpoint journal write) and ["service.solve"] (per-request solve
+    envelope). Disjoint from {!sites}; [bss soak --chaos] arms plans over
+    both catalogues. *)
+val service_sites : string list
 
 (** [armed ()] is true inside a {!with_plan} scope with a non-empty plan. *)
 val armed : unit -> bool
@@ -42,10 +50,12 @@ val fire : string -> unit
     nest (innermost plan wins). *)
 val with_plan : (string * int * action) list -> (unit -> 'a) -> 'a
 
-(** [plan_of_seed seed] draws a small deterministic plan (1-2 armed sites,
-    hits in [0, 12), mostly [Raise] with occasional [Stall]) from the
-    catalogue. Equal seeds give equal plans. *)
-val plan_of_seed : int -> (string * int * action) list
+(** [plan_of_seed ?sites ?spread seed] draws a small deterministic plan
+    (1-2 armed sites, hits in [\[0, spread)] with [spread] defaulting to
+    12, mostly [Raise] with occasional [Stall]) from the given catalogue
+    (default {!sites}). Equal arguments give equal plans; the default
+    arguments reproduce the historical stream bit-for-bit. *)
+val plan_of_seed : ?sites:string list -> ?spread:int -> int -> (string * int * action) list
 
 (** ["site@hit:raise site@hit:stall(2000us)"] — for logs and reports. *)
 val describe_plan : (string * int * action) list -> string

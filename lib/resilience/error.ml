@@ -4,6 +4,7 @@ type t =
   | Invalid_input of { line : int option; field : string; reason : string }
   | Budget_exhausted of { phase : string; spent : int }
   | Deadline_exceeded of { phase : string; elapsed_ns : int64 }
+  | Overloaded of { capacity : int; pending : int }
   | Internal of exn
 
 exception Error of t
@@ -19,6 +20,8 @@ let to_string = function
   | Deadline_exceeded { phase; elapsed_ns } ->
     Printf.sprintf "deadline exceeded at %s after %.3fms" phase
       (Int64.to_float elapsed_ns /. 1e6)
+  | Overloaded { capacity; pending } ->
+    Printf.sprintf "overloaded: work queue full (%d pending, capacity %d)" pending capacity
   | Internal e -> "internal: " ^ Printexc.to_string e
 
 let to_json = function
@@ -37,4 +40,7 @@ let to_json = function
         ("phase", Json.str phase);
         ("elapsed_ns", Json.int64 elapsed_ns);
       ]
+  | Overloaded { capacity; pending } ->
+    Json.obj
+      [ ("kind", Json.str "overloaded"); ("capacity", Json.int capacity); ("pending", Json.int pending) ]
   | Internal e -> Json.obj [ ("kind", Json.str "internal"); ("exn", Json.str (Printexc.to_string e)) ]

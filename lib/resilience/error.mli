@@ -17,6 +17,10 @@ type t =
   | Deadline_exceeded of { phase : string; elapsed_ns : int64 }
       (** the monotonic-clock deadline passed; [phase] is the guard site
           that observed it *)
+  | Overloaded of { capacity : int; pending : int }
+      (** admission to a bounded work queue was refused: the queue held
+          [pending] requests of [capacity] — the service's backpressure
+          signal, never an unbounded buffer *)
   | Internal of exn
       (** an exception escaped an algorithm run under {!Guard.run} —
           including faults injected by {!Chaos} *)

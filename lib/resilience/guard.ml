@@ -8,7 +8,10 @@ type t = {
   mutable spent : int;
 }
 
-let current : t option ref = ref None
+(* One installed-guard slot per domain: the service worker pool runs a
+   guarded solve on every worker domain at once, so a process-global slot
+   would let one worker's install/uninstall clobber another's budget. *)
+let key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let make ?deadline_ms ?fuel () =
   let start = match deadline_ms with None -> 0L | Some _ -> Monotonic_clock.now () in
@@ -19,11 +22,11 @@ let make ?deadline_ms ?fuel () =
 
 let spent g = g.spent
 let limited g = g.deadline <> None || g.fuel <> None
-let active () = !current != None
+let active () = Domain.DLS.get key != None
 
 let tick site =
   Chaos.fire site;
-  match !current with
+  match Domain.DLS.get key with
   | None -> ()
   | Some g ->
     g.spent <- g.spent + 1;
@@ -41,9 +44,9 @@ let tick site =
 let point site = Chaos.fire site
 
 let run g f =
-  let prev = !current in
-  current := Some g;
-  let restore () = current := prev in
+  let prev = Domain.DLS.get key in
+  Domain.DLS.set key (Some g);
+  let restore () = Domain.DLS.set key prev in
   match f () with
   | v ->
     restore ();

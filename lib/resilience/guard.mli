@@ -7,11 +7,14 @@
     raises {!Error.Error}, which {!run} converts to a [result] so callers
     such as the degradation ladder can fall back instead of crashing.
 
-    Same discipline as {!Bss_obs.Probe}: a scoped process-global sink, not
-    a threaded parameter — algorithm signatures stay untouched, and with no
-    guard installed {!tick} reads one ref and returns (allocation-free;
-    pinned by a Gc-stat test in [test/test_resilience.ml]). Not
-    synchronized: guard on one domain at a time. *)
+    Same discipline as {!Bss_obs.Probe}: a scoped sink, not a threaded
+    parameter — algorithm signatures stay untouched, and with no guard
+    installed {!tick} reads one domain-local slot and returns
+    (allocation-free; pinned by a Gc-stat test in
+    [test/test_resilience.ml]). The slot is {e domain-local}
+    ([Domain.DLS]), so the service worker pool can run one guarded solve
+    per domain concurrently; a guard {e value} must still not be shared
+    across domains. *)
 
 (** A guard's mutable state. One value can be shared by several {!run}
     scopes — the ladder reuses it across rungs so fuel spent on a failed

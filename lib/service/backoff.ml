@@ -1,0 +1,17 @@
+type policy = { base_us : int; factor : int; cap_us : int }
+
+let default = { base_us = 200; factor = 2; cap_us = 20_000 }
+
+let delay_us policy rng ~attempt =
+  if attempt < 1 then invalid_arg "Backoff.delay_us: attempt < 1";
+  let rec grow d k = if k <= 1 || d >= policy.cap_us then d else grow (d * policy.factor) (k - 1) in
+  let d = min policy.cap_us (grow policy.base_us attempt) in
+  d + Bss_util.Prng.int rng ((d / 2) + 1)
+
+let wait us =
+  if us > 0 then begin
+    let stop = Int64.add (Monotonic_clock.now ()) (Int64.mul (Int64.of_int us) 1_000L) in
+    while Int64.compare (Monotonic_clock.now ()) stop < 0 do
+      ()
+    done
+  end

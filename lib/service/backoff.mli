@@ -1,0 +1,27 @@
+(** Bounded retry with exponential backoff and deterministic jitter.
+
+    Delays grow geometrically with the attempt number, are capped, and
+    carry jitter drawn from an explicit {!Bss_util.Prng.t} — no wall-clock
+    randomness, so a retry schedule is a pure function of the policy and
+    the seed, and a killed-and-resumed batch replays identical waits.
+    Waiting busy-spins on the monotonic clock (same discipline as
+    {!Bss_resilience.Chaos}'s [Stall]): the delays involved are hundreds
+    of microseconds, far below the cost of a sleep syscall's wake-up
+    slop, and nothing here may depend on signal-interruptible sleeps. *)
+
+type policy = {
+  base_us : int;  (** first-retry delay, microseconds *)
+  factor : int;  (** geometric growth per attempt *)
+  cap_us : int;  (** upper bound on any single delay *)
+}
+
+(** base 200µs, factor 2, cap 20ms. *)
+val default : policy
+
+(** [delay_us policy rng ~attempt] is the wait before retry [attempt]
+    (1-based): [min cap_us (base_us·factor^(attempt-1))] plus jitter
+    uniform in [\[0, delay/2\]] drawn from [rng]. *)
+val delay_us : policy -> Bss_util.Prng.t -> attempt:int -> int
+
+(** [wait us] busy-waits [us] microseconds on the monotonic clock. *)
+val wait : int -> unit

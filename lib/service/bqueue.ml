@@ -1,0 +1,24 @@
+module Rerror = Bss_resilience.Error
+module Guard = Bss_resilience.Guard
+
+type 'a t = { capacity : int; items : 'a Queue.t }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bqueue.create: capacity < 1";
+  { capacity; items = Queue.create () }
+
+let capacity q = q.capacity
+let length q = Queue.length q.items
+
+let admit q x =
+  Guard.point "service.admit";
+  if Queue.length q.items >= q.capacity then
+    Error (Rerror.Overloaded { capacity = q.capacity; pending = Queue.length q.items })
+  else begin
+    Queue.add x q.items;
+    Ok ()
+  end
+
+let drain q =
+  let rec go acc = match Queue.take_opt q.items with None -> List.rev acc | Some x -> go (x :: acc) in
+  go []

@@ -1,0 +1,31 @@
+(** A bounded FIFO work queue with typed backpressure.
+
+    Admission beyond [capacity] is refused with
+    {!Bss_resilience.Error.Overloaded} — the runtime's memory use is
+    bounded by construction, and producers learn about overload through
+    the same typed-error channel as every other failure. Admission also
+    fires the ["service.admit"] chaos site, so fault plans can make the
+    admission path itself crash.
+
+    Not synchronized: the runtime admits and drains from its coordinator
+    domain only (workers see requests only after they leave the queue). *)
+
+type 'a t
+
+(** [create ~capacity] is an empty queue. @raise Invalid_argument when
+    [capacity < 1]. *)
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+
+(** Requests currently queued, in [\[0, capacity\]]. *)
+val length : 'a t -> int
+
+(** [admit q x] enqueues [x], or refuses: [Error (Overloaded _)] when the
+    queue is full. Fires {!Bss_resilience.Guard.point}
+    ["service.admit"] first, so an armed chaos fault escapes as
+    {!Bss_resilience.Chaos.Injected} — callers contain it like any crash. *)
+val admit : 'a t -> 'a -> (unit, Bss_resilience.Error.t) result
+
+(** [drain q] dequeues everything, oldest first. *)
+val drain : 'a t -> 'a list

@@ -1,0 +1,59 @@
+module Guard = Bss_resilience.Guard
+
+type state =
+  | Closed of { failures : int }
+  | Open of { remaining : int }
+  | Half_open of { probing : bool }
+
+type route = Requested | Probe | Fallback
+
+type t = {
+  k : int;
+  cooldown : int;
+  mutable state : state;
+  mutable transitions : string list;  (* newest first *)
+}
+
+let make ~k ~cooldown () =
+  if k < 1 then invalid_arg "Breaker.make: k < 1";
+  if cooldown < 1 then invalid_arg "Breaker.make: cooldown < 1";
+  { k; cooldown; state = Closed { failures = 0 }; transitions = [] }
+
+let state t = t.state
+
+let name = function Closed _ -> "closed" | Open _ -> "open" | Half_open _ -> "half-open"
+
+let shift t next =
+  if Bss_obs.Probe.enabled () then Bss_obs.Probe.count ("service.breaker." ^ name next);
+  t.transitions <- (name t.state ^ "->" ^ name next) :: t.transitions;
+  t.state <- next
+
+let route t =
+  match t.state with
+  | Closed _ -> Requested
+  | Open _ -> Fallback
+  | Half_open { probing = true } -> Fallback
+  | Half_open { probing = false } ->
+    Guard.point "service.breaker.probe";
+    t.state <- Half_open { probing = true };
+    Probe
+
+let record t ~route ~ok =
+  match (t.state, route) with
+  | Closed { failures }, Requested ->
+    if ok then t.state <- Closed { failures = 0 }
+    else if failures + 1 >= t.k then shift t (Open { remaining = t.cooldown })
+    else t.state <- Closed { failures = failures + 1 }
+  | Open { remaining }, Fallback ->
+    if remaining <= 1 then shift t (Half_open { probing = false })
+    else t.state <- Open { remaining = remaining - 1 }
+  | Half_open _, Probe ->
+    if ok then shift t (Closed { failures = 0 }) else shift t (Open { remaining = t.cooldown })
+  | Half_open _, Fallback -> ()
+  | _, _ ->
+    (* a route decided under an older state (the wave was dispatched
+       before a transition landed): requested-route outcomes still count
+       in closed state above; anything else is informational only *)
+    ()
+
+let transitions t = List.rev t.transitions

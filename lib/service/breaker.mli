@@ -1,0 +1,51 @@
+(** A per-variant circuit breaker over the degradation ladder.
+
+    The runtime keeps one breaker per problem variant. While {e closed},
+    requests run their requested algorithm; [k] consecutive {e ladder
+    failures} (a request that had to leave its requested rung, or aborted
+    outright) trip the breaker {e open}, and the next [cooldown] requests
+    on that variant are routed straight to the certified 2-approximation
+    rung (Theorem 1) without touching the failing search. When the
+    cooldown is spent the breaker goes {e half-open}: exactly one probe
+    request runs the requested algorithm again — success closes the
+    breaker, failure re-opens it for another cooldown.
+
+    All decisions are made and recorded on the coordinator domain in
+    request order, so breaker behavior is deterministic for a fixed
+    request stream no matter how many worker domains solve. *)
+
+type state =
+  | Closed of { failures : int }  (** consecutive ladder failures so far *)
+  | Open of { remaining : int }  (** fallback-routed requests left before probing *)
+  | Half_open of { probing : bool }  (** [probing] once the probe is dispatched *)
+
+type route =
+  | Requested  (** run the request's own algorithm *)
+  | Probe  (** run the requested algorithm as the half-open probe *)
+  | Fallback  (** route to the certified 2-approx rung *)
+
+type t
+
+(** [make ~k ~cooldown ()] — trip after [k] >= 1 consecutive failures;
+    stay open for [cooldown] >= 1 fallback-routed requests. *)
+val make : k:int -> cooldown:int -> unit -> t
+
+val state : t -> state
+
+(** [route t] decides how the next request on this variant runs, and
+    marks the probe in flight when it returns [Probe] (so later routes in
+    the same dispatch wave fall back until the probe's outcome arrives).
+    A [Probe] decision fires {!Bss_resilience.Guard.point}
+    ["service.breaker.probe"]; an armed chaos fault there escapes as
+    {!Bss_resilience.Chaos.Injected} and the caller must treat the probe
+    as failed. *)
+val route : t -> route
+
+(** [record t ~route ~ok] feeds one outcome back, in request order.
+    [ok = false] means a ladder failure. Fallback outcomes only count
+    down the open cooldown; they never close or trip the breaker. *)
+val record : t -> route:route -> ok:bool -> unit
+
+(** Transitions so far, oldest first, as ["closed->open"],
+    ["open->half-open"], ["half-open->closed"], ["half-open->open"]. *)
+val transitions : t -> string list

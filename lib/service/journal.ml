@@ -1,0 +1,64 @@
+module Guard = Bss_resilience.Guard
+
+type entry = { id : string; rung : string; makespan : string }
+
+type t = {
+  path : string;
+  mutable order : string list;  (* completion order, newest first *)
+  by_id : (string, entry) Hashtbl.t;
+  mutable dirty : int;
+}
+
+let fresh path = { path; order = []; by_id = Hashtbl.create 64; dirty = 0 }
+
+let parse_line line =
+  match String.split_on_char '\t' line with
+  | [ id; rung; makespan ] -> { id; rung; makespan }
+  | _ -> failwith ("Journal.load: corrupt journal line: " ^ line)
+
+let load path =
+  let t = fresh path in
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then begin
+           let e = parse_line line in
+           if not (Hashtbl.mem t.by_id e.id) then begin
+             t.order <- e.id :: t.order;
+             Hashtbl.replace t.by_id e.id e
+           end
+         end
+       done
+     with End_of_file -> ());
+    close_in ic
+  end;
+  t
+
+let path t = t.path
+let mem t id = Hashtbl.mem t.by_id id
+let entries t = List.rev_map (Hashtbl.find t.by_id) t.order
+
+let add t e =
+  if not (Hashtbl.mem t.by_id e.id) then begin
+    t.order <- e.id :: t.order;
+    Hashtbl.replace t.by_id e.id e;
+    t.dirty <- t.dirty + 1
+  end
+
+let dirty t = t.dirty
+
+let render t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (e : entry) -> Buffer.add_string buf (Printf.sprintf "%s\t%s\t%s\n" e.id e.rung e.makespan))
+    (entries t);
+  Buffer.contents buf
+
+let flush t =
+  if t.dirty > 0 then begin
+    Guard.point "service.journal.flush";
+    Bss_util.Atomic_file.write t.path (render t);
+    t.dirty <- 0
+  end

@@ -1,0 +1,49 @@
+(** The crash-safe checkpoint journal.
+
+    One line per completed request — tab-separated
+    [id <TAB> rung <TAB> makespan] — rewritten in full through
+    {!Bss_util.Atomic_file.write} (temp file + rename in the journal's
+    directory) at every flush. A SIGKILL therefore leaves either the
+    previous journal or the new one, never a truncated mixture; a resumed
+    run trusts every entry it finds and re-solves only the rest. A flush
+    that fails (including an armed ["service.journal.flush"] chaos fault)
+    leaves the previous on-disk journal intact — checkpointing is delayed,
+    results are never corrupted. *)
+
+type entry = {
+  id : string;  (** the request id (no tabs or newlines) *)
+  rung : string;  (** ladder rung that produced the result *)
+  makespan : string;  (** exact rational, as [Rat.to_string] *)
+}
+
+type t
+
+(** [load path] reads the journal at [path]; a missing file is an empty
+    journal. Unparseable lines are impossible under the atomic-write
+    contract and raise [Failure] (a corrupt journal should stop a resume
+    loudly, not silently re-solve). *)
+val load : string -> t
+
+(** A fresh, empty journal backed by [path]. *)
+val fresh : string -> t
+
+val path : t -> string
+
+(** [mem t id] is true when [id] is already checkpointed. *)
+val mem : t -> string -> bool
+
+(** Checkpointed entries, oldest first. *)
+val entries : t -> entry list
+
+(** [add t entry] records a completion in memory; it reaches disk at the
+    next {!flush}. Re-adding a checkpointed id is a no-op. *)
+val add : t -> entry -> unit
+
+(** Completions recorded since the last successful {!flush}. *)
+val dirty : t -> int
+
+(** [flush t] atomically rewrites the journal file when dirty. Fires
+    {!Bss_resilience.Guard.point} ["service.journal.flush"] first; an
+    armed chaos fault or an I/O error escapes — the caller contains it
+    and retries at the next checkpoint. *)
+val flush : t -> unit

@@ -1,0 +1,52 @@
+(** Solve requests: the unit of work the batch-service runtime schedules.
+
+    A request names an instance — either an on-disk instance file or a
+    seeded draw from a workload family — together with the problem variant
+    and algorithm to run. Realization is deterministic: equal requests
+    give equal instances, so a batch killed and resumed re-solves exactly
+    the work the checkpoint journal does not cover. *)
+
+open Bss_instances
+open Bss_core
+
+type source =
+  | File of string  (** path to an {!Instance.of_string} file *)
+  | Gen of { family : string; seed : int; m : int; n : int }
+      (** a {!Bss_workloads.Generator} family drawn under [seed] *)
+
+type t = {
+  id : string;  (** unique within a batch; the journal key *)
+  variant : Variant.t;
+  algorithm : Solver.algorithm;
+  source : source;
+}
+
+(** [instance t] realizes the request's instance.
+    @raise Bss_resilience.Error.Error
+      ([Invalid_input]) on a malformed instance file or an unknown
+      family. *)
+val instance : t -> Instance.t
+
+(** [of_batch_string s] parses a batch file: one request per line,
+
+    {v
+    <id> <variant> <algorithm> file <path>
+    <id> <variant> <algorithm> gen <family> <seed> <m> <n>
+    v}
+
+    where [<variant>] is [nonp]/[pmtn]/[split] and [<algorithm>] is [2],
+    [3/2] or [3/2+1/<k>]. Blank lines and [#] comments are skipped.
+    @raise Bss_resilience.Error.Error
+      ([Invalid_input] with the 1-based line) on a malformed line or a
+      duplicate id. *)
+val of_batch_string : string -> t list
+
+(** One batch-file line (inverse of {!of_batch_string} for one request). *)
+val to_line : t -> string
+
+(** [soak_stream ~seed ~requests] is a deterministic soak workload:
+    [requests] generated requests round-robining the workload families and
+    variants, algorithm 3/2, ids ["soak-<family>-<i>"], sizes drawn from a
+    PRNG derived from [(seed, i)] (so any sub-batch realizes identically
+    regardless of processing order). *)
+val soak_stream : seed:int -> requests:int -> t list

@@ -1,0 +1,465 @@
+open Bss_util
+open Bss_instances
+open Bss_core
+module Rerror = Bss_resilience.Error
+module Guard = Bss_resilience.Guard
+module Chaos = Bss_resilience.Chaos
+module Probe = Bss_obs.Probe
+
+type config = {
+  queue_capacity : int;
+  burst : int;
+  workers : int option;
+  retries : int;
+  backoff : Backoff.policy;
+  breaker_k : int;
+  breaker_cooldown : int;
+  deadline_ms : int option;
+  fuel : int option;
+  checkpoint_every : int;
+  chaos : int option;
+  seed : int;
+}
+
+let default_config =
+  {
+    queue_capacity = 64;
+    burst = 64;
+    workers = None;
+    retries = 2;
+    backoff = Backoff.default;
+    breaker_k = 3;
+    breaker_cooldown = 4;
+    deadline_ms = None;
+    fuel = None;
+    checkpoint_every = 8;
+    chaos = None;
+    seed = 0;
+  }
+
+type status = Done | Rejected | Aborted
+
+type outcome = {
+  request : Request.t;
+  status : status;
+  rung : string option;
+  makespan : string option;
+  routed : string;
+  retries_used : int;
+  degraded : bool;
+  from_checkpoint : bool;
+  error : Rerror.t option;
+  latency_ns : int64;
+}
+
+type summary = {
+  outcomes : outcome list;
+  total : int;
+  completed : int;
+  checkpointed : int;
+  rejected : int;
+  aborted : int;
+  dropped : int;
+  not_admitted : int;
+  retries : int;
+  rungs : (string * int) list;
+  breaker : (Variant.t * string list) list;
+  queue_peak : int;
+  waves : int;
+  flush_failures : int;
+  journal_dirty : int;
+  interrupted : bool;
+}
+
+(* deterministic across processes, unlike Hashtbl.hash's documented-but-
+   version-dependent mixing: retry jitter and chaos plans derived from a
+   request id must replay identically on resume *)
+let id_hash s =
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h * 33) + Char.code c) land max_int) s;
+  !h
+
+(* ---------------- the per-request worker ---------------- *)
+
+type wres =
+  | Wdone of { rung : string; makespan : string; degraded : bool; retries_used : int; latency_ns : int64 }
+  | Waborted of { error : Rerror.t; retries_used : int; latency_ns : int64 }
+
+let request_sites = Chaos.sites @ [ "service.solve" ]
+
+(* Retryable failures are crashes escaping the solve envelope (injected or
+   real) and uncertified terminal-rung results; a degraded-but-certified
+   result (the 2-approx rung) is accepted as-is. Chaos plans are re-drawn
+   per attempt from (chaos, id, attempt) — a transient-fault model that is
+   independent of processing order, so retries and resumes replay
+   identically. *)
+let process config (request : Request.t) algorithm =
+  let t0 = Monotonic_clock.now () in
+  let latency () = Int64.sub (Monotonic_clock.now ()) t0 in
+  match Request.instance request with
+  | exception Rerror.Error e -> Waborted { error = e; retries_used = 0; latency_ns = latency () }
+  | exception exn -> Waborted { error = Rerror.Internal exn; retries_used = 0; latency_ns = latency () }
+  | inst ->
+    let rng = Prng.create (config.seed lxor id_hash request.id) in
+    let plan attempt =
+      match config.chaos with
+      | None -> []
+      | Some c ->
+        Chaos.plan_of_seed ~sites:request_sites
+          (c lxor id_hash request.id lxor (attempt * 0x9e3779b9))
+    in
+    let rec attempt a =
+      let solve_once () =
+        Guard.point "service.solve";
+        Solver.solve_robust ?deadline_ms:config.deadline_ms ?fuel:config.fuel ~algorithm
+          request.variant inst
+      in
+      match Chaos.with_plan (plan a) solve_once with
+      | r ->
+        if r.Solver.rung = "list-scheduling" && a < config.retries then retry a
+        else
+          Wdone
+            {
+              rung = r.Solver.rung;
+              makespan = Rat.to_string (Schedule.makespan r.Solver.schedule);
+              degraded = r.Solver.attempts <> [];
+              retries_used = a;
+              latency_ns = latency ();
+            }
+      | exception exn ->
+        if a < config.retries then retry a
+        else Waborted { error = Rerror.Internal exn; retries_used = a; latency_ns = latency () }
+    and retry a =
+      Backoff.wait (Backoff.delay_us config.backoff rng ~attempt:(a + 1));
+      attempt (a + 1)
+    in
+    attempt 0
+
+(* ---------------- the coordinator loop ---------------- *)
+
+let rec take n = function
+  | [] -> ([], [])
+  | xs when n = 0 -> ([], xs)
+  | x :: xs ->
+    let front, rest = take (n - 1) xs in
+    (x :: front, rest)
+
+let run ?journal ?(should_stop = fun () -> false) config (requests : Request.t list) =
+  if config.burst < 1 then invalid_arg "Runtime.run: burst < 1";
+  if config.retries < 0 then invalid_arg "Runtime.run: retries < 0";
+  if config.checkpoint_every < 1 then invalid_arg "Runtime.run: checkpoint_every < 1";
+  (* the armed chaos plan is process-global scoped state, so fault
+     injection forces a single worker domain *)
+  let workers =
+    if config.chaos <> None then 1 else Option.value config.workers ~default:(Parallel.recommended ())
+  in
+  let queue = Bqueue.create ~capacity:config.queue_capacity in
+  let breakers =
+    List.map (fun v -> (v, Breaker.make ~k:config.breaker_k ~cooldown:config.breaker_cooldown ())) Variant.all
+  in
+  let breaker v = List.assoc v breakers in
+  let outcomes : (string, outcome) Hashtbl.t = Hashtbl.create 64 in
+  let record_outcome o = Hashtbl.replace outcomes o.request.Request.id o in
+  let retries_total = ref 0 in
+  let queue_peak = ref 0 in
+  let waves = ref 0 in
+  let flush_failures = ref 0 in
+  let interrupted = ref false in
+  let not_admitted = ref 0 in
+  (* restore checkpointed completions: journal entries are trusted verbatim *)
+  let checkpointed = ref 0 in
+  (match journal with
+  | None -> ()
+  | Some j ->
+    List.iter
+      (fun (r : Request.t) ->
+        if Journal.mem j r.Request.id then begin
+          let e = List.find (fun (e : Journal.entry) -> e.Journal.id = r.Request.id) (Journal.entries j) in
+          incr checkpointed;
+          record_outcome
+            {
+              request = r;
+              status = Done;
+              rung = Some e.Journal.rung;
+              makespan = Some e.Journal.makespan;
+              routed = "-";
+              retries_used = 0;
+              degraded = false;
+              from_checkpoint = true;
+              error = None;
+              latency_ns = 0L;
+            }
+        end)
+      requests);
+  if Probe.enabled () && !checkpointed > 0 then Probe.count ~n:!checkpointed "service.resumed";
+  let pending = List.filter (fun (r : Request.t) -> not (Hashtbl.mem outcomes r.Request.id)) requests in
+  let try_flush () =
+    match journal with
+    | None -> ()
+    | Some j -> (
+      match Journal.flush j with
+      | () -> if Probe.enabled () then Probe.count "service.journal.flush_ok"
+      | exception _ ->
+        incr flush_failures;
+        if Probe.enabled () then Probe.count "service.journal.flush_failed")
+  in
+  let admit r =
+    let reject error =
+      if Probe.enabled () then Probe.count "service.rejected";
+      record_outcome
+        {
+          request = r;
+          status = Rejected;
+          rung = None;
+          makespan = None;
+          routed = "-";
+          retries_used = 0;
+          degraded = false;
+          from_checkpoint = false;
+          error = Some error;
+          latency_ns = 0L;
+        }
+    in
+    match Bqueue.admit queue r with
+    | Ok () -> if Probe.enabled () then Probe.count "service.enqueued"
+    | Error e -> reject e
+    | exception exn -> reject (Rerror.Internal exn)
+  in
+  let dispatch wave =
+    incr waves;
+    queue_peak := max !queue_peak (List.length wave);
+    if Probe.enabled () then begin
+      Probe.count "service.wave";
+      Probe.count ~n:(List.length wave) "service.queue.depth"
+    end;
+    (* route through the breaker on the coordinator, in request order *)
+    let routed =
+      List.map
+        (fun (r : Request.t) ->
+          let b = breaker r.Request.variant in
+          match Breaker.route b with
+          | Breaker.Requested -> (r, Breaker.Requested, "requested", r.Request.algorithm)
+          | Breaker.Probe -> (r, Breaker.Probe, "probe", r.Request.algorithm)
+          | Breaker.Fallback -> (r, Breaker.Fallback, "fallback", Solver.Approx2)
+          | exception _ ->
+            (* an injected fault on the half-open probe point: the probe
+               failed before it ran — re-open and fall back *)
+            Breaker.record b ~route:Breaker.Probe ~ok:false;
+            (r, Breaker.Fallback, "fallback", Solver.Approx2))
+        wave
+    in
+    let results =
+      Parallel.map_results ~domains:workers ~retries:0
+        (fun (r, _, _, algorithm) -> process config r algorithm)
+        routed
+    in
+    List.iter2
+      (fun (r, route, routed_as, _) result ->
+        let wres =
+          match result with
+          | Ok w -> w
+          | Error (f : Parallel.failure) ->
+            (* [process] catches everything, so this is belt-and-braces *)
+            Waborted { error = Rerror.Internal f.Parallel.exn; retries_used = 0; latency_ns = 0L }
+        in
+        let failed_ladder =
+          match wres with Wdone d -> d.degraded | Waborted _ -> true
+        in
+        Breaker.record (breaker r.Request.variant) ~route ~ok:(not failed_ladder);
+        (match wres with
+        | Wdone d ->
+          retries_total := !retries_total + d.retries_used;
+          if Probe.enabled () then begin
+            Probe.count "service.done";
+            if d.retries_used > 0 then Probe.count ~n:d.retries_used "service.retries";
+            if d.degraded then Probe.count "service.degraded";
+            Probe.count ~n:(Int64.to_int (Int64.div d.latency_ns 1_000L)) "service.latency_us"
+          end;
+          Option.iter
+            (fun j -> Journal.add j { Journal.id = r.Request.id; rung = d.rung; makespan = d.makespan })
+            journal;
+          record_outcome
+            {
+              request = r;
+              status = Done;
+              rung = Some d.rung;
+              makespan = Some d.makespan;
+              routed = routed_as;
+              retries_used = d.retries_used;
+              degraded = d.degraded;
+              from_checkpoint = false;
+              error = None;
+              latency_ns = d.latency_ns;
+            }
+        | Waborted a ->
+          retries_total := !retries_total + a.retries_used;
+          if Probe.enabled () then begin
+            Probe.count "service.aborted";
+            if a.retries_used > 0 then Probe.count ~n:a.retries_used "service.retries"
+          end;
+          record_outcome
+            {
+              request = r;
+              status = Aborted;
+              rung = None;
+              makespan = None;
+              routed = routed_as;
+              retries_used = a.retries_used;
+              degraded = false;
+              from_checkpoint = false;
+              error = Some a.error;
+              latency_ns = a.latency_ns;
+            });
+        match journal with
+        | Some j when Journal.dirty j >= config.checkpoint_every -> try_flush ()
+        | _ -> ())
+      routed results
+  in
+  let rec loop pending =
+    if should_stop () then begin
+      interrupted := true;
+      not_admitted := List.length pending
+    end
+    else
+      match pending with
+      | [] -> ()
+      | _ ->
+        let front, rest = take config.burst pending in
+        List.iter admit front;
+        dispatch (Bqueue.drain queue);
+        loop rest
+  in
+  (* Coordinator-level fault plan: the service sites that fire outside the
+     per-request scopes (admission, journal flush, breaker probe). The
+     per-request plans armed inside [process] nest within it and mask it
+     only for the duration of one solve, where no coordinator site fires. *)
+  let coordinator_plan =
+    match config.chaos with
+    | None -> []
+    | Some c ->
+      let sites = [ "service.admit"; "service.breaker.probe"; "service.journal.flush" ] in
+      Chaos.plan_of_seed ~sites ~spread:16 c
+      @ Chaos.plan_of_seed ~sites ~spread:16 (c lxor 0x55aa77)
+  in
+  Chaos.with_plan coordinator_plan (fun () ->
+      loop pending;
+      (* the final flush must land even under an armed journal-flush fault:
+         every retry advances the site's hit counter past the armed hits *)
+      match journal with
+      | None -> ()
+      | Some j ->
+        let rec final k = if Journal.dirty j > 0 && k > 0 then (try_flush (); final (k - 1)) in
+        final 4);
+  let ordered =
+    List.filter_map (fun (r : Request.t) -> Hashtbl.find_opt outcomes r.Request.id) requests
+  in
+  let count p = List.length (List.filter p ordered) in
+  let completed = count (fun o -> o.status = Done) in
+  let rejected = count (fun o -> o.status = Rejected) in
+  let aborted = count (fun o -> o.status = Aborted) in
+  let rungs =
+    let tbl = Hashtbl.create 4 in
+    List.iter
+      (fun o ->
+        match o.rung with
+        | Some rung -> Hashtbl.replace tbl rung (1 + Option.value ~default:0 (Hashtbl.find_opt tbl rung))
+        | None -> ())
+      ordered;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+  in
+  {
+    outcomes = ordered;
+    total = List.length requests;
+    completed;
+    checkpointed = !checkpointed;
+    rejected;
+    aborted;
+    dropped = List.length requests - List.length ordered - !not_admitted;
+    not_admitted = !not_admitted;
+    retries = !retries_total;
+    rungs;
+    breaker =
+      List.filter_map
+        (fun (v, b) -> match Breaker.transitions b with [] -> None | ts -> Some (v, ts))
+        breakers;
+    queue_peak = !queue_peak;
+    waves = !waves;
+    flush_failures = !flush_failures;
+    journal_dirty = (match journal with None -> 0 | Some j -> Journal.dirty j);
+    interrupted = !interrupted;
+  }
+
+(* ---------------- rendering ---------------- *)
+
+let render_text s =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun o ->
+      match o.status with
+      | Done ->
+        add "%-24s done     rung=%s makespan=%s routed=%s retries=%d%s\n" o.request.Request.id
+          (Option.get o.rung) (Option.get o.makespan) o.routed o.retries_used
+          (if o.from_checkpoint then " (checkpointed)" else "")
+      | Rejected ->
+        add "%-24s rejected %s\n" o.request.Request.id
+          (Rerror.to_string (Option.get o.error))
+      | Aborted ->
+        add "%-24s aborted  %s\n" o.request.Request.id (Rerror.to_string (Option.get o.error)))
+    s.outcomes;
+  add "service: %d requests | done=%d (checkpointed=%d) rejected=%d aborted=%d dropped=%d not-admitted=%d retries=%d\n"
+    s.total s.completed s.checkpointed s.rejected s.aborted s.dropped s.not_admitted s.retries;
+  if s.rungs <> [] then
+    add "rungs: %s\n" (String.concat " " (List.map (fun (r, k) -> Printf.sprintf "%s=%d" r k) s.rungs));
+  List.iter
+    (fun (v, ts) -> add "breaker[%s]: %s\n" (Variant.to_string v) (String.concat " " ts))
+    s.breaker;
+  add "queue: capacity-peak=%d waves=%d\n" s.queue_peak s.waves;
+  add "journal: dirty=%d flush-failures=%d\n" s.journal_dirty s.flush_failures;
+  if s.interrupted then add "interrupted: drained cleanly\n";
+  Buffer.contents buf
+
+let render_json s =
+  let outcome_json o =
+    let status =
+      match o.status with Done -> "done" | Rejected -> "rejected" | Aborted -> "aborted"
+    in
+    Json.obj
+      ([ ("id", Json.str o.request.Request.id); ("status", Json.str status) ]
+      @ (match o.rung with Some r -> [ ("rung", Json.str r) ] | None -> [])
+      @ (match o.makespan with Some m -> [ ("makespan", Json.str m) ] | None -> [])
+      @ [
+          ("routed", Json.str o.routed);
+          ("retries", Json.int o.retries_used);
+          ("degraded", Json.bool o.degraded);
+          ("checkpointed", Json.bool o.from_checkpoint);
+        ]
+      @ match o.error with Some e -> [ ("error", Rerror.to_json e) ] | None -> [])
+  in
+  let latency_total_us =
+    List.fold_left (fun acc o -> Int64.add acc (Int64.div o.latency_ns 1_000L)) 0L s.outcomes
+  in
+  Json.obj
+    [
+      ("total", Json.int s.total);
+      ("done", Json.int s.completed);
+      ("checkpointed", Json.int s.checkpointed);
+      ("rejected", Json.int s.rejected);
+      ("aborted", Json.int s.aborted);
+      ("dropped", Json.int s.dropped);
+      ("not_admitted", Json.int s.not_admitted);
+      ("retries", Json.int s.retries);
+      ("rungs", Json.obj (List.map (fun (r, k) -> (r, Json.int k)) s.rungs));
+      ( "breaker",
+        Json.obj
+          (List.map
+             (fun (v, ts) -> (Variant.to_string v, Json.arr (List.map Json.str ts)))
+             s.breaker) );
+      ("queue_peak", Json.int s.queue_peak);
+      ("waves", Json.int s.waves);
+      ("flush_failures", Json.int s.flush_failures);
+      ("journal_dirty", Json.int s.journal_dirty);
+      ("interrupted", Json.bool s.interrupted);
+      ("latency_total_us", Json.int64 latency_total_us);
+      ("outcomes", Json.arr (List.map outcome_json s.outcomes));
+    ]

@@ -1,0 +1,97 @@
+(** The batch-service runtime: composition of the resilience primitives
+    into a long-running, fault-tolerant solve loop.
+
+    Requests flow from a batch (or generated soak stream) through a
+    bounded {!Bqueue} in {e waves} of [burst] admissions; each wave is
+    drained and dispatched to a worker pool
+    ({!Bss_util.Parallel.map_results}, one domain per worker). Every
+    request runs {!Bss_core.Solver.solve_robust} under its own
+    per-request guard ([deadline_ms]/[fuel]), with bounded retry and
+    deterministic exponential backoff ({!Backoff}) around retryable
+    failures, behind a per-variant circuit {!Breaker}. Completions are
+    checkpointed in a crash-safe {!Journal}; a resumed run restores
+    journaled results verbatim and re-solves only the rest.
+
+    Determinism contract: with no wall-clock deadline and no armed chaos,
+    the summary's result set (id, rung, makespan) is a pure function of
+    the request list and config — independent of worker count, and of
+    being killed and resumed any number of times (the acceptance property
+    pinned by [test/test_service.ml]). Chaos plans under [config.chaos]
+    force a single worker (the armed plan is process-global). *)
+
+open Bss_instances
+
+type config = {
+  queue_capacity : int;  (** bounded-queue capacity, >= 1 *)
+  burst : int;  (** admissions attempted per wave; > capacity exercises rejection *)
+  workers : int option;  (** worker domains; [None] = {!Bss_util.Parallel.recommended} *)
+  retries : int;  (** retry attempts per request beyond the first, >= 0 *)
+  backoff : Backoff.policy;
+  breaker_k : int;  (** consecutive ladder failures that trip a variant's breaker *)
+  breaker_cooldown : int;  (** fallback-routed requests before a half-open probe *)
+  deadline_ms : int option;  (** per-request wall-clock budget *)
+  fuel : int option;  (** per-request tick budget *)
+  checkpoint_every : int;  (** journal flush cadence, in completions *)
+  chaos : int option;  (** arm seeded fault plans (service + solver sites); forces 1 worker *)
+  seed : int;  (** backoff-jitter seed *)
+}
+
+(** capacity 64, burst 64, workers [None], 2 retries, default backoff,
+    breaker k=3 cooldown=4, no budgets, checkpoint every 8, no chaos,
+    seed 0. *)
+val default_config : config
+
+type status =
+  | Done  (** a checker-feasible schedule was produced (possibly degraded) *)
+  | Rejected  (** refused at admission: queue full, or an injected admission fault *)
+  | Aborted  (** realization failed, or retries were exhausted on crashes *)
+
+type outcome = {
+  request : Request.t;
+  status : status;
+  rung : string option;  (** ladder rung of the result, for [Done] *)
+  makespan : string option;  (** exact rational makespan, for [Done] *)
+  routed : string;  (** ["requested"], ["fallback"], ["probe"] or ["-"] *)
+  retries_used : int;
+  degraded : bool;  (** left the requested rung of its routed algorithm *)
+  from_checkpoint : bool;  (** restored from the journal, not re-solved *)
+  error : Bss_resilience.Error.t option;  (** for [Rejected]/[Aborted] *)
+  latency_ns : int64;  (** wall-clock in the worker; 0 for checkpointed *)
+}
+
+type summary = {
+  outcomes : outcome list;  (** one per attempted request, in request order *)
+  total : int;  (** requests presented *)
+  completed : int;
+  checkpointed : int;  (** of [completed], restored from the journal *)
+  rejected : int;
+  aborted : int;
+  dropped : int;  (** presented requests with no outcome — 0 by contract *)
+  not_admitted : int;  (** left unattempted by an interrupted drain *)
+  retries : int;  (** total retry attempts performed *)
+  rungs : (string * int) list;  (** rung -> completions, sorted *)
+  breaker : (Variant.t * string list) list;  (** transitions per variant, oldest first *)
+  queue_peak : int;  (** deepest wave the queue held *)
+  waves : int;
+  flush_failures : int;  (** journal flushes that failed (chaos or I/O) and were retried *)
+  journal_dirty : int;  (** completions not on disk at exit — 0 unless every flush failed *)
+  interrupted : bool;  (** [should_stop] drained the run early *)
+}
+
+(** [run ?journal ?should_stop config requests] executes the batch.
+    [journal] enables checkpointing (entries already present are restored,
+    not re-solved); [should_stop] is polled between waves — when it turns
+    true the runtime stops admitting, finishes the in-flight wave, flushes
+    the journal and returns with [interrupted = true] (the CLI wires
+    SIGINT/SIGTERM to it). Never raises: every failure is an outcome. *)
+val run : ?journal:Journal.t -> ?should_stop:(unit -> bool) -> config -> Request.t list -> summary
+
+(** Stable text rendering: per-request lines in request order, rung
+    counts, breaker transitions and totals — no timestamps or latencies,
+    so seed-pinned runs render identically (cram-pinned). *)
+val render_text : summary -> string
+
+(** One JSON object with the full summary, including per-outcome typed
+    error records ({!Bss_resilience.Error.to_json}) and latency
+    aggregates. *)
+val render_json : summary -> string

@@ -1,0 +1,16 @@
+let write path content =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ("." ^ Filename.basename path ^ ".") ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    (try output_string oc content
+     with e ->
+       close_out_noerr oc;
+       raise e);
+    close_out oc;
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e

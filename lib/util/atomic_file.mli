@@ -1,0 +1,15 @@
+(** Crash-safe file replacement.
+
+    [write path content] makes [content] the contents of [path] without
+    ever exposing a partial write: the bytes go to a fresh temporary file
+    in the {e same directory} (so the final step never crosses a
+    filesystem boundary) and the temporary is renamed over [path] —
+    atomic on POSIX. A reader, or a process resuming after SIGKILL,
+    therefore sees either the old contents or the new contents in full,
+    never a truncated mixture. Used by the service checkpoint journal and
+    the fuzz corpus writer. *)
+
+(** [write path content] atomically replaces [path] with [content].
+    Raises [Sys_error] when the directory is not writable; on any
+    failure the temporary file is removed and [path] is untouched. *)
+val write : string -> string -> unit

@@ -1,0 +1,107 @@
+Batch-service runtime: bounded queue, retry/backoff, circuit breaker,
+checkpointed journal. Everything here is seed-pinned and timestamp-free.
+
+A small mixed batch served end to end. The journal lands next to the
+batch file by default.
+
+  $ printf '# demo batch\na1 nonp 3/2 gen uniform 11 3 12\na2 pmtn 3/2 gen uniform 12 3 12\na3 split 3/2 gen uniform 13 3 12\na4 nonp 2 gen tiny 14 2 8\n' > batch.txt
+  $ bss serve --batch batch.txt --seed 7
+  serve: batch=batch.txt requests=4 queue=64 workers=auto resume=false
+  a1                       done     rung=requested makespan=201 routed=requested retries=0
+  a2                       done     rung=requested makespan=253 routed=requested retries=0
+  a3                       done     rung=requested makespan=694/3 routed=requested retries=0
+  a4                       done     rung=requested makespan=46 routed=requested retries=0
+  service: 4 requests | done=4 (checkpointed=0) rejected=0 aborted=0 dropped=0 not-admitted=0 retries=0
+  rungs: requested=4
+  queue: capacity-peak=4 waves=1
+  journal: dirty=0 flush-failures=0
+  $ cat batch.txt.journal
+  a1	requested	201
+  a2	requested	253
+  a3	requested	694/3
+  a4	requested	46
+
+Resume from a partial journal: checkpointed requests are restored
+without re-solving (routed=-), the rest are solved, and the journal is
+completed in place.
+
+  $ printf 'a1\trequested\t201\na2\trequested\t253\n' > partial.journal
+  $ bss serve --batch batch.txt --journal partial.journal --resume --seed 7
+  serve: batch=batch.txt requests=4 queue=64 workers=auto resume=true
+  a1                       done     rung=requested makespan=201 routed=- retries=0 (checkpointed)
+  a2                       done     rung=requested makespan=253 routed=- retries=0 (checkpointed)
+  a3                       done     rung=requested makespan=694/3 routed=requested retries=0
+  a4                       done     rung=requested makespan=46 routed=requested retries=0
+  service: 4 requests | done=4 (checkpointed=2) rejected=0 aborted=0 dropped=0 not-admitted=0 retries=0
+  rungs: requested=4
+  queue: capacity-peak=2 waves=1
+  journal: dirty=0 flush-failures=0
+  $ cat partial.journal
+  a1	requested	201
+  a2	requested	253
+  a3	requested	694/3
+  a4	requested	46
+
+A malformed batch line is a typed invalid-input error, exit code 2.
+
+  $ printf 'x1 nonp 3/2 gen uniform 7\n' > bad.txt
+  $ bss serve --batch bad.txt
+  bss: invalid input (line 1, field request): malformed request line: x1 nonp 3/2 gen uniform 7
+  [2]
+
+Backpressure: a queue of 8 fed in bursts of 12 rejects the overflow
+with a typed overloaded error; nothing is silently dropped and the
+soak exit stays 0 (rejection under pressure is the contract working).
+
+  $ bss soak -n 30 --seed 11 --queue 8 --burst 12 --workers 2 | grep -E 'rejected|^service:|^queue:'
+  soak-uniform-8           rejected overloaded: work queue full (8 pending, capacity 8)
+  soak-small-batches-9     rejected overloaded: work queue full (8 pending, capacity 8)
+  soak-single-job-10       rejected overloaded: work queue full (8 pending, capacity 8)
+  soak-expensive-11        rejected overloaded: work queue full (8 pending, capacity 8)
+  soak-zipf-20             rejected overloaded: work queue full (8 pending, capacity 8)
+  soak-anti-list-21        rejected overloaded: work queue full (8 pending, capacity 8)
+  soak-anti-wrap-22        rejected overloaded: work queue full (8 pending, capacity 8)
+  soak-tiny-23             rejected overloaded: work queue full (8 pending, capacity 8)
+  service: 30 requests | done=22 (checkpointed=0) rejected=8 aborted=0 dropped=0 not-admitted=0 retries=0
+  queue: capacity-peak=8 waves=3
+
+Fuel starvation trips the breaker deterministically: with --fuel 1
+every requested solve degrades to the certified 2-approx, two ladder
+failures open the breaker, the cooldown routes requests straight to
+the fallback rung (which needs no fuel and succeeds undegraded), and
+the half-open probe degrades again and re-opens it.
+
+  $ printf 'b1 nonp 3/2 gen uniform 21 3 12\nb2 nonp 3/2 gen uniform 22 3 12\nb3 nonp 3/2 gen uniform 23 3 12\nb4 nonp 3/2 gen uniform 24 3 12\nb5 nonp 3/2 gen uniform 25 3 12\nb6 nonp 3/2 gen uniform 26 3 12\n' > fuelbatch.txt
+  $ bss serve --batch fuelbatch.txt --fuel 1 --breaker-k 2 --burst 1 --retries 0 --workers 1 --breaker-cooldown 2
+  serve: batch=fuelbatch.txt requests=6 queue=64 workers=1 resume=false
+  b1                       done     rung=two-approx makespan=263 routed=requested retries=0
+  b2                       done     rung=two-approx makespan=362 routed=requested retries=0
+  b3                       done     rung=requested makespan=218 routed=fallback retries=0
+  b4                       done     rung=requested makespan=265 routed=fallback retries=0
+  b5                       done     rung=two-approx makespan=313 routed=probe retries=0
+  b6                       done     rung=requested makespan=275 routed=fallback retries=0
+  service: 6 requests | done=6 (checkpointed=0) rejected=0 aborted=0 dropped=0 not-admitted=0 retries=0
+  rungs: requested=3 two-approx=3
+  breaker[non-preemptive]: closed->open open->half-open half-open->open
+  queue: capacity-peak=1 waves=6
+  journal: dirty=0 flush-failures=0
+
+A seeded chaos soak (chaos arms the fault plan and forces one worker,
+so the run is fully deterministic): solver and service faults fire,
+the breaker trips and recovers, a journal flush fails once and is
+retried to a clean final state, and no request is dropped.
+
+  $ bss soak -n 40 --seed 11 --queue 8 --burst 10 --chaos 6 | tail -6
+  soak-tiny-39             rejected overloaded: work queue full (8 pending, capacity 8)
+  service: 40 requests | done=32 (checkpointed=0) rejected=8 aborted=0 dropped=0 not-admitted=0 retries=0
+  rungs: requested=26 two-approx=6
+  breaker[preemptive]: closed->open open->half-open half-open->closed
+  queue: capacity-peak=8 waves=4
+  journal: dirty=0 flush-failures=0
+
+  $ bss soak -n 40 --seed 11 --queue 8 --burst 10 --chaos 4 --journal c4.journal | tail -3
+  rungs: requested=28 two-approx=4
+  queue: capacity-peak=8 waves=4
+  journal: dirty=0 flush-failures=1
+  $ wc -l < c4.journal
+  32
