@@ -1,0 +1,204 @@
+open Bss_util
+open Bss_core
+open Bss_workloads
+module Variant = Bss_instances.Variant
+
+let schema_version = "bss-bench/1"
+
+type entry = { name : string; ns_per_run : float; runs : int }
+
+type t = {
+  schema : string;
+  quick : bool;
+  entries : entry list;
+  counters : (string * int) list;
+}
+
+type comparison = { lines : string list; failures : string list }
+
+(* ---------------- the case set ---------------- *)
+
+let instance_of ~m ~n seed = Generator.uniform.Generator.generate (Prng.create seed) ~m ~n
+
+(* Mirrors bench/main.ml's table1/scaling groups (same names, same
+   seeds) so numbers line up across the two harnesses; ablations are
+   left to the exploratory harness. *)
+let table1_cases () =
+  let mid = instance_of ~m:16 ~n:2_000 7 in
+  let eps = Rat.of_ints 1 10 in
+  [
+    ("table1/2approx-nonp", fun () -> ignore (Two_approx.nonpreemptive mid));
+    ("table1/2approx-split", fun () -> ignore (Two_approx.splittable mid));
+    ( "table1/3_2eps-nonp",
+      fun () -> ignore (Solver.solve ~algorithm:(Solver.Approx3_2_eps eps) Variant.Nonpreemptive mid) );
+    ( "table1/3_2eps-pmtn",
+      fun () -> ignore (Solver.solve ~algorithm:(Solver.Approx3_2_eps eps) Variant.Preemptive mid) );
+    ( "table1/3_2eps-split",
+      fun () -> ignore (Solver.solve ~algorithm:(Solver.Approx3_2_eps eps) Variant.Splittable mid) );
+    ("table1/3_2-nonp-bs", fun () -> ignore (Nonp_search.solve mid));
+    ("table1/3_2-pmtn-cj", fun () -> ignore (Pmtn_cj.solve mid));
+    ("table1/3_2-split-cj", fun () -> ignore (Splittable_cj.solve mid));
+    ("table1/mp-wrap", fun () -> ignore (Bss_baselines.Monma_potts.schedule mid));
+    ("table1/batch-lpt", fun () -> ignore (Bss_baselines.List_scheduling.lpt mid));
+  ]
+
+let scaling_cases ~quick =
+  let sizes = if quick then [ 1_000 ] else [ 1_000; 4_000; 16_000 ] in
+  List.concat_map
+    (fun n ->
+      let inst = instance_of ~m:16 ~n (100 + n) in
+      [
+        (Printf.sprintf "scaling/2approx-nonp/n=%d" n, fun () -> ignore (Two_approx.nonpreemptive inst));
+        (Printf.sprintf "scaling/split-cj/n=%d" n, fun () -> ignore (Splittable_cj.solve inst));
+        (Printf.sprintf "scaling/nonp-bs/n=%d" n, fun () -> ignore (Nonp_search.solve inst));
+        (Printf.sprintf "scaling/pmtn-cj/n=%d" n, fun () -> ignore (Pmtn_cj.solve inst));
+      ])
+    sizes
+
+(* The counter sweep runs the instrumented solvers on the jumpy
+   "expensive" instance the cram tests pin and merges the recordings:
+   guess/jump/dual-call counters are deterministic, so they transfer
+   across machines and gate exactly. *)
+let counter_sweep () =
+  let inst = (Generator.by_name "expensive").Generator.generate (Prng.create 1) ~m:16 ~n:48 in
+  let runs =
+    [
+      (Solver.Approx3_2, Variant.Nonpreemptive);
+      (Solver.Approx3_2, Variant.Preemptive);
+      (Solver.Approx3_2, Variant.Splittable);
+      (Solver.Approx3_2_eps (Rat.of_ints 1 8), Variant.Nonpreemptive);
+      (Solver.Approx2, Variant.Nonpreemptive);
+    ]
+  in
+  let merged =
+    List.fold_left
+      (fun acc (algorithm, variant) ->
+        let _, report =
+          Bss_obs.Probe.with_recording (fun () -> Solver.solve ~algorithm variant inst)
+        in
+        Bss_obs.Report.merge acc report)
+      Bss_obs.Report.empty runs
+  in
+  merged.Bss_obs.Report.counters
+
+(* ---------------- timing ---------------- *)
+
+let time_once f =
+  let t0 = Monotonic_clock.now () in
+  ignore (Sys.opaque_identity (f ()));
+  Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0)
+
+let median samples =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let measure ~runs f =
+  ignore (Sys.opaque_identity (f ()));
+  median (List.init runs (fun _ -> time_once f))
+
+let run ?(progress = fun _ -> ()) ~quick () =
+  let runs = if quick then 5 else 9 in
+  let entries =
+    List.map
+      (fun (name, f) ->
+        let ns = measure ~runs f in
+        progress (Printf.sprintf "%-28s %12.0f ns/run" name ns);
+        { name; ns_per_run = ns; runs })
+      (table1_cases () @ scaling_cases ~quick)
+  in
+  let counters = counter_sweep () in
+  progress (Printf.sprintf "counter sweep: %d deterministic counters" (List.length counters));
+  { schema = schema_version; quick; entries; counters }
+
+(* ---------------- JSON round trip ---------------- *)
+
+let to_json t =
+  Json.obj
+    [
+      ("schema", Json.str t.schema);
+      ("quick", Json.bool t.quick);
+      ( "entries",
+        Json.arr
+          (List.map
+             (fun e ->
+               Json.obj
+                 [
+                   ("name", Json.str e.name);
+                   ("ns_per_run", Json.float e.ns_per_run);
+                   ("runs", Json.int e.runs);
+                 ])
+             t.entries) );
+      ("counters", Json.obj (List.map (fun (k, v) -> (k, Json.int v)) t.counters));
+    ]
+
+let of_json s =
+  let ( let* ) = Result.bind in
+  let* v = Json.parse s in
+  let* schema =
+    match Json.member "schema" v with
+    | Some (Json.Str schema) -> Ok schema
+    | _ -> Error "missing \"schema\" field"
+  in
+  let* () =
+    if schema = schema_version then Ok ()
+    else Error (Printf.sprintf "unsupported schema %S (this build reads %S)" schema schema_version)
+  in
+  let quick = match Json.member "quick" v with Some (Json.Bool b) -> b | _ -> false in
+  let* entries =
+    match Json.member "entries" v with
+    | Some (Json.Arr es) ->
+      List.fold_left
+        (fun acc e ->
+          let* acc = acc in
+          match (Json.member "name" e, Json.member "ns_per_run" e, Json.member "runs" e) with
+          | Some (Json.Str name), Some (Json.Num ns_per_run), Some (Json.Num runs) ->
+            Ok ({ name; ns_per_run; runs = int_of_float runs } :: acc)
+          | _ -> Error "malformed entry")
+        (Ok []) es
+      |> Result.map List.rev
+    | _ -> Error "missing \"entries\" array"
+  in
+  let* counters =
+    match Json.member "counters" v with
+    | Some (Json.Obj fields) ->
+      List.fold_left
+        (fun acc (k, c) ->
+          let* acc = acc in
+          match c with
+          | Json.Num n -> Ok ((k, int_of_float n) :: acc)
+          | _ -> Error ("non-integer counter " ^ k))
+        (Ok []) fields
+      |> Result.map List.rev
+    | _ -> Error "missing \"counters\" object"
+  in
+  Ok { schema; quick; entries; counters }
+
+(* ---------------- the gate ---------------- *)
+
+let gated name = String.length name >= 8 && String.sub name 0 8 = "scaling/"
+
+let against ?(tolerance = 0.25) ~baseline current =
+  let lines = ref [] and failures = ref [] in
+  let say fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+  let fail fmt = Printf.ksprintf (fun s -> lines := s :: !lines; failures := s :: !failures) fmt in
+  List.iter
+    (fun (e : entry) ->
+      if gated e.name then
+        match List.find_opt (fun (b : entry) -> b.name = e.name) baseline.entries with
+        | None -> say "new     %-28s %12.0f ns (no baseline)" e.name e.ns_per_run
+        | Some b ->
+          let ratio = e.ns_per_run /. b.ns_per_run in
+          if ratio > 1.0 +. tolerance then
+            fail "REGRESS %-28s %.0f -> %.0f ns (%.2fx > %.2fx allowed)" e.name b.ns_per_run
+              e.ns_per_run ratio (1.0 +. tolerance)
+          else say "ok      %-28s %.0f -> %.0f ns (%.2fx)" e.name b.ns_per_run e.ns_per_run ratio)
+    current.entries;
+  List.iter
+    (fun (k, v) ->
+      match List.assoc_opt k baseline.counters with
+      | None -> say "new     counter %s = %d (no baseline)" k v
+      | Some bv when bv = v -> say "ok      counter %s = %d" k v
+      | Some bv -> fail "DRIFT   counter %s: %d -> %d (deterministic counters must match)" k bv v)
+    current.counters;
+  { lines = List.rev !lines; failures = List.rev !failures }

@@ -1,0 +1,62 @@
+(** The benchmark regression gate behind [bss bench].
+
+    Where [bench/main.exe] is the exploratory bechamel harness (full
+    statistics, interactive output), this module is the {e gate}: a
+    fixed-seed subset of the same table1/scaling cases timed with a
+    simple warmup-then-median loop, plus one deterministic counter sweep
+    of the instrumented solvers, serialized to schema-versioned JSON so
+    two runs can be compared mechanically.
+
+    The comparison policy ([against]) is asymmetric by design:
+    - [scaling/*] timings gate with a relative tolerance (default 25%) —
+      they carry the paper's near-linear running-time claim, and a
+      same-machine before/after comparison at that tolerance survives
+      normal scheduler noise;
+    - [table1/*] timings are informational only (never gate);
+    - telemetry counters must match {e exactly} on the intersection of
+      names — they are deterministic per instance and algorithm, so any
+      drift is an algorithmic change, not noise. *)
+
+type entry = {
+  name : string;  (** [group/case] or [group/case/n=...] *)
+  ns_per_run : float;  (** median wall-clock of the timed runs *)
+  runs : int;  (** timed runs behind the median (after 1 warmup) *)
+}
+
+type t = {
+  schema : string;  (** [schema_version] at capture time *)
+  quick : bool;  (** scaling stops at n=1000 *)
+  entries : entry list;
+  counters : (string * int) list;
+      (** merged deterministic counters from the instrumented sweep,
+          sorted by name *)
+}
+
+(** ["bss-bench/1"] — bumped on any change to the JSON layout or the
+    case set that would make old files incomparable. *)
+val schema_version : string
+
+(** [run ~quick] executes the suite: table1 cases on the fixed n=2000
+    instance, scaling cases at n=1000 (plus 4000 and 16000 unless
+    [quick]), and the counter sweep. [progress] (default: none) receives
+    one line per completed case. *)
+val run : ?progress:(string -> unit) -> quick:bool -> unit -> t
+
+val to_json : t -> string
+
+(** [of_json s] rejects unknown schemas and malformed documents with a
+    one-line reason. *)
+val of_json : string -> (t, string) result
+
+type comparison = {
+  lines : string list;  (** one human-readable verdict line per check *)
+  failures : string list;  (** subset of checks that failed the gate *)
+}
+
+(** [against ~tolerance ~baseline current] compares a fresh capture to a
+    baseline file: every [scaling/*] entry present in both must not be
+    slower than [baseline * (1 + tolerance)], and every counter name
+    present in both must match exactly. [tolerance] is a fraction
+    (0.25 = 25%). Entries or counters only on one side are reported but
+    never fail — the case set is allowed to grow. *)
+val against : ?tolerance:float -> baseline:t -> t -> comparison

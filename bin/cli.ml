@@ -104,6 +104,15 @@ let solve_cmd =
       & info [ "profile" ] ~docv:"FMT"
           ~doc:"Record algorithm-interior telemetry and print it as $(docv): table (default), json or csv.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record telemetry and write it as a Chrome trace_event file to $(docv) (open in \
+             chrome://tracing or ui.perfetto.dev); composes with --profile.")
+  in
   let deadline_ms =
     Arg.(
       value
@@ -128,7 +137,7 @@ let solve_cmd =
     | Rerror.Internal _ -> "internal"
     | Rerror.Invalid_input _ -> "invalid_input"
   in
-  let run file variant algorithm gantt svg_out csv_out json profile deadline_ms fuel =
+  let run file variant algorithm gantt svg_out csv_out json profile trace_out deadline_ms fuel =
     or_invalid_input ~json (fun () ->
         let inst = read_instance file in
         let robust_mode = deadline_ms <> None || fuel <> None in
@@ -137,11 +146,10 @@ let solve_cmd =
           else `Plain (Solver.solve ~algorithm variant inst)
         in
         let r, obs_report =
-          match profile with
-          | None -> (solve_once (), None)
-          | Some _ ->
+          if profile <> None || trace_out <> None then
             let r, report = Bss_obs.Probe.with_recording solve_once in
             (r, Some report)
+          else (solve_once (), None)
         in
         let schedule, certificate, guarantee, dual_calls, robust =
           match r with
@@ -202,9 +210,9 @@ let solve_cmd =
                 ]
           in
           let fields =
-            match obs_report with
-            | None -> fields
-            | Some report -> fields @ [ ("profile", Bss_obs.Render.json report) ]
+            match (obs_report, profile) with
+            | Some report, Some _ -> fields @ [ ("profile", Bss_obs.Render.json report) ]
+            | _ -> fields
           in
           print_endline (Json.obj fields)
         end
@@ -241,12 +249,15 @@ let solve_cmd =
           close_out oc
         in
         Option.iter (fun path -> write path (Render.svg inst schedule)) svg_out;
-        Option.iter (fun path -> write path (Trace.to_csv inst schedule)) csv_out)
+        Option.iter (fun path -> write path (Trace.to_csv inst schedule)) csv_out;
+        match (trace_out, obs_report) with
+        | Some path, Some report -> write path (Bss_obs.Render.chrome_trace report)
+        | _ -> ())
   in
   Cmd.v (Cmd.info "solve" ~doc:"Solve an instance file.")
     Term.(
-      const run $ file $ variant $ algorithm $ gantt $ svg_out $ csv_out $ json $ profile $ deadline_ms
-      $ fuel)
+      const run $ file $ variant $ algorithm $ gantt $ svg_out $ csv_out $ json $ profile $ trace_out
+      $ deadline_ms $ fuel)
 
 let generate_cmd =
   let family =
@@ -410,8 +421,10 @@ let fuzz_cmd =
         corpus;
       if r.Harness.chaos_crashes <> [] || r.Harness.chaos_infeasible <> [] then exit 1
     | None when profile ->
-      (* The telemetry sink is process-global and unsynchronized, so the
-         profiled sweep runs the cases sequentially on this domain. *)
+      (* The sink is domain-safe (per-domain collectors, deterministic
+         merge), but attribution here is per family: each case gets its
+         own recording, merged into its family's report below, so the
+         sweep iterates the cases itself instead of fanning out. *)
       let config = { config with Harness.domains = Some 1 } in
       Printf.printf "fuzz --profile: seed=%d cases=%d families=%s variants=%s\n" seed cases
         (String.concat "," (List.map (fun s -> s.Generator.name) families))
@@ -512,7 +525,13 @@ let service_config_term =
                    breaker probe, solve envelope) and the algorithm interiors (single worker).")
   in
   let seed = Arg.(value & opt int 0 & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"Master seed (backoff jitter; soak stream).") in
-  let build queue burst workers retries breaker_k breaker_cooldown deadline_ms fuel checkpoint_every chaos seed =
+  let metrics_every =
+    Arg.(value & opt (some int) None
+         & info [ "metrics-every" ] ~docv:"N"
+             ~doc:"Emit a one-line JSON metrics record (live counters + latency histograms) to stdout \
+                   after every $(docv) completed requests.")
+  in
+  let build queue burst workers retries breaker_k breaker_cooldown deadline_ms fuel checkpoint_every chaos seed metrics_every =
     {
       default_config with
       queue_capacity = queue;
@@ -526,11 +545,12 @@ let service_config_term =
       checkpoint_every;
       chaos;
       seed;
+      metrics_every;
     }
   in
   Term.(
     const build $ queue $ burst $ workers $ retries $ breaker_k $ breaker_cooldown $ deadline_ms $ fuel
-    $ checkpoint_every $ chaos $ seed)
+    $ checkpoint_every $ chaos $ seed $ metrics_every)
 
 (* SIGINT/SIGTERM request a graceful drain: stop admitting, finish the
    in-flight wave, flush the journal, exit 3. *)
@@ -551,19 +571,37 @@ let service_profile_term =
     value & flag
     & info [ "profile" ]
         ~doc:
-          "Record service telemetry (queue depth, retries, breaker transitions, per-request \
-           latency) and print it after the summary. Forces a single worker so counters are \
-           deterministic.")
+          "Record service telemetry (queue depth, retries, breaker transitions, latency \
+           histograms) and print it after the summary. Collection is per-domain and the merge \
+           is deterministic, so the full worker pool keeps running and counters are \
+           reproducible across worker counts.")
 
-(* The probe sink is a plain scoped Hashtbl, so a profiled run pins the
-   pool to one worker; emissions then all happen on one domain. *)
-let with_service_profile ~profile ~json config run =
-  let config =
-    if profile then { config with Service.Runtime.workers = Some 1 } else config
-  in
-  if profile then
+let service_trace_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record service telemetry and write it as a Chrome trace_event file to $(docv) — one \
+           trace process per worker domain; composes with --profile.")
+
+(* Each domain records into its own DLS collector and the recording
+   merges them deterministically on exit, so profiling no longer pins
+   the worker pool to one domain. *)
+let with_service_profile ~profile ~trace_out ~json config run =
+  if profile || trace_out <> None then begin
     let summary, report = Bss_obs.Probe.with_recording (fun () -> run config) in
-    (summary, Some (if json then Bss_obs.Render.json report ^ "\n" else Bss_obs.Render.table report))
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Bss_obs.Render.chrome_trace report);
+        close_out oc)
+      trace_out;
+    ( summary,
+      if profile then
+        Some (if json then Bss_obs.Render.json report ^ "\n" else Bss_obs.Render.table report)
+      else None )
+  end
   else (run config, None)
 
 let serve_cmd =
@@ -580,7 +618,7 @@ let serve_cmd =
          & info [ "resume" ] ~doc:"Restore completions from the journal and re-solve only the rest.")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit one machine-readable JSON object instead of text.") in
-  let run config batch journal resume json profile =
+  let run config batch journal resume json profile trace_out =
     or_invalid_input ~json (fun () ->
         let requests =
           let ic = open_in batch in
@@ -599,12 +637,11 @@ let serve_cmd =
             (List.length requests) config.Service.Runtime.queue_capacity
             (match config.Service.Runtime.workers with
             | Some w -> string_of_int w
-            | None ->
-              if profile || config.Service.Runtime.chaos <> None then "1" else "auto")
+            | None -> if config.Service.Runtime.chaos <> None then "1" else "auto")
             resume;
         let summary, report =
-          with_service_profile ~profile ~json config (fun config ->
-              Service.Runtime.run ~journal ~should_stop config requests)
+          with_service_profile ~profile ~trace_out ~json config (fun config ->
+              Service.Runtime.run ~journal ~should_stop ~emit_metrics:print_endline config requests)
         in
         if json then print_endline (Service.Runtime.render_json summary)
         else print_string (Service.Runtime.render_text summary);
@@ -613,7 +650,9 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run a batch of solve requests through the fault-tolerant service runtime.")
-    Term.(const run $ service_config_term $ batch $ journal $ resume $ json $ service_profile_term)
+    Term.(
+      const run $ service_config_term $ batch $ journal $ resume $ json $ service_profile_term
+      $ service_trace_term)
 
 let soak_cmd =
   let requests =
@@ -628,7 +667,7 @@ let soak_cmd =
          & info [ "resume" ] ~doc:"Restore completions from the journal and re-solve only the rest.")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit one machine-readable JSON object instead of text.") in
-  let run config requests journal resume json profile =
+  let run config requests journal resume json profile trace_out =
     let stream = Service.Request.soak_stream ~seed:config.Service.Runtime.seed ~requests in
     let journal =
       Option.map
@@ -642,8 +681,8 @@ let soak_cmd =
         config.Service.Runtime.burst
         (match config.Service.Runtime.chaos with None -> "off" | Some c -> string_of_int c);
     let summary, report =
-      with_service_profile ~profile ~json config (fun config ->
-          Service.Runtime.run ?journal ~should_stop config stream)
+      with_service_profile ~profile ~trace_out ~json config (fun config ->
+          Service.Runtime.run ?journal ~should_stop ~emit_metrics:print_endline config stream)
     in
     if json then print_endline (Service.Runtime.render_json summary)
     else print_string (Service.Runtime.render_text summary);
@@ -653,11 +692,90 @@ let soak_cmd =
   Cmd.v
     (Cmd.info "soak"
        ~doc:"Stream a generated workload through the service runtime, optionally under chaos.")
-    Term.(const run $ service_config_term $ requests $ journal $ resume $ json $ service_profile_term)
+    Term.(
+      const run $ service_config_term $ requests $ journal $ resume $ json $ service_profile_term
+      $ service_trace_term)
+
+(* ---------------- the benchmark regression gate ---------------- *)
+
+let bench_cmd =
+  let module Regress = Bss_bench.Regress in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ] ~doc:"Scaling cases stop at n=1000 and fewer timed runs per case (CI-sized, well under two minutes).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Write the capture as schema-versioned JSON to $(docv).")
+  in
+  let against =
+    Arg.(value & opt (some file) None
+         & info [ "against" ] ~docv:"BASELINE"
+             ~doc:"Compare this capture to $(docv): exit nonzero when any scaling/* case regresses \
+                   beyond the tolerance or any deterministic counter drifts.")
+  in
+  let check =
+    Arg.(value & opt (some file) None
+         & info [ "check" ] ~docv:"FILE"
+             ~doc:"Skip running the suite; load the capture from $(docv) instead (schema validation \
+                   plus, with --against, the comparison).")
+  in
+  let tolerance =
+    Arg.(value & opt int 25
+         & info [ "tolerance" ] ~docv:"PCT" ~doc:"Allowed scaling/* slowdown vs the baseline, in percent.")
+  in
+  let load path =
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Regress.of_json s with
+    | Ok t -> t
+    | Error msg ->
+      prerr_endline (Printf.sprintf "bss bench: %s: %s" path msg);
+      exit 2
+  in
+  let run quick out against check tolerance =
+    let current =
+      match check with
+      | Some path ->
+        let t = load path in
+        Printf.printf "loaded %s: schema %s, %d entries, %d counters\n" path t.Regress.schema
+          (List.length t.Regress.entries) (List.length t.Regress.counters);
+        t
+      | None ->
+        Printf.printf "bench: running %s suite (fixed seeds, median of warmed runs)\n"
+          (if quick then "quick" else "full");
+        Regress.run ~progress:print_endline ~quick ()
+    in
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Regress.to_json current);
+        output_string oc "\n";
+        close_out oc;
+        Printf.printf "wrote %s\n" path)
+      out;
+    match against with
+    | None -> ()
+    | Some path ->
+      let baseline = load path in
+      let c = Regress.against ~tolerance:(float_of_int tolerance /. 100.) ~baseline current in
+      List.iter print_endline c.Regress.lines;
+      if c.Regress.failures = [] then
+        Printf.printf "gate: ok (%d checks, tolerance %d%%)\n" (List.length c.Regress.lines) tolerance
+      else begin
+        Printf.printf "gate: %d failure(s)\n" (List.length c.Regress.failures);
+        exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run the fixed-seed benchmark suite and gate against a baseline capture.")
+    Term.(const run $ quick $ out $ against $ check $ tolerance)
 
 let () =
   let doc = "near-linear approximation algorithms for scheduling with batch setup times" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "bss" ~doc)
-          [ solve_cmd; generate_cmd; check_cmd; fuzz_cmd; serve_cmd; soak_cmd ]))
+          [ solve_cmd; generate_cmd; check_cmd; fuzz_cmd; serve_cmd; soak_cmd; bench_cmd ]))

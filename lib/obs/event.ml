@@ -8,6 +8,7 @@ type t =
   | Y_guard_fired of { t : Rat.t; deficit : Rat.t }
   | Gap_closed of { volume : Rat.t }
   | Candidate_won of { name : string; makespan : Rat.t; margin : Rat.t }
+  | Breaker_transition of { variant : string; change : string }
   | Note of { source : string; key : string; value : string }
 
 let tag = function
@@ -18,6 +19,7 @@ let tag = function
   | Y_guard_fired _ -> "y_guard_fired"
   | Gap_closed _ -> "gap_closed"
   | Candidate_won _ -> "candidate_won"
+  | Breaker_transition _ -> "breaker_transition"
   | Note _ -> "note"
 
 let summary ev =
@@ -31,6 +33,7 @@ let summary ev =
   | Gap_closed { volume } -> (tag ev, Rat.to_string volume, "")
   | Candidate_won { name; makespan; margin } ->
     (tag ev, name, Printf.sprintf "makespan %s, margin %s" (Rat.to_string makespan) (Rat.to_string margin))
+  | Breaker_transition { variant; change } -> (tag ev, change, variant)
   | Note { source; key; value } -> (tag ev, value, source ^ ": " ^ key)
 
 let to_json ev =
@@ -46,6 +49,8 @@ let to_json ev =
     | Gap_closed { volume } -> [ ("volume", rat volume) ]
     | Candidate_won { name; makespan; margin } ->
       [ ("name", Json.str name); ("makespan", rat makespan); ("margin", rat margin) ]
+    | Breaker_transition { variant; change } ->
+      [ ("variant", Json.str variant); ("change", Json.str change) ]
     | Note { source; key; value } ->
       [ ("source", Json.str source); ("key", Json.str key); ("value", Json.str value) ]
   in

@@ -27,6 +27,9 @@ type t =
   | Candidate_won of { name : string; makespan : Rat.t; margin : Rat.t }
       (** the solver façade kept candidate [name]; [margin] is how much
           shorter it was than the loser *)
+  | Breaker_transition of { variant : string; change : string }
+      (** a service circuit breaker changed state, e.g.
+          [change = "closed->open"] (docs/service.md) *)
   | Note of { source : string; key : string; value : string }
       (** free-form scalar observation (e.g. the returned [T*]) *)
 

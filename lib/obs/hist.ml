@@ -1,0 +1,102 @@
+open Bss_util
+
+let buckets = 40
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let create () = { counts = Array.make buckets 0; n = 0; sum = 0.; vmin = infinity; vmax = neg_infinity }
+
+(* frexp gives v = m * 2^e with m in [0.5, 1), so e >= 1 iff v >= 1 and
+   bucket e covers [2^(e-1), 2^e) — fixed boundaries, one flop, no
+   branch on the data beyond the clamps. *)
+let bucket_of v =
+  if not (Float.is_finite v) || v < 1.0 then 0
+  else
+    let _, e = Float.frexp v in
+    if e >= buckets then buckets - 1 else e
+
+let record t v =
+  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
+
+let lower_bound i = if i <= 0 then 0. else Float.ldexp 1.0 (i - 1)
+let upper_bound i = if i <= 0 then 1. else if i >= buckets - 1 then infinity else Float.ldexp 1.0 i
+
+type snapshot = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  counts : (int * int) list;
+}
+
+let empty = { count = 0; sum = 0.; min = 0.; max = 0.; counts = [] }
+
+let snapshot t =
+  if t.n = 0 then empty
+  else
+    {
+      count = t.n;
+      sum = t.sum;
+      min = t.vmin;
+      max = t.vmax;
+      counts =
+        Array.to_list t.counts
+        |> List.mapi (fun i c -> (i, c))
+        |> List.filter (fun (_, c) -> c > 0);
+    }
+
+let merge a b =
+  if a.count = 0 then b
+  else if b.count = 0 then a
+  else
+    let rec add xs ys =
+      match (xs, ys) with
+      | [], rest | rest, [] -> rest
+      | (i, ci) :: tx, (j, cj) :: ty ->
+        if i < j then (i, ci) :: add tx ys
+        else if j < i then (j, cj) :: add xs ty
+        else (i, ci + cj) :: add tx ty
+    in
+    {
+      count = a.count + b.count;
+      sum = a.sum +. b.sum;
+      min = Float.min a.min b.min;
+      max = Float.max a.max b.max;
+      counts = add a.counts b.counts;
+    }
+
+let quantile s p =
+  if s.count = 0 then 0.
+  else
+    let rank = int_of_float (Float.ceil (p *. float_of_int s.count)) in
+    let rank = if rank < 1 then 1 else if rank > s.count then s.count else rank in
+    let rec walk cum = function
+      | [] -> s.max
+      | (i, c) :: rest ->
+        let cum = cum + c in
+        if cum >= rank then Float.max s.min (Float.min (lower_bound i) s.max) else walk cum rest
+    in
+    walk 0 s.counts
+
+let to_json s =
+  Json.obj
+    [
+      ("count", Json.int s.count);
+      ("sum", Json.float s.sum);
+      ("min", Json.float s.min);
+      ("max", Json.float s.max);
+      ("p50", Json.float (quantile s 0.5));
+      ("p90", Json.float (quantile s 0.9));
+      ("p99", Json.float (quantile s 0.99));
+      ("buckets", Json.arr (List.map (fun (i, c) -> Json.arr [ Json.int i; Json.int c ]) s.counts));
+    ]

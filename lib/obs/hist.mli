@@ -1,0 +1,70 @@
+(** Fixed-boundary log₂-bucket latency histograms.
+
+    A histogram is 40 buckets with {e fixed} power-of-two boundaries:
+    bucket [0] holds values below [1.0] (including zero, negatives and
+    non-finite values), bucket [i] for [1 <= i <= 38] holds the
+    half-open range [[2^(i-1), 2^i)], and bucket [39] holds everything
+    from [2^38] up. Because the boundaries never depend on the data,
+    two histograms of the same metric merge {e exactly} by bucket-wise
+    addition — the property {!Report.merge} relies on to combine
+    per-domain collectors deterministically.
+
+    {!record} is O(1): one [Float.frexp], one clamp, one array
+    increment (plus count/sum/min/max updates). No allocation after
+    {!create}. The intended unit for time-valued metrics is
+    {e nanoseconds} (bucket 39 then starts at [2^38] ns ≈ 4.6 min);
+    count-valued metrics (retries per request) use the value itself. *)
+
+type t
+(** A mutable histogram. Not synchronized — one writer domain, like the
+    rest of a {!Probe} collector. *)
+
+val buckets : int
+(** Number of buckets, [40]. *)
+
+val create : unit -> t
+
+val record : t -> float -> unit
+(** [record t v] adds one observation. O(1), allocation-free. *)
+
+val lower_bound : int -> float
+(** [lower_bound i] is bucket [i]'s inclusive lower boundary:
+    [0.] for bucket 0, [2^(i-1)] otherwise. *)
+
+val upper_bound : int -> float
+(** [upper_bound i] is bucket [i]'s exclusive upper boundary:
+    [1.] for bucket 0, [2^i] for middle buckets, [infinity] for the
+    last. *)
+
+(** Immutable summary of a histogram — the form stored in
+    {!Report.t} and serialized by the sinks. *)
+type snapshot = {
+  count : int;
+  sum : float;
+  min : float;  (** exact smallest observation; [0.] when empty *)
+  max : float;  (** exact largest observation; [0.] when empty *)
+  counts : (int * int) list;
+      (** sparse [(bucket, count)] pairs, ascending bucket, counts > 0 *)
+}
+
+val empty : snapshot
+
+val snapshot : t -> snapshot
+
+val merge : snapshot -> snapshot -> snapshot
+(** Bucket-wise sum; count/sum add, min/max combine. Exact and
+    commutative — merged quantiles equal the quantiles of the pooled
+    observations up to bucket resolution. *)
+
+val quantile : snapshot -> float -> float
+(** [quantile s p] for [p] in [[0, 1]] is the lower boundary of the
+    bucket containing the rank-[ceil(p*count)] observation, clamped
+    into [[s.min, s.max]] — deterministic given the buckets, exact
+    when the underlying observations sit on bucket boundaries (the
+    pinned-test contract), and never more than 2x below the true
+    quantile otherwise. [0.] when empty. *)
+
+val to_json : snapshot -> string
+(** One JSON object:
+    [{"count":n,"sum":s,"min":..,"max":..,"p50":..,"p90":..,"p99":..,
+      "buckets":[[i,c],...]}]. *)

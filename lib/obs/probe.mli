@@ -6,18 +6,26 @@
     recording is installed with {!with_recording}; outside such a scope
     every probe is a no-op.
 
-    Cost contract when disabled: {!count}, {!event}, {!enter} and {!leave}
-    read one root ref and return — no allocation, no branch beyond the
-    [None] check (verified by a Gc-stat test in [test/test_obs.ml]). Guard
-    any payload construction that itself allocates with {!enabled}:
+    Cost contract when disabled: {!count}, {!observe}, {!event}, {!enter},
+    {!leave} and {!span} read one atomic root and return — no allocation,
+    no branch beyond the [None] check (verified by a Gc-stat test in
+    [test/test_obs.ml]). Guard any payload construction that itself
+    allocates with {!enabled}:
 
     {[
       if Probe.enabled () then
         Probe.event (Event.Guess_rejected { source = "dual_search"; t; reason })
     ]}
 
-    The sink is process-global and not synchronized: record on one domain
-    at a time (the fuzz driver forces a single domain under [--profile]). *)
+    Recording is {e multi-domain}: each domain that fires a probe inside
+    a {!with_recording} scope records into its own collector (found via
+    [Domain.DLS], registered once per domain per recording), and the
+    scope's exit merges the collectors deterministically
+    ({!Report.merge}) — counters sum, histograms sum bucket-wise, span
+    trees join by path, events interleave by per-domain sequence then
+    domain id. The only contract: worker domains spawned inside the
+    scope must be joined before the scope ends (the [Parallel] helpers
+    always join before returning). *)
 
 (** [enabled ()] is true inside a {!with_recording} scope. *)
 val enabled : unit -> bool
@@ -27,28 +35,38 @@ val enabled : unit -> bool
     docs/observability.md. *)
 val count : ?n:int -> string -> unit
 
-(** [event ev] appends [ev] to the event stream (dropped beyond
-    {!Report.event_cap}, counted in [dropped_events]). *)
+(** [observe name v] adds one observation to the named log₂-bucket
+    histogram ({!Hist}) — O(1), fixed boundaries, so per-domain
+    histograms of the same metric merge exactly. Time-valued metrics
+    record nanoseconds. *)
+val observe : string -> float -> unit
+
+(** [event ev] appends [ev] to the domain's event stream (dropped beyond
+    {!Report.event_cap}, counted in [dropped_events] and the
+    ["obs.events.dropped"] counter). *)
 val event : Event.t -> unit
 
 (** Span token returned by {!enter}; pass it to {!leave}. *)
 type span
 
-(** [enter name] opens a nested monotonic-clock span; the span's path is
-    its ancestors' names joined with ['/']. Returns a token ({!leave}
-    unwinds to it, so a raise between enter and leave only loses the
-    unwound frames' timings, never corrupts the stack). *)
+(** [enter name] opens a nested monotonic-clock span on this domain; the
+    span's path is its ancestors' names joined with ['/']. Returns a
+    token ({!leave} unwinds to it, so a raise between enter and leave
+    only loses the unwound frames' timings, never corrupts the stack).
+    Every completed span also feeds a histogram of per-call durations
+    under the span's path. *)
 val enter : string -> span
 
 val leave : span -> unit
 
-(** [span name f] = [enter]/[f ()]/[leave], exception-safe. Allocates a
-    closure even when disabled — fine at per-run phase granularity, avoid
-    in per-item loops (use {!enter}/{!leave} there). *)
+(** [span name f] = [enter]/[f ()]/[leave], exception-safe. The disabled
+    path tail-calls [f] directly — no closure, no allocation (pass a
+    statically-allocated closure to keep the call site free too). *)
 val span : string -> (unit -> 'a) -> 'a
 
-(** [with_recording f] installs a fresh collector, runs [f], and returns
-    its result with the harvested report. Nests: the innermost recording
-    wins; the outer one resumes afterwards (probes hit one sink at a time,
-    so nested scopes partition, not duplicate, the observations). *)
+(** [with_recording f] installs a fresh recording, runs [f], and returns
+    its result with the merged report of every domain that recorded.
+    Nests: the innermost recording wins; the outer one resumes afterwards
+    (probes hit one sink at a time, so nested scopes partition, not
+    duplicate, the observations). *)
 val with_recording : (unit -> 'a) -> 'a * Report.t

@@ -1,9 +1,18 @@
 open Bss_util
 
 let ms ns = Printf.sprintf "%.3f" (Int64.to_float ns /. 1e6)
+let num = Printf.sprintf "%.4g"
+
+let dropped_warning (r : Report.t) =
+  Printf.sprintf "!! %d event(s) dropped beyond the %d-event cap — counters are complete, the event stream is not"
+    r.Report.dropped_events Report.event_cap
 
 let table ?(events = false) (r : Report.t) =
   let buf = Buffer.create 1024 in
+  if r.dropped_events > 0 then begin
+    Buffer.add_string buf (dropped_warning r);
+    Buffer.add_char buf '\n'
+  end;
   if r.spans <> [] then begin
     Buffer.add_string buf
       (Table.render
@@ -12,6 +21,24 @@ let table ?(events = false) (r : Report.t) =
          (List.map
             (fun (path, (s : Report.span_total)) -> [ path; string_of_int s.calls; ms s.ns ])
             r.spans));
+    Buffer.add_char buf '\n'
+  end;
+  if r.hists <> [] then begin
+    Buffer.add_string buf
+      (Table.render
+         ~header:[ "histogram"; "count"; "p50"; "p90"; "p99"; "max" ]
+         ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+         (List.map
+            (fun (name, (h : Hist.snapshot)) ->
+              [
+                name;
+                string_of_int h.Hist.count;
+                num (Hist.quantile h 0.5);
+                num (Hist.quantile h 0.9);
+                num (Hist.quantile h 0.99);
+                num h.Hist.max;
+              ])
+            r.hists));
     Buffer.add_char buf '\n'
   end;
   if r.counters <> [] then begin
@@ -25,22 +52,29 @@ let table ?(events = false) (r : Report.t) =
     (Printf.sprintf "events: %d recorded%s\n" (List.length r.events)
        (if r.dropped_events > 0 then Printf.sprintf " (+%d dropped)" r.dropped_events else ""));
   if events then
-    List.iter (fun ev -> Buffer.add_string buf (Format.asprintf "  %a\n" Event.pp ev)) r.events;
+    List.iter
+      (fun (e : Report.event_entry) ->
+        Buffer.add_string buf (Format.asprintf "  %a\n" Event.pp e.Report.event))
+      r.events;
   Buffer.contents buf
 
 let json (r : Report.t) =
   Json.obj
-    [
-      ("counters", Json.obj (List.map (fun (name, v) -> (name, Json.int v)) r.counters));
-      ( "spans",
-        Json.obj
-          (List.map
-             (fun (path, (s : Report.span_total)) ->
-               (path, Json.obj [ ("calls", Json.int s.calls); ("ns", Json.int64 s.ns) ]))
-             r.spans) );
-      ("events", Json.arr (List.map Event.to_json r.events));
-      ("dropped_events", Json.int r.dropped_events);
-    ]
+    ((if r.dropped_events > 0 then [ ("warning", Json.str (dropped_warning r)) ] else [])
+    @ [
+        ("counters", Json.obj (List.map (fun (name, v) -> (name, Json.int v)) r.counters));
+        ("hists", Json.obj (List.map (fun (name, h) -> (name, Hist.to_json h)) r.hists));
+        ( "spans",
+          Json.obj
+            (List.map
+               (fun (path, (s : Report.span_total)) ->
+                 (path, Json.obj [ ("calls", Json.int s.calls); ("ns", Json.int64 s.ns) ]))
+               r.spans) );
+        ( "events",
+          Json.arr (List.map (fun (e : Report.event_entry) -> Event.to_json e.Report.event) r.events)
+        );
+        ("dropped_events", Json.int r.dropped_events);
+      ])
 
 let jsonl (r : Report.t) =
   let buf = Buffer.create 1024 in
@@ -52,10 +86,13 @@ let jsonl (r : Report.t) =
     (fun (name, v) -> line (Json.obj [ ("counter", Json.str name); ("value", Json.int v) ]))
     r.counters;
   List.iter
+    (fun (name, h) -> line (Json.obj [ ("hist", Json.str name); ("value", Hist.to_json h) ]))
+    r.hists;
+  List.iter
     (fun (path, (s : Report.span_total)) ->
       line (Json.obj [ ("span", Json.str path); ("calls", Json.int s.calls); ("ns", Json.int64 s.ns) ]))
     r.spans;
-  List.iter (fun ev -> line (Event.to_json ev)) r.events;
+  List.iter (fun (e : Report.event_entry) -> line (Event.to_json e.Report.event)) r.events;
   if r.dropped_events > 0 then line (Json.obj [ ("dropped_events", Json.int r.dropped_events) ]);
   Buffer.contents buf
 
@@ -73,12 +110,115 @@ let csv (r : Report.t) =
   in
   List.iter (fun (name, v) -> row "counter" name (string_of_int v) "") r.counters;
   List.iter
+    (fun (name, (h : Hist.snapshot)) ->
+      row "hist" name (string_of_int h.Hist.count)
+        (Printf.sprintf "p50=%s;p90=%s;p99=%s;max=%s" (num (Hist.quantile h 0.5))
+           (num (Hist.quantile h 0.9)) (num (Hist.quantile h 0.99)) (num h.Hist.max)))
+    r.hists;
+  List.iter
     (fun (path, (s : Report.span_total)) ->
       row "span" path (string_of_int s.calls) (Int64.to_string s.ns))
     r.spans;
   List.iter
-    (fun ev ->
-      let tag, value, detail = Event.summary ev in
+    (fun (e : Report.event_entry) ->
+      let tag, value, detail = Event.summary e.Report.event in
       row "event" tag value detail)
     r.events;
   Buffer.contents buf
+
+(* ---------------- Chrome trace_event export ---------------- *)
+
+(* ts/dur are microseconds; emit with fixed precision so output is
+   stable across float formatting quirks *)
+let us ns = Printf.sprintf "%.3f" (Int64.to_float ns /. 1e3)
+
+let leaf path =
+  match String.rindex_opt path '/' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+(* Lay one domain's aggregated span tree out as a flamegraph: children
+   nest inside their parent's interval, siblings go end to end in path
+   order. The cursor is a synthetic offset — span totals carry no start
+   times. *)
+let domain_events ~pid (spans : (string * Report.span_total) list) =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (p, s) -> Hashtbl.replace tbl p s) spans;
+  let children = Hashtbl.create 16 in
+  List.iter
+    (fun (p, s) ->
+      let parent =
+        match String.rindex_opt p '/' with
+        | Some i ->
+          let par = String.sub p 0 i in
+          if Hashtbl.mem tbl par then par else ""
+        | None -> ""
+      in
+      Hashtbl.replace children parent
+        ((p, s) :: Option.value ~default:[] (Hashtbl.find_opt children parent)))
+    spans;
+  let kids parent = List.rev (Option.value ~default:[] (Hashtbl.find_opt children parent)) in
+  let out = ref [] in
+  let add e = out := e :: !out in
+  add
+    (Json.obj
+       [
+         ("ph", Json.str "M");
+         ("name", Json.str "process_name");
+         ("pid", Json.int pid);
+         ("tid", Json.int 0);
+         ("args", Json.obj [ ("name", Json.str (Printf.sprintf "domain %d" pid)) ]);
+       ]);
+  let rec emit cursor (path, (s : Report.span_total)) =
+    add
+      (Json.obj
+         [
+           ("ph", Json.str "X");
+           ("name", Json.str (leaf path));
+           ("cat", Json.str "span");
+           ("ts", us cursor);
+           ("dur", us s.Report.ns);
+           ("pid", Json.int pid);
+           ("tid", Json.int 0);
+           ("args", Json.obj [ ("path", Json.str path); ("calls", Json.int s.Report.calls) ]);
+         ]);
+    ignore
+      (List.fold_left
+         (fun c child ->
+           emit c child;
+           Int64.add c (snd child).Report.ns)
+         cursor (kids path))
+  in
+  ignore
+    (List.fold_left
+       (fun c root ->
+         emit c root;
+         Int64.add c (snd root).Report.ns)
+       0L (kids ""));
+  List.rev !out
+
+let chrome_trace (r : Report.t) =
+  let span_events =
+    List.concat_map
+      (fun (dom, spans) -> domain_events ~pid:(max dom 0) spans)
+      r.Report.by_domain
+  in
+  let counter_events =
+    List.map
+      (fun (name, v) ->
+        Json.obj
+          [
+            ("ph", Json.str "C");
+            ("name", Json.str name);
+            ("pid", Json.int 0);
+            ("tid", Json.int 0);
+            ("ts", "0");
+            ("args", Json.obj [ ("value", Json.int v) ]);
+          ])
+      r.Report.counters
+  in
+  Json.obj
+    [
+      ("traceEvents", Json.arr (span_events @ counter_events));
+      ("displayTimeUnit", Json.str "ms");
+    ]

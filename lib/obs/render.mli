@@ -1,22 +1,44 @@
-(** Report sinks: ASCII table (via {!Bss_util.Table}), JSON, CSV.
+(** Report sinks: ASCII table (via {!Bss_util.Table}), JSON, CSV, and
+    Chrome [trace_event] export.
 
-    Counters and span structure are deterministic for a fixed instance and
-    algorithm; span durations are wall-clock and are not. Tests pin
-    counter rows and treat timings as opaque. *)
+    Counters, span structure and histogram {e names} are deterministic
+    for a fixed instance and algorithm; span durations and histogram
+    contents are wall-clock and are not. Tests pin counter rows and
+    report shape, and treat timings as opaque.
 
-(** Monospace tables: spans (path, calls, total ms), counters
-    (name, value), then a one-line event count. [?events] (default false)
-    additionally lists every recorded event. *)
+    When [dropped_events > 0] the table and JSON sinks lead with a
+    prominent warning — counters stay complete, but the event stream was
+    capped. *)
+
+(** Monospace tables: a dropped-events warning (when any), spans
+    (path, calls, total ms), histograms (name, count, p50/p90/p99/max),
+    counters (name, value), then a one-line event count. [?events]
+    (default false) additionally lists every recorded event. *)
 val table : ?events:bool -> Report.t -> string
 
-(** One JSON object: [{"counters":{...},"spans":{...},"events":[...],
-    "dropped_events":n}]. Span times in integer nanoseconds. *)
+(** One JSON object: [{"counters":{...},"hists":{...},"spans":{...},
+    "events":[...],"dropped_events":n}], plus a ["warning"] field when
+    events were dropped. Span times in integer nanoseconds; histogram
+    fields per {!Hist.to_json}. *)
 val json : Report.t -> string
 
-(** JSON-lines: one object per counter, span and event. *)
+(** JSON-lines: one object per counter, histogram, span and event. *)
 val jsonl : Report.t -> string
 
 (** CSV with header [kind,name,value,detail]: counters
-    ([counter,<name>,<value>,]), spans ([span,<path>,<calls>,<ns>]) and
-    events ([event,<tag>,<value>,<detail>]). *)
+    ([counter,<name>,<value>,]), histograms
+    ([hist,<name>,<count>,p50=..;p90=..;p99=..;max=..]), spans
+    ([span,<path>,<calls>,<ns>]) and events ([event,<tag>,<value>,<detail>]). *)
 val csv : Report.t -> string
+
+(** [chrome_trace r] renders the report in Chrome [trace_event] JSON
+    (the format [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}
+    open directly): one {e pid} per recording domain, each domain's span
+    tree laid out as complete (["ph":"X"]) events — children nested
+    inside their parent's interval, siblings laid end to end, durations
+    in microseconds — and merged counters as counter (["ph":"C"])
+    events. Timestamps are synthetic offsets reconstructed from span
+    totals (the collector aggregates, it does not log every interval),
+    so the trace is a flamegraph of where time went, not a timeline of
+    when. *)
+val chrome_trace : Report.t -> string

@@ -1,18 +1,22 @@
 type span_total = { calls : int; ns : int64 }
+type event_entry = { domain : int; seq : int; event : Event.t }
 
 type t = {
   counters : (string * int) list;
+  hists : (string * Hist.snapshot) list;
   spans : (string * span_total) list;
-  events : Event.t list;
+  by_domain : (int * (string * span_total) list) list;
+  events : event_entry list;
   dropped_events : int;
 }
 
-let empty = { counters = []; spans = []; events = []; dropped_events = 0 }
+let empty = { counters = []; hists = []; spans = []; by_domain = []; events = []; dropped_events = 0 }
 let event_cap = 10_000
 
 let counter t name = match List.assoc_opt name t.counters with Some v -> v | None -> 0
+let hist t name = List.assoc_opt name t.hists
 
-(* merge two name-sorted association lists with [add] on collisions *)
+(* merge two key-sorted association lists with [add] on collisions *)
 let rec merge_sorted add a b =
   match (a, b) with
   | [], rest | rest, [] -> rest
@@ -22,19 +26,36 @@ let rec merge_sorted add a b =
     else if c > 0 then (kb, vb) :: merge_sorted add a tb
     else (ka, add va vb) :: merge_sorted add ta tb
 
+let add_span (x : span_total) (y : span_total) = { calls = x.calls + y.calls; ns = Int64.add x.ns y.ns }
+
+(* interleave two (seq, domain)-ordered event streams *)
+let rec merge_events a b =
+  match (a, b) with
+  | [], rest | rest, [] -> rest
+  | ea :: ta, eb :: tb ->
+    if compare (ea.seq, ea.domain) (eb.seq, eb.domain) <= 0 then ea :: merge_events ta b
+    else eb :: merge_events a tb
+
+let rec take_count n dropped = function
+  | [] -> ([], dropped)
+  | _ :: rest when n = 0 -> take_count 0 (dropped + 1) rest
+  | e :: rest ->
+    let front, dropped = take_count (n - 1) dropped rest in
+    (e :: front, dropped)
+
 let merge a b =
-  let events, dropped =
-    let na = List.length a.events in
-    let room = event_cap - na in
-    if room >= List.length b.events then (a.events @ b.events, 0)
-    else (a.events @ List.filteri (fun i _ -> i < room) b.events, List.length b.events - max 0 room)
+  let events, overflow = take_count event_cap 0 (merge_events a.events b.events) in
+  let counters = merge_sorted ( + ) a.counters b.counters in
+  (* overflow dropped here (not in a collector) still surfaces in the
+     counter, keeping it equal to [dropped_events] *)
+  let counters =
+    if overflow = 0 then counters else merge_sorted ( + ) counters [ ("obs.events.dropped", overflow) ]
   in
   {
-    counters = merge_sorted ( + ) a.counters b.counters;
-    spans =
-      merge_sorted
-        (fun x y -> { calls = x.calls + y.calls; ns = Int64.add x.ns y.ns })
-        a.spans b.spans;
+    counters;
+    hists = merge_sorted Hist.merge a.hists b.hists;
+    spans = merge_sorted add_span a.spans b.spans;
+    by_domain = merge_sorted (merge_sorted add_span) a.by_domain b.by_domain;
     events;
-    dropped_events = a.dropped_events + b.dropped_events + dropped;
+    dropped_events = a.dropped_events + b.dropped_events + overflow;
   }

@@ -1,17 +1,33 @@
-(** The immutable outcome of one recorded run (or a merge of several).
+(** The immutable outcome of one recorded run — a deterministic merge of
+    the per-domain collectors the recording registered (or of several
+    such reports).
 
-    Produced by {!Probe.with_recording}; rendered by {!Render}. All three
-    collections are sorted by name so equal runs render identically. *)
+    Produced by {!Probe.with_recording}; rendered by {!Render}. All
+    name-keyed collections are sorted so equal runs render identically. *)
 
 type span_total = {
   calls : int;  (** completed enter/leave pairs on this path *)
   ns : int64;  (** inclusive monotonic-clock nanoseconds *)
 }
 
+(** One recorded event with its merge key: [seq] is the event's
+    per-domain sequence number (0-based, in emission order on that
+    domain), [domain] the recording domain's id. {!merge} interleaves
+    event streams by [(seq, domain)]. *)
+type event_entry = { domain : int; seq : int; event : Event.t }
+
 type t = {
-  counters : (string * int) list;  (** sorted by counter name *)
-  spans : (string * span_total) list;  (** sorted by span path, e.g. ["solve/search/dual"] *)
-  events : Event.t list;  (** chronological *)
+  counters : (string * int) list;  (** sorted by counter name; summed across domains *)
+  hists : (string * Hist.snapshot) list;
+      (** sorted by metric name: explicit {!Probe.observe} metrics plus
+          one histogram per span path (per-call durations) *)
+  spans : (string * span_total) list;
+      (** sorted by span path, e.g. ["solve/search/dual"]; summed
+          across domains *)
+  by_domain : (int * (string * span_total) list) list;
+      (** per-domain span trees, ascending domain id — the structure
+          {!Render.chrome_trace} lays out as one process per domain *)
+  events : event_entry list;  (** ordered by [(seq, domain)] *)
   dropped_events : int;  (** events beyond the per-run cap, counted not stored *)
 }
 
@@ -20,11 +36,18 @@ val empty : t
 (** [counter t name] is the counter's value, [0] when absent. *)
 val counter : t -> string -> int
 
-(** [merge a b] sums counters and spans pointwise and concatenates events
-    (capped; overflow adds to [dropped_events]). Used by aggregate sinks
-    such as [bss fuzz --profile]. *)
+(** [hist t name] is the named histogram when recorded. *)
+val hist : t -> string -> Hist.snapshot option
+
+(** [merge a b] is the deterministic join: counters sum, histograms sum
+    bucket-wise ({!Hist.merge}), span trees join by path, per-domain
+    trees join by domain id, and events interleave by per-domain
+    sequence then domain id (capped at {!event_cap}; overflow adds to
+    [dropped_events] {e and} to the ["obs.events.dropped"] counter, so
+    merged multi-domain reports surface the loss). Associative and
+    commutative on reports from disjoint domains. *)
 val merge : t -> t -> t
 
-(** Maximum events a report stores; {!merge} and the collector both
-    enforce it. *)
+(** Maximum events a report stores; {!merge} and each per-domain
+    collector both enforce it. *)
 val event_cap : int

@@ -5,6 +5,8 @@ module Rerror = Bss_resilience.Error
 module Guard = Bss_resilience.Guard
 module Chaos = Bss_resilience.Chaos
 module Probe = Bss_obs.Probe
+module Hist = Bss_obs.Hist
+module Event = Bss_obs.Event
 
 type config = {
   queue_capacity : int;
@@ -19,6 +21,7 @@ type config = {
   checkpoint_every : int;
   chaos : int option;
   seed : int;
+  metrics_every : int option;
 }
 
 let default_config =
@@ -35,6 +38,7 @@ let default_config =
     checkpoint_every = 8;
     chaos = None;
     seed = 0;
+    metrics_every = None;
   }
 
 type status = Done | Rejected | Aborted
@@ -69,6 +73,7 @@ type summary = {
   flush_failures : int;
   journal_dirty : int;
   interrupted : bool;
+  hists : (string * Hist.snapshot) list;
 }
 
 (* deterministic across processes, unlike Hashtbl.hash's documented-but-
@@ -144,7 +149,8 @@ let rec take n = function
     let front, rest = take (n - 1) xs in
     (x :: front, rest)
 
-let run ?journal ?(should_stop = fun () -> false) config (requests : Request.t list) =
+let run ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) config
+    (requests : Request.t list) =
   if config.burst < 1 then invalid_arg "Runtime.run: burst < 1";
   if config.retries < 0 then invalid_arg "Runtime.run: retries < 0";
   if config.checkpoint_every < 1 then invalid_arg "Runtime.run: checkpoint_every < 1";
@@ -155,9 +161,29 @@ let run ?journal ?(should_stop = fun () -> false) config (requests : Request.t l
   in
   let queue = Bqueue.create ~capacity:config.queue_capacity in
   let breakers =
-    List.map (fun v -> (v, Breaker.make ~k:config.breaker_k ~cooldown:config.breaker_cooldown ())) Variant.all
+    List.map
+      (fun v -> (v, (Breaker.make ~k:config.breaker_k ~cooldown:config.breaker_cooldown (), ref 0)))
+      Variant.all
   in
-  let breaker v = List.assoc v breakers in
+  let breaker v = fst (List.assoc v breakers) in
+  (* surface each state change once: a counter plus a typed event, fed
+     after every route/record (the only operations that can flip state) *)
+  let note_transitions v =
+    let b, seen = List.assoc v breakers in
+    let ts = Breaker.transitions b in
+    let total = List.length ts in
+    if total > !seen then begin
+      if Probe.enabled () then
+        List.iteri
+          (fun i change ->
+            if i >= !seen then begin
+              Probe.count "service.breaker.transitions";
+              Probe.event (Event.Breaker_transition { variant = Variant.to_string v; change })
+            end)
+          ts;
+      seen := total
+    end
+  in
   let outcomes : (string, outcome) Hashtbl.t = Hashtbl.create 64 in
   let record_outcome o = Hashtbl.replace outcomes o.request.Request.id o in
   let retries_total = ref 0 in
@@ -166,6 +192,52 @@ let run ?journal ?(should_stop = fun () -> false) config (requests : Request.t l
   let flush_failures = ref 0 in
   let interrupted = ref false in
   let not_admitted = ref 0 in
+  (* Service histograms live on the coordinator: every observation is
+     derived from data the dispatch loop already holds (worker latencies
+     come back in the wave results), so recording needs no cross-domain
+     sink and works with or without an installed Probe recording —
+     [--metrics-every] and the summary read these, [--profile] sees the
+     mirrored copies. *)
+  let hist_tbl : (string, Hist.t) Hashtbl.t = Hashtbl.create 8 in
+  let hobserve name v =
+    (match Hashtbl.find_opt hist_tbl name with
+    | Some h -> Hist.record h v
+    | None ->
+      let h = Hist.create () in
+      Hashtbl.add hist_tbl name h;
+      Hist.record h v);
+    if Probe.enabled () then Probe.observe name v
+  in
+  let hist_snapshots () =
+    Hashtbl.fold (fun k h acc -> (k, Hist.snapshot h) :: acc) hist_tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let admitted_at : (string, int64) Hashtbl.t = Hashtbl.create 64 in
+  let completed_live = ref 0 and rejected_live = ref 0 and aborted_live = ref 0 in
+  let last_metrics = ref 0 in
+  let metrics_line () =
+    Json.obj
+      [
+        ( "metrics",
+          Json.obj
+            [
+              ("completed", Json.int !completed_live);
+              ("rejected", Json.int !rejected_live);
+              ("aborted", Json.int !aborted_live);
+              ("retries", Json.int !retries_total);
+              ("queue_peak", Json.int !queue_peak);
+              ("waves", Json.int !waves);
+              ("hists", Json.obj (List.map (fun (k, h) -> (k, Hist.to_json h)) (hist_snapshots ())));
+            ] );
+      ]
+  in
+  let maybe_emit_metrics () =
+    match config.metrics_every with
+    | Some every when every > 0 && !completed_live - !last_metrics >= every ->
+      last_metrics := !completed_live;
+      emit_metrics (metrics_line ())
+    | _ -> ()
+  in
   (* restore checkpointed completions: journal entries are trusted verbatim *)
   let checkpointed = ref 0 in
   (match journal with
@@ -197,14 +269,18 @@ let run ?journal ?(should_stop = fun () -> false) config (requests : Request.t l
     match journal with
     | None -> ()
     | Some j -> (
+      let t0 = Monotonic_clock.now () in
       match Journal.flush j with
-      | () -> if Probe.enabled () then Probe.count "service.journal.flush_ok"
+      | () ->
+        hobserve "service.journal.flush_ns" (Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0));
+        if Probe.enabled () then Probe.count "service.journal.flush_ok"
       | exception _ ->
         incr flush_failures;
         if Probe.enabled () then Probe.count "service.journal.flush_failed")
   in
   let admit r =
     let reject error =
+      incr rejected_live;
       if Probe.enabled () then Probe.count "service.rejected";
       record_outcome
         {
@@ -221,31 +297,47 @@ let run ?journal ?(should_stop = fun () -> false) config (requests : Request.t l
         }
     in
     match Bqueue.admit queue r with
-    | Ok () -> if Probe.enabled () then Probe.count "service.enqueued"
+    | Ok () ->
+      Hashtbl.replace admitted_at r.Request.id (Monotonic_clock.now ());
+      if Probe.enabled () then Probe.count "service.enqueued"
     | Error e -> reject e
     | exception exn -> reject (Rerror.Internal exn)
   in
   let dispatch wave =
+    Probe.span "service.wave" @@ fun () ->
     incr waves;
     queue_peak := max !queue_peak (List.length wave);
     if Probe.enabled () then begin
       Probe.count "service.wave";
       Probe.count ~n:(List.length wave) "service.queue.depth"
     end;
+    let wave_start = Monotonic_clock.now () in
+    List.iter
+      (fun (r : Request.t) ->
+        match Hashtbl.find_opt admitted_at r.Request.id with
+        | Some t ->
+          Hashtbl.remove admitted_at r.Request.id;
+          hobserve "service.queue.wait_ns" (Int64.to_float (Int64.sub wave_start t))
+        | None -> ())
+      wave;
     (* route through the breaker on the coordinator, in request order *)
     let routed =
       List.map
         (fun (r : Request.t) ->
           let b = breaker r.Request.variant in
-          match Breaker.route b with
-          | Breaker.Requested -> (r, Breaker.Requested, "requested", r.Request.algorithm)
-          | Breaker.Probe -> (r, Breaker.Probe, "probe", r.Request.algorithm)
-          | Breaker.Fallback -> (r, Breaker.Fallback, "fallback", Solver.Approx2)
-          | exception _ ->
-            (* an injected fault on the half-open probe point: the probe
-               failed before it ran — re-open and fall back *)
-            Breaker.record b ~route:Breaker.Probe ~ok:false;
-            (r, Breaker.Fallback, "fallback", Solver.Approx2))
+          let res =
+            match Breaker.route b with
+            | Breaker.Requested -> (r, Breaker.Requested, "requested", r.Request.algorithm)
+            | Breaker.Probe -> (r, Breaker.Probe, "probe", r.Request.algorithm)
+            | Breaker.Fallback -> (r, Breaker.Fallback, "fallback", Solver.Approx2)
+            | exception _ ->
+              (* an injected fault on the half-open probe point: the probe
+                 failed before it ran — re-open and fall back *)
+              Breaker.record b ~route:Breaker.Probe ~ok:false;
+              (r, Breaker.Fallback, "fallback", Solver.Approx2)
+          in
+          note_transitions r.Request.variant;
+          res)
         wave
     in
     let results =
@@ -266,14 +358,19 @@ let run ?journal ?(should_stop = fun () -> false) config (requests : Request.t l
           match wres with Wdone d -> d.degraded | Waborted _ -> true
         in
         Breaker.record (breaker r.Request.variant) ~route ~ok:(not failed_ladder);
+        note_transitions r.Request.variant;
         (match wres with
         | Wdone d ->
           retries_total := !retries_total + d.retries_used;
+          incr completed_live;
+          hobserve
+            ("service.solve_ns." ^ Variant.to_string r.Request.variant)
+            (Int64.to_float d.latency_ns);
+          hobserve "service.retries_per_request" (float_of_int d.retries_used);
           if Probe.enabled () then begin
             Probe.count "service.done";
             if d.retries_used > 0 then Probe.count ~n:d.retries_used "service.retries";
-            if d.degraded then Probe.count "service.degraded";
-            Probe.count ~n:(Int64.to_int (Int64.div d.latency_ns 1_000L)) "service.latency_us"
+            if d.degraded then Probe.count "service.degraded"
           end;
           Option.iter
             (fun j -> Journal.add j { Journal.id = r.Request.id; rung = d.rung; makespan = d.makespan })
@@ -293,6 +390,8 @@ let run ?journal ?(should_stop = fun () -> false) config (requests : Request.t l
             }
         | Waborted a ->
           retries_total := !retries_total + a.retries_used;
+          incr aborted_live;
+          hobserve "service.retries_per_request" (float_of_int a.retries_used);
           if Probe.enabled () then begin
             Probe.count "service.aborted";
             if a.retries_used > 0 then Probe.count ~n:a.retries_used "service.retries"
@@ -327,6 +426,7 @@ let run ?journal ?(should_stop = fun () -> false) config (requests : Request.t l
         let front, rest = take config.burst pending in
         List.iter admit front;
         dispatch (Bqueue.drain queue);
+        maybe_emit_metrics ();
         loop rest
   in
   (* Coordinator-level fault plan: the service sites that fire outside the
@@ -380,13 +480,14 @@ let run ?journal ?(should_stop = fun () -> false) config (requests : Request.t l
     rungs;
     breaker =
       List.filter_map
-        (fun (v, b) -> match Breaker.transitions b with [] -> None | ts -> Some (v, ts))
+        (fun (v, (b, _)) -> match Breaker.transitions b with [] -> None | ts -> Some (v, ts))
         breakers;
     queue_peak = !queue_peak;
     waves = !waves;
     flush_failures = !flush_failures;
     journal_dirty = (match journal with None -> 0 | Some j -> Journal.dirty j);
     interrupted = !interrupted;
+    hists = hist_snapshots ();
   }
 
 (* ---------------- rendering ---------------- *)
@@ -461,5 +562,6 @@ let render_json s =
       ("journal_dirty", Json.int s.journal_dirty);
       ("interrupted", Json.bool s.interrupted);
       ("latency_total_us", Json.int64 latency_total_us);
+      ("hists", Json.obj (List.map (fun (k, h) -> (k, Hist.to_json h)) s.hists));
       ("outcomes", Json.arr (List.map outcome_json s.outcomes));
     ]

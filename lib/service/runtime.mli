@@ -34,11 +34,14 @@ type config = {
   checkpoint_every : int;  (** journal flush cadence, in completions *)
   chaos : int option;  (** arm seeded fault plans (service + solver sites); forces 1 worker *)
   seed : int;  (** backoff-jitter seed *)
+  metrics_every : int option;
+      (** emit a periodic [metrics] JSON line through [emit_metrics] every
+          N completions ([None] = never) *)
 }
 
 (** capacity 64, burst 64, workers [None], 2 retries, default backoff,
     breaker k=3 cooldown=4, no budgets, checkpoint every 8, no chaos,
-    seed 0. *)
+    seed 0, no periodic metrics. *)
 val default_config : config
 
 type status =
@@ -76,15 +79,34 @@ type summary = {
   flush_failures : int;  (** journal flushes that failed (chaos or I/O) and were retried *)
   journal_dirty : int;  (** completions not on disk at exit — 0 unless every flush failed *)
   interrupted : bool;  (** [should_stop] drained the run early *)
+  hists : (string * Bss_obs.Hist.snapshot) list;
+      (** service latency histograms, sorted by name: per-variant solve
+          latency ([service.solve_ns.<variant>]), queue wait
+          ([service.queue.wait_ns]), retries per request
+          ([service.retries_per_request]) and journal flush latency
+          ([service.journal.flush_ns]). Recorded on the coordinator from
+          data the dispatch loop already holds, so they need no installed
+          {!Bss_obs.Probe} recording; with one installed the same
+          observations are mirrored into it. *)
 }
 
-(** [run ?journal ?should_stop config requests] executes the batch.
-    [journal] enables checkpointing (entries already present are restored,
-    not re-solved); [should_stop] is polled between waves — when it turns
-    true the runtime stops admitting, finishes the in-flight wave, flushes
-    the journal and returns with [interrupted = true] (the CLI wires
-    SIGINT/SIGTERM to it). Never raises: every failure is an outcome. *)
-val run : ?journal:Journal.t -> ?should_stop:(unit -> bool) -> config -> Request.t list -> summary
+(** [run ?journal ?should_stop ?emit_metrics config requests] executes the
+    batch. [journal] enables checkpointing (entries already present are
+    restored, not re-solved); [should_stop] is polled between waves — when
+    it turns true the runtime stops admitting, finishes the in-flight
+    wave, flushes the journal and returns with [interrupted = true] (the
+    CLI wires SIGINT/SIGTERM to it). When [config.metrics_every] is
+    [Some n], [emit_metrics] (default: ignore) receives a one-line
+    [{"metrics":{...}}] JSON object after each wave that crosses another
+    [n] completions — live counters plus current histogram snapshots.
+    Never raises: every failure is an outcome. *)
+val run :
+  ?journal:Journal.t ->
+  ?should_stop:(unit -> bool) ->
+  ?emit_metrics:(string -> unit) ->
+  config ->
+  Request.t list ->
+  summary
 
 (** Stable text rendering: per-request lines in request order, rung
     counts, breaker transitions and totals — no timestamps or latencies,

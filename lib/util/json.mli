@@ -21,3 +21,28 @@ val float : float -> string
 val obj : (string * string) list -> string
 
 val arr : string list -> string
+
+(** {1 Parsing}
+
+    A small recursive-descent reader, added for the benchmark
+    regression gate ([bss bench --against]) which must read back the
+    JSON this module wrote. It handles the full JSON grammar this
+    writer can produce (objects, arrays, strings with escapes, numbers,
+    booleans, null); numbers are read as [float] (exact for integers
+    below 2{^53}, which covers every counter and nanosecond total we
+    emit). *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list  (** fields in document order *)
+
+(** [parse s] reads one JSON document (trailing whitespace allowed).
+    [Error msg] carries the byte offset of the failure. *)
+val parse : string -> (value, string) result
+
+(** [member k v] is field [k] of object [v], if both exist. *)
+val member : string -> value -> value option

@@ -1,0 +1,87 @@
+Metrics surfaces: latency histograms in profiled output, periodic
+metrics lines from the service runtime, and Chrome-trace export.
+Timings are wall-clock, so these tests pin shape — field names, counts,
+monotonicity — never durations.
+
+A profiled solve embeds histograms in the JSON profile: one per span
+path (per-call durations). Shape: every histogram carries count, sum,
+min/max, the pinned quantile fields and sparse buckets.
+
+  $ bss generate -f expensive -m 16 -n 48 -s 1 > exp.txt
+  $ bss solve exp.txt -v split -a 3/2 --json --profile | python3 -c "
+  > import json, sys
+  > d = json.load(sys.stdin)
+  > hists = d['profile']['hists']
+  > print('span hists cover spans:', set(hists) >= set(d['profile']['spans']))
+  > h = hists['solve']
+  > print(sorted(h))
+  > print('count', h['count'], 'buckets nonempty', len(h['buckets']) > 0)
+  > print('quantiles ordered:', h['p50'] <= h['p90'] <= h['p99'] <= h['max'])
+  > "
+  span hists cover spans: True
+  ['buckets', 'count', 'max', 'min', 'p50', 'p90', 'p99', 'sum']
+  count 1 buckets nonempty True
+  quantiles ordered: True
+
+The profile table gains a histogram section between spans and counters:
+
+  $ bss solve exp.txt -v split -a 3/2 --profile=table | grep -c '| histogram'
+  1
+
+`--metrics-every N` emits one JSON line per N completions with live
+counters and histogram snapshots; the counter fields are seed-pinned:
+
+  $ bss soak -n 24 --seed 7 --burst 8 --metrics-every 8 > soak.out
+  $ grep -o '"metrics":{"completed":[0-9]*,"rejected":[0-9]*,"aborted":[0-9]*' soak.out
+  "metrics":{"completed":8,"rejected":0,"aborted":0
+  "metrics":{"completed":16,"rejected":0,"aborted":0
+  "metrics":{"completed":24,"rejected":0,"aborted":0
+  $ grep -c '"service.queue.wait_ns"' soak.out
+  3
+
+The service summary JSON carries the same histograms:
+
+  $ bss soak -n 8 --seed 7 --json | python3 -c "
+  > import json, sys
+  > d = json.load(sys.stdin)
+  > names = sorted(n for n in d['hists'] if not n.startswith('service.solve_ns.'))
+  > print(names)
+  > print('per-variant solve hists:', any(n.startswith('service.solve_ns.') for n in d['hists']))
+  > print('retries hist count == done:', d['hists']['service.retries_per_request']['count'] == d['done'])
+  > "
+  ['service.queue.wait_ns', 'service.retries_per_request']
+  per-variant solve hists: True
+  retries hist count == done: True
+
+`--trace-out` writes a Chrome trace_event file: one process (pid) per
+recording domain, complete (X) span events nested by path, counter (C)
+events, metadata (M) naming each process.
+
+  $ bss solve exp.txt -v split -a 3/2 --trace-out trace.json > /dev/null
+  $ python3 -c "
+  > import json
+  > d = json.load(open('trace.json'))
+  > evs = d['traceEvents']
+  > print('unit', d['displayTimeUnit'])
+  > print('phases', sorted(set(e['ph'] for e in evs)))
+  > xs = [e for e in evs if e['ph'] == 'X']
+  > print('every X has ts/dur/args.path:', all('ts' in e and 'dur' in e and 'path' in e['args'] for e in xs))
+  > roots = [e for e in xs if '/' not in e['args']['path']]
+  > print('root spans', sorted(e['name'] for e in roots))
+  > "
+  unit ms
+  phases ['C', 'M', 'X']
+  every X has ts/dur/args.path: True
+  root spans ['solve']
+
+A multi-worker soak trace has one pid per worker domain plus the
+coordinator (exact domain ids vary, so pin the count, not the ids):
+
+  $ bss soak -n 12 --seed 7 --workers 2 --trace-out soak-trace.json > /dev/null
+  $ python3 -c "
+  > import json
+  > d = json.load(open('soak-trace.json'))
+  > pids = set(e['pid'] for e in d['traceEvents'] if e['ph'] == 'X')
+  > print('several processes:', len(pids) >= 2)
+  > "
+  several processes: True

@@ -16,13 +16,19 @@ let bool_c = Alcotest.bool
 (* Outside a recording, probes must not allocate: count/enter/leave take
    the [None] fast path and span tokens are unboxed ints. Event payload
    construction is the caller's responsibility (guard with [enabled]), so
-   the event here is built once, before measuring. *)
+   the event here is built once, before measuring; the [span] closure is
+   likewise hoisted (the disabled path tail-calls it, and a capturing
+   closure would charge its own allocation to the caller). *)
+let span_body () = ()
+
 let test_disabled_no_alloc () =
   assert (not (Probe.enabled ()));
   let static_event = Event.Note { source = "test"; key = "k"; value = "v" } in
   (* warm-up triggers any lazy initialization *)
   for _ = 1 to 128 do
     Probe.count "warmup";
+    Probe.observe "warmup.hist" 1.0;
+    Probe.span "warmup.span" span_body;
     Probe.leave (Probe.enter "warmup")
   done;
   Gc.minor ();
@@ -31,6 +37,8 @@ let test_disabled_no_alloc () =
     Probe.count "noop.counter";
     Probe.count ~n:5 "noop.counter5";
     Probe.event static_event;
+    Probe.observe "noop.hist" 2.0;
+    Probe.span "noop.spanf" span_body;
     let tok = Probe.enter "noop.span" in
     Probe.leave tok
   done;
@@ -183,7 +191,146 @@ let test_event_cap () =
         done)
   in
   check int_c "capped" Report.event_cap (List.length report.Report.events);
-  check int_c "drops counted" 10 report.Report.dropped_events
+  check int_c "drops counted" 10 report.Report.dropped_events;
+  check int_c "drops surfaced as a counter" 10 (Report.counter report "obs.events.dropped");
+  check bool_c "table leads with the warning" true
+    (string_contains (Render.table report) "10 event(s) dropped");
+  check bool_c "json carries the warning" true (string_contains (Render.json report) "\"warning\"")
+
+(* ---------------- histograms ---------------- *)
+
+let float_c = Alcotest.float 0.0
+
+(* Boundary-aligned samples make the bucket quantiles exact, so they pin. *)
+let test_hist_pinned_quantiles () =
+  let h = Hist.create () in
+  List.iter (Hist.record h) [ 1.; 2.; 4.; 8. ];
+  let s = Hist.snapshot h in
+  check int_c "count" 4 s.Hist.count;
+  check float_c "sum" 15. s.Hist.sum;
+  check float_c "min" 1. s.Hist.min;
+  check float_c "max" 8. s.Hist.max;
+  check float_c "p50" 2. (Hist.quantile s 0.5);
+  check float_c "p90" 8. (Hist.quantile s 0.9);
+  check float_c "p99" 8. (Hist.quantile s 0.99);
+  (* a constant stream: every quantile is the constant, via min/max clamping *)
+  let u = Hist.create () in
+  for _ = 1 to 100 do
+    Hist.record u 7.0
+  done;
+  let su = Hist.snapshot u in
+  List.iter
+    (fun p -> check float_c (Printf.sprintf "constant q%.2f" p) 7.0 (Hist.quantile su p))
+    [ 0.5; 0.9; 0.99; 1.0 ];
+  check bool_c "to_json shape" true
+    (List.for_all (string_contains (Hist.to_json su)) [ "\"count\":100"; "\"p50\""; "\"p99\""; "\"buckets\"" ])
+
+(* Fixed boundaries make the merge exact: splitting a stream across two
+   histograms and merging equals recording the pooled stream. *)
+let test_hist_merge_exact () =
+  let a = Hist.create () and b = Hist.create () and pooled = Hist.create () in
+  let xs = [ 3.; 100.; 0.5; 17.; 1024.; 9.; 0.; 1e12 ] in
+  List.iteri
+    (fun i v ->
+      Hist.record (if i mod 2 = 0 then a else b) v;
+      Hist.record pooled v)
+    xs;
+  let m = Hist.merge (Hist.snapshot a) (Hist.snapshot b) in
+  check bool_c "merge equals pooled snapshot" true (m = Hist.snapshot pooled)
+
+(* ---------------- deterministic multi-domain merge ---------------- *)
+
+(* The event interleave key is (per-domain seq, domain id): emission
+   order within a domain is preserved, ties across domains break by id. *)
+let test_merge_event_interleave () =
+  let entry domain seq value =
+    { Report.domain; seq; event = Event.Note { source = "m"; key = "k"; value } }
+  in
+  let r1 = { Report.empty with Report.events = [ entry 0 0 "d0e0"; entry 0 1 "d0e1" ] } in
+  let r2 = { Report.empty with Report.events = [ entry 1 0 "d1e0"; entry 1 1 "d1e1" ] } in
+  let values r =
+    List.map
+      (fun (e : Report.event_entry) ->
+        match e.Report.event with Event.Note { value; _ } -> value | _ -> "?")
+      r.Report.events
+  in
+  check (Alcotest.list Alcotest.string) "interleaved by (seq, domain)"
+    [ "d0e0"; "d1e0"; "d0e1"; "d1e1" ]
+    (values (Report.merge r1 r2));
+  (* and the merge is order-insensitive for disjoint domains *)
+  check bool_c "commutative" true (Report.merge r1 r2 = Report.merge r2 r1)
+
+(* Workers recording concurrently through their per-domain collectors
+   must merge to exactly the sequential reference: counters and explicit
+   histogram buckets equal, span paths and call counts equal (span
+   timings are wall-clock and are not compared). *)
+let stress_item i =
+  Probe.count "stress.items";
+  Probe.count ~n:(i mod 5) "stress.weight";
+  Probe.span "stress.work" (fun () ->
+      Probe.observe "stress.val" (float_of_int (1 lsl (i mod 6))));
+  if Probe.enabled () then
+    Probe.event (Event.Note { source = "stress"; key = "i"; value = string_of_int i })
+
+let test_multi_domain_stress () =
+  let items = List.init 64 Fun.id in
+  let (), par =
+    Probe.with_recording (fun () ->
+        List.iter
+          (function Ok _ -> () | Error _ -> Alcotest.fail "stress worker failed")
+          (Parallel.map_results ~domains:4 ~retries:0
+             (fun i ->
+               stress_item i;
+               i)
+             items))
+  in
+  let (), seq = Probe.with_recording (fun () -> List.iter stress_item items) in
+  check bool_c "counters equal sequential reference" true
+    (par.Report.counters = seq.Report.counters);
+  let hp = Option.get (Report.hist par "stress.val") in
+  let hs = Option.get (Report.hist seq "stress.val") in
+  check int_c "hist count" hs.Hist.count hp.Hist.count;
+  check float_c "hist sum" hs.Hist.sum hp.Hist.sum;
+  check bool_c "hist buckets equal" true (hp.Hist.counts = hs.Hist.counts);
+  let span_calls r = List.map (fun (p, s) -> (p, s.Report.calls)) r.Report.spans in
+  check bool_c "span paths and calls equal" true (span_calls par = span_calls seq);
+  check int_c "event count" (List.length seq.Report.events) (List.length par.Report.events)
+
+(* Acceptance: a profiled service run's merged counters are independent
+   of the worker count — the property that lets `bss soak --profile` keep
+   its full pool (it used to pin to one worker). *)
+let service_counters ~workers =
+  let module Runtime = Bss_service.Runtime in
+  let requests = Bss_service.Request.soak_stream ~seed:5 ~requests:12 in
+  let config = { Runtime.default_config with Runtime.workers = Some workers; seed = 5 } in
+  let _, report = Probe.with_recording (fun () -> Runtime.run config requests) in
+  report.Report.counters
+
+let test_service_profile_worker_independent () =
+  check bool_c "soak counters: 4 workers = 1 worker" true
+    (service_counters ~workers:4 = service_counters ~workers:1)
+
+(* ---------------- Chrome trace export ---------------- *)
+
+let test_chrome_trace () =
+  let (), r =
+    Probe.with_recording (fun () ->
+        Probe.span "outer" (fun () -> Probe.span "inner" (fun () -> ()));
+        Probe.count ~n:3 "c")
+  in
+  let t = Render.chrome_trace r in
+  List.iter
+    (fun needle -> check bool_c ("trace has " ^ needle) true (string_contains t needle))
+    [
+      "\"traceEvents\"";
+      "\"ph\":\"M\"";
+      "\"ph\":\"X\"";
+      "\"ph\":\"C\"";
+      "process_name";
+      "\"name\":\"inner\"";
+      "\"path\":\"outer/inner\"";
+      "\"displayTimeUnit\":\"ms\"";
+    ]
 
 let () =
   Alcotest.run "bss_obs"
@@ -199,6 +346,19 @@ let () =
           Alcotest.test_case "unwind on raise" `Quick test_span_unwind_on_raise;
           Alcotest.test_case "merge" `Quick test_merge;
           Alcotest.test_case "event cap" `Quick test_event_cap;
+        ] );
+      ( "hist",
+        [
+          Alcotest.test_case "pinned quantiles" `Quick test_hist_pinned_quantiles;
+          Alcotest.test_case "exact merge" `Quick test_hist_merge_exact;
+        ] );
+      ( "multi-domain",
+        [
+          Alcotest.test_case "event interleave" `Quick test_merge_event_interleave;
+          Alcotest.test_case "stress vs sequential" `Quick test_multi_domain_stress;
+          Alcotest.test_case "service profile worker-independent" `Quick
+            test_service_profile_worker_independent;
+          Alcotest.test_case "chrome trace" `Quick test_chrome_trace;
         ] );
       ( "algorithms",
         [
