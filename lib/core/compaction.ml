@@ -10,15 +10,17 @@ let compact variant inst sched =
   let machine_front = Array.make m Rat.zero in
   let job_front = Array.make (Instance.n inst) Rat.zero in
   (* replay in original start order; ties broken by machine for
-     determinism *)
-  let segments =
-    List.sort
-      (fun (u1, (s1 : Schedule.seg)) (u2, (s2 : Schedule.seg)) ->
-        let c = Rat.compare s1.Schedule.start s2.Schedule.start in
-        if c <> 0 then c else compare u1 u2)
-      (Schedule.all_segments sched)
-  in
-  List.iter
+     determinism. (start, machine) is unique per segment — same-machine
+     segments never share a start since zero-duration segments are dropped
+     on insertion — so the key is tie-free and the unstable in-place
+     [Array.sort] yields the same order the stable list sort did. *)
+  let segments = Array.of_list (Schedule.all_segments sched) in
+  Array.sort
+    (fun (u1, (s1 : Schedule.seg)) (u2, (s2 : Schedule.seg)) ->
+      let c = Rat.compare s1.Schedule.start s2.Schedule.start in
+      if c <> 0 then c else compare u1 u2)
+    segments;
+  Array.iter
     (fun (u, (seg : Schedule.seg)) ->
       let start =
         match (seg.Schedule.content, variant) with

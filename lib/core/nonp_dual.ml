@@ -58,14 +58,15 @@ let run inst tee =
         incr cursor;
         u
       in
-      (* Sequential split-fill of [jobs] of class [i] onto fresh machines:
-         setup at 0, jobs until T, split at the border, new machine starts
-         with a new setup. Every job fits a fresh machine whole, so at most
-         one split per job here. *)
-      let wrap_class i jobs =
+      (* Sequential split-fill of class [i]'s jobs (supplied as an
+         iteration [iter_jobs], so CSR slices and lists both feed it without
+         copying) onto fresh machines: setup at 0, jobs until T, split at
+         the border, new machine starts with a new setup. Every job fits a
+         fresh machine whole, so at most one split per job here. *)
+      let wrap_class i iter_jobs =
         let u = ref (fresh_machine ()) in
         push_setup !u i;
-        Array.iter
+        iter_jobs
           (fun j ->
             let tj = Rat.of_int inst.Instance.job_time.(j) in
             let room = Rat.sub tee loads.(!u) in
@@ -80,8 +81,7 @@ let run inst tee =
               if Rat.sign room > 0 then
                 ignore (push !u (Piece { job = j; dur = rest; first = false }) rest)
               else ignore (push !u (Whole j) rest)
-            end)
-          jobs;
+            end);
         !u
       in
       (* ---- step 1: the exclusive jobs L ---- *)
@@ -91,16 +91,16 @@ let run inst tee =
       for i = 0 to c - 1 do
         let s = inst.Instance.setups.(i) in
         if Partition.is_expensive inst tee i then
-          ignore (wrap_class i (Instance.jobs_of_class inst i))
+          ignore (wrap_class i (fun f -> Instance.iter_class_jobs f inst i))
         else begin
           let jplus = ref [] and kset = ref [] in
-          Array.iter
+          Instance.iter_class_jobs
             (fun j ->
               let tj = inst.Instance.job_time.(j) in
-              if Rat.( > ) (Rat.of_int (2 * tj)) tee then jplus := j :: !jplus
-              else if Rat.( > ) (Rat.of_int (2 * (s + tj))) tee then kset := j :: !kset
+              if Rat.compare_int tee (2 * tj) < 0 then jplus := j :: !jplus
+              else if Rat.compare_int tee (2 * (s + tj)) < 0 then kset := j :: !kset
               else rest_jobs.(i) <- j :: rest_jobs.(i))
-            (Instance.jobs_of_class inst i);
+            inst i;
           List.iter
             (fun j ->
               let u = fresh_machine () in
@@ -111,7 +111,7 @@ let run inst tee =
           match List.rev !kset with
           | [] -> ()
           | ks ->
-            let last = wrap_class i (Array.of_list ks) in
+            let last = wrap_class i (fun f -> List.iter f ks) in
             fill_machines.(i) <- last :: fill_machines.(i)
         end
       done;

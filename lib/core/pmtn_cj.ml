@@ -41,9 +41,9 @@ let solve inst =
       let s = inst.Instance.setups.(i) and p = inst.Instance.class_load.(i) in
       acc := Rat.of_int (2 * s) :: Rat.of_int (4 * s) :: Rat.of_int (s + p)
              :: Rat.of_ints (4 * (s + p)) 3 :: !acc;
-      Array.iter
+      Instance.iter_class_jobs
         (fun j -> acc := Rat.of_int (2 * (s + inst.Instance.job_time.(j))) :: !acc)
-        (Instance.jobs_of_class inst i)
+        inst i
     done;
     let arr = Array.of_list !acc in
     Array.sort Rat.compare arr;

@@ -165,12 +165,12 @@ let construct inst tee a =
       let s = Rat.of_int inst.Instance.setups.(i) in
       Schedule.add_setup sched ~machine:u ~cls:i ~start:half ~dur:s;
       let pos = ref (Rat.add half s) in
-      Array.iter
+      Instance.iter_class_jobs
         (fun j ->
           let t = Rat.of_int inst.Instance.job_time.(j) in
           Schedule.add_work sched ~machine:u ~job:j ~start:!pos ~dur:t;
           pos := Rat.add !pos t)
-        (Instance.jobs_of_class inst i))
+        inst i)
     a.part.Partition.exp_zero;
   (* Piece bookkeeping for I*chp: t1 = T/2 − s_i (inside, below the line),
      t2 = s_i + t_j − T/2 (obligatory, outside). *)
@@ -206,7 +206,7 @@ let construct inst tee a =
   | None -> ()
   | Some (e, frac) ->
     let inside = ref [] and outside = ref [] in
-    Array.iter
+    Instance.iter_class_jobs
       (fun j ->
         let tj = Rat.of_int inst.Instance.job_time.(j) in
         let inside_t =
@@ -215,7 +215,7 @@ let construct inst tee a =
         let outside_t = Rat.sub tj inside_t in
         if Rat.sign inside_t > 0 then inside := (j, inside_t) :: !inside;
         if Rat.sign outside_t > 0 then outside := (j, outside_t) :: !outside)
-      (Instance.jobs_of_class inst e);
+      inst e;
     add_nice { Pmtn_nice.cls = e; pieces = List.rev !inside };
     add_k ~front:true e (List.rev !outside));
   (* I-chp \ I*chp: in case 3.a everything goes to K; in case 3.b fill the

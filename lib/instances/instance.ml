@@ -5,7 +5,8 @@ type t = {
   setups : int array;
   job_class : int array;
   job_time : int array;
-  class_jobs : int array array;
+  class_off : int array;
+  class_job_ids : int array;
   class_load : int array;
   class_tmax : int array;
   total : int;
@@ -56,11 +57,19 @@ let make ~m ~setups ~jobs =
     (fun i k -> if k = 0 then Error.invalid_input ~field:"class" (Printf.sprintf "class %d empty" i))
     count;
   let total = checked_total ~setups ~job_time in
-  let class_jobs = Array.map (fun k -> Array.make k 0) count in
-  let fill = Array.make c 0 in
+  (* CSR class layout: class [i]'s job ids are the flat slice
+     [class_job_ids.(class_off.(i) .. class_off.(i+1) - 1)] — one contiguous
+     array instead of [c] heap-separated ones, so the hot per-class loops
+     walk cache lines, not pointers. *)
+  let class_off = Array.make (c + 1) 0 in
+  for i = 0 to c - 1 do
+    class_off.(i + 1) <- class_off.(i) + count.(i)
+  done;
+  let class_job_ids = Array.make n 0 in
+  let fill = Array.copy class_off in
   for j = 0 to n - 1 do
     let i = job_class.(j) in
-    class_jobs.(i).(fill.(i)) <- j;
+    class_job_ids.(fill.(i)) <- j;
     fill.(i) <- fill.(i) + 1
   done;
   let class_load = Array.make c 0 and class_tmax = Array.make c 0 in
@@ -74,7 +83,8 @@ let make ~m ~setups ~jobs =
     setups = Array.copy setups;
     job_class;
     job_time;
-    class_jobs;
+    class_off;
+    class_job_ids;
     class_load;
     class_tmax;
     total;
@@ -84,8 +94,21 @@ let make ~m ~setups ~jobs =
 
 let n t = Array.length t.job_time
 let c t = Array.length t.setups
-let jobs_of_class t i = t.class_jobs.(i)
-let class_size t i = Array.length t.class_jobs.(i)
+let class_size t i = t.class_off.(i + 1) - t.class_off.(i)
+let jobs_of_class t i = Array.sub t.class_job_ids t.class_off.(i) (class_size t i)
+let class_job t i k = t.class_job_ids.(t.class_off.(i) + k)
+
+let iter_class_jobs f t i =
+  for p = t.class_off.(i) to t.class_off.(i + 1) - 1 do
+    f t.class_job_ids.(p)
+  done
+
+let fold_class_jobs f acc t i =
+  let acc = ref acc in
+  for p = t.class_off.(i) to t.class_off.(i + 1) - 1 do
+    acc := f !acc t.class_job_ids.(p)
+  done;
+  !acc
 let delta t = max t.s_max t.t_max
 let single_machine_bound t = t.total
 

@@ -11,7 +11,10 @@ type t = private {
   setups : int array;  (** [c] setup times, each [>= 1] *)
   job_class : int array;  (** class of job [j], in [\[0, c)] *)
   job_time : int array;  (** processing time of job [j], [>= 1] *)
-  class_jobs : int array array;  (** job ids per class, every class non-empty *)
+  class_off : int array;
+      (** CSR offsets, length [c + 1]: class [i]'s job ids live at indices
+          [\[class_off.(i), class_off.(i+1))] of [class_job_ids] *)
+  class_job_ids : int array;  (** flat job ids grouped by class, length [n] *)
   class_load : int array;  (** [P(C_i)] *)
   class_tmax : int array;  (** [t^(i)_max] *)
   total : int;  (** [N = Σ s_i + Σ t_j] *)
@@ -33,11 +36,24 @@ val n : t -> int
 (** [c t] is the number of classes. *)
 val c : t -> int
 
-(** [jobs_of_class t i] is the array of job ids in class [i] (not a copy). *)
+(** [jobs_of_class t i] is the array of job ids in class [i] (a fresh copy
+    of the CSR slice; hot paths should prefer {!iter_class_jobs} or
+    {!fold_class_jobs}, which allocate nothing). *)
 val jobs_of_class : t -> int -> int array
 
 (** [class_size t i] is [|C_i|]. *)
 val class_size : t -> int -> int
+
+(** [class_job t i k] is the [k]-th job id of class [i], [0 <= k < |C_i|]. *)
+val class_job : t -> int -> int -> int
+
+(** [iter_class_jobs f t i] applies [f] to each job id of class [i] in CSR
+    order, without copying. *)
+val iter_class_jobs : (int -> unit) -> t -> int -> unit
+
+(** [fold_class_jobs f acc t i] folds over class [i]'s job ids in CSR order,
+    without copying. *)
+val fold_class_jobs : ('a -> int -> 'a) -> 'a -> t -> int -> 'a
 
 (** [delta t] is [max(s_max, t_max)], the largest input value [Δ]. *)
 val delta : t -> int

@@ -13,8 +13,9 @@ type t = {
   big_jobs : int array array;
 }
 
-(* [s_i > T/2] without building T/2: [2 s_i > T]. *)
-let is_expensive inst tee i = Rat.( > ) (Rat.of_int (2 * inst.Instance.setups.(i))) tee
+(* [s_i > T/2] without building T/2: [2 s_i > T]. [Rat.compare_int] keeps
+   the whole test on the native fast tier with zero allocation. *)
+let is_expensive inst tee i = Rat.compare_int tee (2 * inst.Instance.setups.(i)) < 0
 
 let ratio_load_over_slack inst tee i =
   let s = inst.Instance.setups.(i) in
@@ -43,22 +44,26 @@ let make inst tee =
   let big_jobs = Array.make c [||] in
   for i = c - 1 downto 0 do
     let s = inst.Instance.setups.(i) in
-    let s_plus_load = Rat.of_int (s + inst.Instance.class_load.(i)) in
+    let s_plus_load = s + inst.Instance.class_load.(i) in
     if is_expensive inst tee i then begin
       exp := i :: !exp;
-      if Rat.( <= ) tee s_plus_load then exp_plus := i :: !exp_plus
-      else if Rat.( > ) (Rat.mul_int s_plus_load 4) (Rat.mul_int tee 3) then exp_zero := i :: !exp_zero
+      if Rat.compare_int tee s_plus_load <= 0 then exp_plus := i :: !exp_plus
+      else if (* 4 (s_i + P(C_i)) > 3 T *) Rat.compare_scaled tee 3 (4 * s_plus_load) < 0 then
+        exp_zero := i :: !exp_zero
       else exp_minus := i :: !exp_minus
     end
     else begin
       chp := i :: !chp;
       (* cheap: T/4 <= s_i splits I+chp from I-chp *)
-      if Rat.( <= ) tee (Rat.of_int (4 * s)) then chp_plus := i :: !chp_plus
+      if Rat.compare_int tee (4 * s) <= 0 then chp_plus := i :: !chp_plus
       else begin
         chp_minus := i :: !chp_minus;
         let stars =
-          Array.to_list (Instance.jobs_of_class inst i)
-          |> List.filter (fun j -> Rat.( > ) (Rat.of_int (2 * (s + inst.Instance.job_time.(j)))) tee)
+          Instance.fold_class_jobs
+            (fun acc j ->
+              if Rat.compare_int tee (2 * (s + inst.Instance.job_time.(j))) < 0 then j :: acc else acc)
+            [] inst i
+          |> List.rev
         in
         if stars <> [] then begin
           big_jobs.(i) <- Array.of_list stars;
@@ -83,7 +88,7 @@ let make inst tee =
 let j_plus inst tee =
   let acc = ref [] in
   for j = Instance.n inst - 1 downto 0 do
-    if Rat.( > ) (Rat.of_int (2 * inst.Instance.job_time.(j))) tee then acc := j :: !acc
+    if Rat.compare_int tee (2 * inst.Instance.job_time.(j)) < 0 then acc := j :: !acc
   done;
   Array.of_list !acc
 
@@ -92,8 +97,8 @@ let k_set inst tee =
   for j = Instance.n inst - 1 downto 0 do
     let i = inst.Instance.job_class.(j) in
     let tj = inst.Instance.job_time.(j) in
-    let small = Rat.( <= ) (Rat.of_int (2 * tj)) tee in
-    let heavy = Rat.( > ) (Rat.of_int (2 * (inst.Instance.setups.(i) + tj))) tee in
+    let small = Rat.compare_int tee (2 * tj) >= 0 in
+    let heavy = Rat.compare_int tee (2 * (inst.Instance.setups.(i) + tj)) < 0 in
     if (not (is_expensive inst tee i)) && small && heavy then acc := j :: !acc
   done;
   Array.of_list !acc
@@ -105,11 +110,11 @@ let m_i inst tee i =
     let slack = Rat.sub tee (Rat.of_int s) in
     if Rat.sign slack <= 0 then invalid_arg "Partition.m_i: T <= s_i";
     let big = ref 0 and k_load = ref 0 in
-    Array.iter
+    Instance.iter_class_jobs
       (fun j ->
         let tj = inst.Instance.job_time.(j) in
-        if Rat.( > ) (Rat.of_int (2 * tj)) tee then incr big
-        else if Rat.( > ) (Rat.of_int (2 * (s + tj))) tee then k_load := !k_load + tj)
-      (Instance.jobs_of_class inst i);
+        if Rat.compare_int tee (2 * tj) < 0 then incr big
+        else if Rat.compare_int tee (2 * (s + tj)) < 0 then k_load := !k_load + tj)
+      inst i;
     !big + Rat.ceil_int (Rat.div (Rat.of_int !k_load) slack)
   end

@@ -107,3 +107,23 @@ let remove_machine_segments t u =
   let old = segments t u in
   t.segs.(u) <- [];
   old
+
+let seg_equal a b =
+  Rat.equal a.start b.start && Rat.equal a.dur b.dur
+  &&
+  match (a.content, b.content) with
+  | Setup i, Setup i' -> i = i'
+  | Work j, Work j' -> j = j'
+  | Setup _, Work _ | Work _, Setup _ -> false
+
+let equal a b =
+  a.m = b.m
+  &&
+  let rec segs_eq xs ys =
+    match (xs, ys) with
+    | [], [] -> true
+    | x :: xs, y :: ys -> seg_equal x y && segs_eq xs ys
+    | _ -> false
+  in
+  let rec machines_eq u = u >= a.m || (segs_eq (segments a u) (segments b u) && machines_eq (u + 1)) in
+  machines_eq 0

@@ -73,3 +73,10 @@ val copy : t -> t
 (** [remove_machine_segments t u] clears machine [u] and returns its former
     segments sorted by start (used by repair steps that re-place load). *)
 val remove_machine_segments : t -> int -> seg list
+
+(** [equal a b] holds when both schedules place the same segments (same
+    start, duration and content under {!Bss_util.Rat.equal}) on the same
+    machines. Semantic, not structural: rationals on different {!Num2} tiers
+    compare by value, so a fast-tier schedule can be certified against a
+    force-exact one. *)
+val equal : t -> t -> bool

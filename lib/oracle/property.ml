@@ -207,8 +207,51 @@ let dual_monotone =
         per_variant (Context.variants ctx));
   }
 
+let two_tier_exact =
+  {
+    name = "two-tier-exact";
+    theorem = "Num2";
+    check =
+      (fun ctx ->
+        (* Re-solve with every construction forced onto the Bigint-backed
+           exact tier and demand bit-identical results: same schedule (per
+           {!Schedule.equal}, which compares rationals by value across
+           tiers), same makespan/certificate, same checker verdict. This is
+           the certification that the fast tier changes representation,
+           never values. *)
+        let inst = Context.instance ctx in
+        over_solves ctx (fun v ((_, algorithm) as a) ->
+            let fast = Context.solve ctx v a in
+            let exact =
+              Num2.with_force_exact true (fun () -> Solver.solve ~algorithm v inst)
+            in
+            let fail what =
+              Fail
+                (Printf.sprintf "%s two-tier vs forced-exact solve differ: %s" (tag v a) what)
+            in
+            if not (Rat.equal (Schedule.makespan fast.Solver.schedule) (Schedule.makespan exact.Solver.schedule))
+            then fail "makespan"
+            else if not (Rat.equal fast.Solver.certificate exact.Solver.certificate) then
+              fail "certificate"
+            else if not (Schedule.equal fast.Solver.schedule exact.Solver.schedule) then
+              fail "schedule"
+            else if
+              Checker.is_feasible v inst fast.Solver.schedule
+              <> Checker.is_feasible v inst exact.Solver.schedule
+            then fail "checker verdict"
+            else Pass));
+  }
+
 let all =
-  [ feasibility; certificate; ratio_exact; opt_dominance; cross_feasibility; dual_monotone ]
+  [
+    feasibility;
+    certificate;
+    ratio_exact;
+    opt_dominance;
+    cross_feasibility;
+    dual_monotone;
+    two_tier_exact;
+  ]
 
 let find name = List.find (fun p -> p.name = name) all
 

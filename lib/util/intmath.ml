@@ -41,3 +41,34 @@ let min_array a =
   Array.fold_left min a.(0) a
 
 let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+(* Overflow predicates. The two-tier rational layer ({!Num2}) calls the
+   [_fits] forms on its fast path — they return an unboxed [bool], so a
+   passing check allocates nothing. The [_checked] option forms are the
+   testable face of the same predicates.
+
+   [add_fits]/[sub_fits] use the sign rule: a two's-complement sum can only
+   wrap when both operands share a sign and the result does not.
+   [mul_fits] divides the wrapped product back: with [a ∉ {0, -1}] the
+   quotient [a * b / a] equals [b] iff the true product fits, because a
+   wrapped product is off by [k * 2^63] with [k <> 0], which exceeds any
+   remainder bound [|a| <= 2^62]. The [a = -1] row is split off so the
+   division itself cannot trap on [min_int / -1]. *)
+
+let add_fits a b =
+  let s = a + b in
+  not ((a >= 0) = (b >= 0) && (s >= 0) <> (a >= 0))
+
+let sub_fits a b =
+  let d = a - b in
+  not ((a >= 0) <> (b >= 0) && (d >= 0) <> (a >= 0))
+
+let mul_fits a b =
+  if a = 0 || b = 0 then true
+  else if a = -1 then b <> min_int
+  else if b = -1 then a <> min_int
+  else a * b / a = b
+
+let add_checked a b = if add_fits a b then Some (a + b) else None
+let sub_checked a b = if sub_fits a b then Some (a - b) else None
+let mul_checked a b = if mul_fits a b then Some (a * b) else None

@@ -32,3 +32,28 @@ val min_array : int array -> int
 
 (** [clamp lo hi x] limits [x] to [\[lo, hi\]]. *)
 val clamp : int -> int -> int -> int
+
+(** {1 Overflow-checked arithmetic}
+
+    The [_fits] predicates report whether the native-int operation is exact
+    (no wrap-around). They allocate nothing, so hot paths can guard with
+    them and fall back to {!Bigint} only on overflow. The [_checked]
+    variants package predicate plus result as an option. *)
+
+(** [add_fits a b] is true iff [a + b] does not overflow. *)
+val add_fits : int -> int -> bool
+
+(** [sub_fits a b] is true iff [a - b] does not overflow. *)
+val sub_fits : int -> int -> bool
+
+(** [mul_fits a b] is true iff [a * b] does not overflow. *)
+val mul_fits : int -> int -> bool
+
+(** [add_checked a b] is [Some (a + b)] when exact, else [None]. *)
+val add_checked : int -> int -> int option
+
+(** [sub_checked a b] is [Some (a - b)] when exact, else [None]. *)
+val sub_checked : int -> int -> int option
+
+(** [mul_checked a b] is [Some (a * b)] when exact, else [None]. *)
+val mul_checked : int -> int -> int option

@@ -1,0 +1,135 @@
+(** Two-tier exact rational numbers.
+
+    Tier [S] keeps numerator and denominator in native ints and guards every
+    operation with the overflow predicates from {!Intmath}; on the first
+    overflow the operation recomputes on tier [X], backed by {!Bigint}. Both
+    tiers are exact — the tier is a representation choice, never a rounding
+    choice — so results are bit-identical to an all-{!Bigint} computation
+    (certified by the differential suite in [test/test_num2.ml] and the
+    [two-tier-exact] oracle property).
+
+    Values are normalized: the denominator is positive and coprime with the
+    numerator; zero is [0/1]. Representation is canonical: a value is [S]
+    exactly when both components fit a native int other than [min_int].
+    Under {!with_force_exact} every freshly constructed value lands on tier
+    [X] instead, forcing the whole pipeline down the exact path; comparisons
+    across tiers remain correct via {!equal}/{!compare}. *)
+
+type t = S of { num : int; den : int } | X of { num : Bigint.t; den : Bigint.t }
+
+(** {1 Force-exact switch} *)
+
+(** [set_force_exact b] routes all subsequent constructions to tier [X]
+    ([b = true]) or restores two-tier behavior ([b = false]). The initial
+    value honors the [BSS_FORCE_EXACT] environment variable (any value other
+    than [0]/[false]/[no]/empty enables it). *)
+val set_force_exact : bool -> unit
+
+val force_exact_enabled : unit -> bool
+
+(** [with_force_exact b f] runs [f ()] with the switch set to [b], restoring
+    the previous setting afterwards (also on exceptions). *)
+val with_force_exact : bool -> (unit -> 'a) -> 'a
+
+(** Representation tier of a value, for tests and diagnostics. *)
+val tier : t -> [ `Small | `Big ]
+
+(** {1 Construction} *)
+
+val zero : t
+val one : t
+val two : t
+
+(** [of_int n] is [n/1]. *)
+val of_int : int -> t
+
+(** [of_ints p q] is [p/q].
+    @raise Division_by_zero when [q = 0]. *)
+val of_ints : int -> int -> t
+
+val of_bigint : Bigint.t -> t
+
+(** [make num den] is [num/den].
+    @raise Division_by_zero when [den] is zero. *)
+val make : Bigint.t -> Bigint.t -> t
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** @raise Division_by_zero on zero divisor. *)
+val div : t -> t -> t
+
+val inv : t -> t
+val mul_int : t -> int -> t
+val div_int : t -> int -> t
+val add_int : t -> int -> t
+
+(** [floor x] is the greatest integer [<= x], as a bigint. *)
+val floor : t -> Bigint.t
+
+(** [ceil x] is the least integer [>= x], as a bigint. *)
+val ceil : t -> Bigint.t
+
+(** [floor_int x] / [ceil_int x] convert through {!Bigint.to_int_exn} on
+    tier [X].
+    @raise Failure when out of native range. *)
+val floor_int : t -> int
+
+val ceil_int : t -> int
+
+(** {1 Comparisons}
+
+    [compare], [compare_int] and [compare_scaled] allocate nothing on tier
+    [S]: the overflow guards return unboxed bools and products stay in
+    registers (pinned by the Gc test in [test/test_num2.ml]). *)
+
+val compare : t -> t -> int
+
+(** [compare_int x k] compares [x] against the integer [k]. *)
+val compare_int : t -> int -> int
+
+(** [compare_scaled x s k] compares [s * x] against the integer [k] without
+    materializing the product. *)
+val compare_scaled : t -> int -> int -> int
+
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( = ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val sign : t -> int
+val is_zero : t -> bool
+
+(** [is_integer x] is true when the denominator is 1. *)
+val is_integer : t -> bool
+
+(** {1 Conversions} *)
+
+val to_float : t -> float
+
+(** [to_int_opt x] is [Some n] iff [x] is an integer fitting a native int. *)
+val to_int_opt : t -> int option
+
+(** ["p/q"] or ["p"] when integral. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Convenience infix operators, meant to be locally [open]ed. *)
+module Infix : sig
+  val ( +/ ) : t -> t -> t
+  val ( -/ ) : t -> t -> t
+  val ( */ ) : t -> t -> t
+  val ( // ) : t -> t -> t
+end

@@ -1,74 +1,8 @@
-(* Normalized rationals: positive denominator, gcd(|num|, den) = 1. *)
+(* The rational type used throughout the library is the two-tier
+   implementation in Num2: a native-int fast tier with overflow-checked
+   operations that promote to the Bigint-backed exact tier. Keeping [Rat] as
+   a thin face over [Num2] threads the fast path through every consumer
+   without changing any semantics — results are bit-identical to the former
+   all-Bigint representation. *)
 
-module B = Bigint
-
-type t = { num : B.t; den : B.t }
-
-let normalize num den =
-  let s = B.sign den in
-  if s = 0 then raise Division_by_zero;
-  let num, den = if s < 0 then (B.neg num, B.neg den) else (num, den) in
-  if B.is_zero num then { num = B.zero; den = B.one }
-  else begin
-    let g = B.gcd num den in
-    if B.equal g B.one then { num; den } else { num = B.div num g; den = B.div den g }
-  end
-
-let make num den = normalize num den
-
-let zero = { num = B.zero; den = B.one }
-let one = { num = B.one; den = B.one }
-let two = { num = B.two; den = B.one }
-
-let of_int n = { num = B.of_int n; den = B.one }
-let of_ints p q = normalize (B.of_int p) (B.of_int q)
-let of_bigint n = { num = n; den = B.one }
-
-let num x = x.num
-let den x = x.den
-
-let neg x = { x with num = B.neg x.num }
-let abs x = { x with num = B.abs x.num }
-
-let add a b = normalize (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
-let sub a b = normalize (B.sub (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
-let mul a b = normalize (B.mul a.num b.num) (B.mul a.den b.den)
-let div a b = normalize (B.mul a.num b.den) (B.mul a.den b.num)
-let inv x = normalize x.den x.num
-let mul_int x k = normalize (B.mul_int x.num k) x.den
-let div_int x k = normalize x.num (B.mul_int x.den k)
-let add_int x k = { num = B.add x.num (B.mul_int x.den k); den = x.den }
-
-let floor x = B.fdiv x.num x.den
-let ceil x = B.cdiv x.num x.den
-let floor_int x = B.to_int_exn (floor x)
-let ceil_int x = B.to_int_exn (ceil x)
-
-let compare a b = B.compare (B.mul a.num b.den) (B.mul b.num a.den)
-let equal a b = B.equal a.num b.num && B.equal a.den b.den
-let min a b = if Stdlib.( <= ) (compare a b) 0 then a else b
-let max a b = if Stdlib.( >= ) (compare a b) 0 then a else b
-let ( < ) a b = Stdlib.( < ) (compare a b) 0
-let ( <= ) a b = Stdlib.( <= ) (compare a b) 0
-let ( > ) a b = Stdlib.( > ) (compare a b) 0
-let ( >= ) a b = Stdlib.( >= ) (compare a b) 0
-let ( = ) a b = equal a b
-let sign x = B.sign x.num
-let is_zero x = B.is_zero x.num
-let is_integer x = B.equal x.den B.one
-
-let to_float x = B.to_float x.num /. B.to_float x.den
-
-let to_int_opt x = if is_integer x then B.to_int_opt x.num else None
-
-let to_string x =
-  if is_integer x then B.to_string x.num else B.to_string x.num ^ "/" ^ B.to_string x.den
-
-let pp fmt x = Format.pp_print_string fmt (to_string x)
-
-module Infix = struct
-  let ( +/ ) = add
-  let ( -/ ) = sub
-  let ( */ ) = mul
-  let ( // ) = div
-end
+include Num2

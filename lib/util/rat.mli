@@ -1,13 +1,17 @@
-(** Exact rational numbers over {!Bigint}.
+(** Exact rational numbers — the two-tier implementation of {!Num2}.
 
     Every schedule coordinate (segment start, duration, makespan guess) in
     this library is an exact rational, so feasibility checking needs no
     epsilon and the dual-approximation accept/reject decisions are exact.
+    Since PR 6 the representation is two-tier: a native-int fast tier with
+    overflow-checked operations that promote to the {!Bigint}-backed tier on
+    the first overflow (see [docs/two-tier-numerics.md]). Both tiers are
+    exact; the tier is invisible to this interface.
 
     Values are kept normalized: the denominator is positive and coprime with
     the numerator; zero is [0/1]. *)
 
-type t
+type t = Num2.t
 
 val zero : t
 val one : t
@@ -56,6 +60,15 @@ val floor_int : t -> int
 val ceil_int : t -> int
 
 val compare : t -> t -> int
+
+(** [compare_int x k] compares [x] against the integer [k]; allocation-free
+    on the fast tier. *)
+val compare_int : t -> int -> int
+
+(** [compare_scaled x s k] compares [s * x] against the integer [k] without
+    materializing the product; allocation-free on the fast tier. *)
+val compare_scaled : t -> int -> int -> int
+
 val equal : t -> t -> bool
 val ( < ) : t -> t -> bool
 val ( <= ) : t -> t -> bool

@@ -166,6 +166,34 @@ let tiny =
         build ~m ~setups ~jobs:!jobs);
   }
 
-let all = [ uniform; small_batches; single_job; expensive; zipf; anti_list; anti_wrap; tiny ]
+let near_overflow =
+  {
+    name = "near-overflow";
+    description = "setups/times near the max_int/8 cap: exercises Num2 tier promotion";
+    generate =
+      (fun rng ~m ~n ->
+        ignore m;
+        (* Few huge values: every cross-multiplication in the searches
+           overflows native ints, forcing the Bigint tier. Stay under
+           (max_int/8)/8 in total so the fuzz mutations that duplicate a
+           class's jobs (applied twice by some cases) cannot push the
+           mutant past Instance.make's max_int/8 construction cap. *)
+        let c = 1 + Prng.int rng 3 in
+        let n = Intmath.clamp c 8 n in
+        let unit = max_int / 8 / 8 / 32 in
+        let setups = Array.init c (fun _ -> unit + Prng.int rng unit) in
+        let counts = spread rng c n in
+        let jobs = ref [] in
+        Array.iteri
+          (fun i k ->
+            for _ = 1 to k do
+              jobs := (i, (unit / 2) + Prng.int rng unit) :: !jobs
+            done)
+          counts;
+        build ~m ~setups ~jobs:!jobs);
+  }
+
+let all =
+  [ uniform; small_batches; single_job; expensive; zipf; anti_list; anti_wrap; tiny; near_overflow ]
 
 let by_name name = List.find (fun s -> s.name = name) all

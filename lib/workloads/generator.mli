@@ -46,6 +46,11 @@ val anti_wrap : spec
 (** Tiny instances solvable by the exact oracles ([m <= 3], [n <= 9]). *)
 val tiny : spec
 
+(** Near-overflow magnitudes: few jobs whose setups and times sit close to
+    the [max_int/8] construction cap, so every cross-multiplied comparison
+    promotes to the exact {!Bss_util.Num2} tier. *)
+val near_overflow : spec
+
 (** All families above, in a stable order. *)
 val all : spec list
 

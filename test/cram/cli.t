@@ -28,7 +28,7 @@ Solving prints the certificate chain:
 Unknown inputs fail cleanly:
 
   $ bss generate -f nope 2>&1 | head -1
-  unknown family; available: uniform, small-batches, single-job, expensive, zipf, anti-list, anti-wrap, tiny
+  unknown family; available: uniform, small-batches, single-job, expensive, zipf, anti-list, anti-wrap, tiny, near-overflow
 
   $ bss solve inst.txt -a 7/8 2>&1 | tail -1 | grep -c algorithm
   0

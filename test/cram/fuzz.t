@@ -2,22 +2,23 @@ The fuzz driver sweeps the conformance oracle deterministically: the same
 master seed always realizes the same cases, so the stats table is pinnable.
 
   $ bss fuzz --seed 42 --cases 50
-  fuzz: seed=42 cases=50 families=uniform,small-batches,single-job,expensive,zipf,anti-list,anti-wrap,tiny variants=non-preemptive,preemptive,splittable
+  fuzz: seed=42 cases=50 families=uniform,small-batches,single-job,expensive,zipf,anti-list,anti-wrap,tiny,near-overflow variants=non-preemptive,preemptive,splittable
   +--------------------+-------------+-------+------+------+------+
   | property           | theorem     | cases | pass | skip | fail |
   +--------------------+-------------+-------+------+------+------+
   | feasibility        | Thm 1-9     |    50 |   50 |    0 |    0 |
   | certificate        | Thm 1-3     |    50 |   50 |    0 |    0 |
-  | ratio-exact        | Thm 1,3,6,8 |    50 |   26 |   24 |    0 |
-  | opt-dominance      | Sec 1       |    50 |   21 |   29 |    0 |
+  | ratio-exact        | Thm 1,3,6,8 |    50 |   31 |   19 |    0 |
+  | opt-dominance      | Sec 1       |    50 |   27 |   23 |    0 |
   | cross-feasibility  | Sec 1       |    50 |   50 |    0 |    0 |
   | dual-monotone      | Thm 4,5,7,9 |    50 |   50 |    0 |    0 |
+  | two-tier-exact     | Num2        |    50 |   50 |    0 |    0 |
   | scale-equivariance | meta        |    50 |   50 |    0 |    0 |
   | machine-augment    | meta        |    50 |   50 |    0 |    0 |
-  | merge-classes      | meta        |    50 |   19 |   31 |    0 |
+  | merge-classes      | meta        |    50 |   20 |   30 |    0 |
   | duplicate-2m       | meta        |    50 |   50 |    0 |    0 |
   +--------------------+-------------+-------+------+------+------+
-  50 cases x 10 properties: 0 violations
+  50 cases x 11 properties: 0 violations
 
 Family and variant restrictions change only what is swept, not determinism:
 
@@ -49,6 +50,7 @@ The instance dump and per-property verdicts are bit-stable:
   | opt-dominance      | Sec 1       | pass    |
   | cross-feasibility  | Sec 1       | pass    |
   | dual-monotone      | Thm 4,5,7,9 | pass    |
+  | two-tier-exact     | Num2        | pass    |
   | scale-equivariance | meta        | pass    |
   | machine-augment    | meta        | pass    |
   | merge-classes      | meta        | skip    |
@@ -64,7 +66,7 @@ Bad inputs fail cleanly:
   [1]
 
   $ bss fuzz --family nope --cases 5
-  unknown family; available: uniform, small-batches, single-job, expensive, zipf, anti-list, anti-wrap, tiny
+  unknown family; available: uniform, small-batches, single-job, expensive, zipf, anti-list, anti-wrap, tiny, near-overflow
   [1]
 
 Profiled sweeps run on one domain and sum counters per family — still
@@ -75,13 +77,13 @@ deterministic for a fixed seed:
   +--------+-------------------------------+-------+
   | family | counter                       | total |
   +--------+-------------------------------+-------+
-  | tiny   | compaction.runs               |   125 |
-  | tiny   | dual_search.accepted          |    25 |
-  | tiny   | dual_search.guesses           |    25 |
-  | tiny   | solver.won_two_approx         |    50 |
-  | tiny   | splittable_cj.bound_tests     |    53 |
+  | tiny   | compaction.runs               |   155 |
+  | tiny   | dual_search.accepted          |    31 |
+  | tiny   | dual_search.guesses           |    31 |
+  | tiny   | solver.won_two_approx         |    62 |
+  | tiny   | splittable_cj.bound_tests     |    65 |
   | tiny   | splittable_cj.jump_candidates |     0 |
-  | tiny   | splittable_cj.jump_steps      |     8 |
-  | tiny   | splittable_cj.region_steps    |    45 |
+  | tiny   | splittable_cj.jump_steps      |    10 |
+  | tiny   | splittable_cj.region_steps    |    55 |
   +--------+-------------------------------+-------+
   profile: 6 cases, 0 property failures

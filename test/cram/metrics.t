@@ -75,9 +75,12 @@ events, metadata (M) naming each process.
   root spans ['solve']
 
 A multi-worker soak trace has one pid per worker domain plus the
-coordinator (exact domain ids vary, so pin the count, not the ids):
+coordinator (exact domain ids vary, so pin the count, not the ids).
+Two-tier solves finish so fast that one worker can drain the whole queue
+before the second domain spawns, so force the exact arithmetic tier to
+keep both workers busy long enough to record:
 
-  $ bss soak -n 12 --seed 7 --workers 2 --trace-out soak-trace.json > /dev/null
+  $ BSS_FORCE_EXACT=1 bss soak -n 12 --seed 7 --workers 2 --trace-out soak-trace.json > /dev/null
   $ python3 -c "
   > import json
   > d = json.load(open('soak-trace.json'))

@@ -55,33 +55,30 @@ the resilience contract: every run lands on some rung with a
 checker-feasible schedule, and degraded cases go to a replay corpus:
 
   $ bss fuzz --seed 42 --cases 12 --chaos 1 --corpus corpus.txt
-  fuzz --chaos: seed=42 chaos=1 cases=12 families=uniform,small-batches,single-job,expensive,zipf,anti-list,anti-wrap,tiny variants=non-preemptive,preemptive,splittable
-  +-----------------+------+
-  | rung            | runs |
-  +-----------------+------+
-  | list-scheduling |    1 |
-  | requested       |   96 |
-  | two-approx      |   11 |
-  +-----------------+------+
-  chaos: 12 cases, 108 ladder runs, 10 degraded cases, 0 crashes, 0 infeasible
-  corpus: recorded 10 ids in corpus.txt
+  fuzz --chaos: seed=42 chaos=1 cases=12 families=uniform,small-batches,single-job,expensive,zipf,anti-list,anti-wrap,tiny,near-overflow variants=non-preemptive,preemptive,splittable
+  +------------+------+
+  | rung       | runs |
+  +------------+------+
+  | requested  |   99 |
+  | two-approx |    9 |
+  +------------+------+
+  chaos: 12 cases, 108 ladder runs, 8 degraded cases, 0 crashes, 0 infeasible
+  corpus: recorded 8 ids in corpus.txt
 
   $ cat corpus.txt
   anti-list:5
   expensive:3
-  single-job:10
+  single-job:11
   single-job:2
   small-batches:1
-  small-batches:9
   tiny:7
   uniform:0
-  uniform:8
   zipf:4
 
 Replaying the corpus re-runs every recorded case through the full
 property oracle; all of them pass without the injected faults:
 
   $ bss fuzz --seed 42 --cases 12 --replay @corpus.txt | head -1
-  replaying 10 corpus cases from corpus.txt
+  replaying 8 corpus cases from corpus.txt
   $ bss fuzz --seed 42 --cases 12 --replay @corpus.txt | grep -c '^ok$'
-  10
+  8

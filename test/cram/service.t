@@ -54,14 +54,14 @@ with a typed overloaded error; nothing is silently dropped and the
 soak exit stays 0 (rejection under pressure is the contract working).
 
   $ bss soak -n 30 --seed 11 --queue 8 --burst 12 --workers 2 | grep -E 'rejected|^service:|^queue:'
-  soak-uniform-8           rejected overloaded: work queue full (8 pending, capacity 8)
-  soak-small-batches-9     rejected overloaded: work queue full (8 pending, capacity 8)
-  soak-single-job-10       rejected overloaded: work queue full (8 pending, capacity 8)
-  soak-expensive-11        rejected overloaded: work queue full (8 pending, capacity 8)
-  soak-zipf-20             rejected overloaded: work queue full (8 pending, capacity 8)
-  soak-anti-list-21        rejected overloaded: work queue full (8 pending, capacity 8)
-  soak-anti-wrap-22        rejected overloaded: work queue full (8 pending, capacity 8)
-  soak-tiny-23             rejected overloaded: work queue full (8 pending, capacity 8)
+  soak-near-overflow-8     rejected overloaded: work queue full (8 pending, capacity 8)
+  soak-uniform-9           rejected overloaded: work queue full (8 pending, capacity 8)
+  soak-small-batches-10    rejected overloaded: work queue full (8 pending, capacity 8)
+  soak-single-job-11       rejected overloaded: work queue full (8 pending, capacity 8)
+  soak-single-job-20       rejected overloaded: work queue full (8 pending, capacity 8)
+  soak-expensive-21        rejected overloaded: work queue full (8 pending, capacity 8)
+  soak-zipf-22             rejected overloaded: work queue full (8 pending, capacity 8)
+  soak-anti-list-23        rejected overloaded: work queue full (8 pending, capacity 8)
   service: 30 requests | done=22 (checkpointed=0) rejected=8 aborted=0 dropped=0 not-admitted=0 retries=0
   queue: capacity-peak=8 waves=3
 
@@ -92,10 +92,10 @@ the breaker trips and recovers, a journal flush fails once and is
 retried to a clean final state, and no request is dropped.
 
   $ bss soak -n 40 --seed 11 --queue 8 --burst 10 --chaos 6 | tail -6
-  soak-tiny-39             rejected overloaded: work queue full (8 pending, capacity 8)
+  soak-single-job-38       rejected overloaded: work queue full (8 pending, capacity 8)
+  soak-expensive-39        rejected overloaded: work queue full (8 pending, capacity 8)
   service: 40 requests | done=32 (checkpointed=0) rejected=8 aborted=0 dropped=0 not-admitted=0 retries=0
-  rungs: requested=26 two-approx=6
-  breaker[preemptive]: closed->open open->half-open half-open->closed
+  rungs: requested=24 two-approx=8
   queue: capacity-peak=8 waves=4
   journal: dirty=0 flush-failures=0
 
