@@ -10,11 +10,25 @@ type entry = { name : string; ns_per_run : float; runs : int }
 type t = {
   schema : string;
   quick : bool;
+  meta : (string * string) list;
   entries : entry list;
   counters : (string * int) list;
 }
 
-type comparison = { lines : string list; failures : string list }
+type comparison = { table : string; lines : string list; failures : string list }
+
+(* Provenance for the capture file: which commit produced these numbers.
+   Shelling out keeps this dependency-free; a build outside a work tree
+   degrades to "unknown" rather than failing the capture. *)
+let git_rev () =
+  match Unix.open_process_in "git rev-parse HEAD 2>/dev/null" with
+  | ic -> (
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+    | exception _ -> "unknown")
+  | exception _ -> "unknown"
 
 (* ---------------- the case set ---------------- *)
 
@@ -109,7 +123,7 @@ let run ?(progress = fun _ -> ()) ~quick () =
   in
   let counters = counter_sweep () in
   progress (Printf.sprintf "counter sweep: %d deterministic counters" (List.length counters));
-  { schema = schema_version; quick; entries; counters }
+  { schema = schema_version; quick; meta = [ ("git_rev", git_rev ()) ]; entries; counters }
 
 (* ---------------- JSON round trip ---------------- *)
 
@@ -118,6 +132,7 @@ let to_json t =
     [
       ("schema", Json.str t.schema);
       ("quick", Json.bool t.quick);
+      ("meta", Json.obj (List.map (fun (k, v) -> (k, Json.str v)) t.meta));
       ( "entries",
         Json.arr
           (List.map
@@ -145,6 +160,14 @@ let of_json s =
     else Error (Printf.sprintf "unsupported schema %S (this build reads %S)" schema schema_version)
   in
   let quick = match Json.member "quick" v with Some (Json.Bool b) -> b | _ -> false in
+  (* meta is provenance, optional: files captured before it existed
+     still parse *)
+  let meta =
+    match Json.member "meta" v with
+    | Some (Json.Obj fields) ->
+      List.filter_map (fun (k, mv) -> match mv with Json.Str s -> Some (k, s) | _ -> None) fields
+    | _ -> []
+  in
   let* entries =
     match Json.member "entries" v with
     | Some (Json.Arr es) ->
@@ -172,7 +195,7 @@ let of_json s =
       |> Result.map List.rev
     | _ -> Error "missing \"counters\" object"
   in
-  Ok { schema; quick; entries; counters }
+  Ok { schema; quick; meta; entries; counters }
 
 (* ---------------- the gate ---------------- *)
 
@@ -182,18 +205,40 @@ let against ?(tolerance = 0.25) ~baseline current =
   let lines = ref [] and failures = ref [] in
   let say fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
   let fail fmt = Printf.ksprintf (fun s -> lines := s :: !lines; failures := s :: !failures) fmt in
-  List.iter
-    (fun (e : entry) ->
-      if gated e.name then
+  (* every current entry gets a delta row; only scaling/* rows gate
+     ([table1/*] is informational, entries without a baseline are new) *)
+  let rows =
+    List.map
+      (fun (e : entry) ->
         match List.find_opt (fun (b : entry) -> b.name = e.name) baseline.entries with
-        | None -> say "new     %-28s %12.0f ns (no baseline)" e.name e.ns_per_run
+        | None -> [ e.name; "-"; Printf.sprintf "%.0f" e.ns_per_run; "-"; "new" ]
         | Some b ->
           let ratio = e.ns_per_run /. b.ns_per_run in
-          if ratio > 1.0 +. tolerance then
-            fail "REGRESS %-28s %.0f -> %.0f ns (%.2fx > %.2fx allowed)" e.name b.ns_per_run
-              e.ns_per_run ratio (1.0 +. tolerance)
-          else say "ok      %-28s %.0f -> %.0f ns (%.2fx)" e.name b.ns_per_run e.ns_per_run ratio)
-    current.entries;
+          let verdict =
+            if not (gated e.name) then "info"
+            else if ratio > 1.0 +. tolerance then begin
+              fail "REGRESS %s: %.0f -> %.0f ns (%.2fx > %.2fx allowed)" e.name b.ns_per_run
+                e.ns_per_run ratio (1.0 +. tolerance);
+              "REGRESS"
+            end
+            else "ok"
+          in
+          [
+            e.name;
+            Printf.sprintf "%.0f" b.ns_per_run;
+            Printf.sprintf "%.0f" e.ns_per_run;
+            Printf.sprintf "%.2fx" ratio;
+            verdict;
+          ])
+      current.entries
+  in
+  let table =
+    Table.render
+      ~header:[ "case"; "baseline ns"; "current ns"; "ratio"; "verdict" ]
+      ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Left ]
+      rows
+    ^ "\n"
+  in
   List.iter
     (fun (k, v) ->
       match List.assoc_opt k baseline.counters with
@@ -201,4 +246,4 @@ let against ?(tolerance = 0.25) ~baseline current =
       | Some bv when bv = v -> say "ok      counter %s = %d" k v
       | Some bv -> fail "DRIFT   counter %s: %d -> %d (deterministic counters must match)" k bv v)
     current.counters;
-  { lines = List.rev !lines; failures = List.rev !failures }
+  { table; lines = List.rev !lines; failures = List.rev !failures }

@@ -26,6 +26,9 @@ type entry = {
 type t = {
   schema : string;  (** [schema_version] at capture time *)
   quick : bool;  (** scaling stops at n=1000 *)
+  meta : (string * string) list;
+      (** capture provenance: [("git_rev", <commit sha or "unknown">)];
+          optional in the file, so pre-meta captures still parse *)
   entries : entry list;
   counters : (string * int) list;
       (** merged deterministic counters from the instrumented sweep,
@@ -49,7 +52,11 @@ val to_json : t -> string
 val of_json : string -> (t, string) result
 
 type comparison = {
-  lines : string list;  (** one human-readable verdict line per check *)
+  table : string;
+      (** the delta table: one row per current entry with baseline ns,
+          current ns, ratio and verdict ([ok]/[REGRESS] for gated
+          [scaling/*] rows, [info] for table1, [new] without baseline) *)
+  lines : string list;  (** one human-readable verdict line per counter *)
   failures : string list;  (** subset of checks that failed the gate *)
 }
 

@@ -7,6 +7,7 @@
      fuzz      sweep the conformance oracle over random cases
      serve     run a batch of requests through the fault-tolerant service runtime
      soak      stream a generated workload through the service runtime
+     report    analyze a previous run's metrics/trace files offline
 
    Instance file format (see Instance.of_string):
      m 4
@@ -528,10 +529,37 @@ let service_config_term =
   let metrics_every =
     Arg.(value & opt (some int) None
          & info [ "metrics-every" ] ~docv:"N"
-             ~doc:"Emit a one-line JSON metrics record (live counters + latency histograms) to stdout \
-                   after every $(docv) completed requests.")
+             ~doc:"Emit a one-line JSON metrics record (schema bss-metrics/1: live counters + latency \
+                   histograms, plus a rolling SLO window under --slo) to stdout after every $(docv) \
+                   completed requests.")
   in
-  let build queue burst workers retries breaker_k breaker_cooldown deadline_ms fuel checkpoint_every chaos seed metrics_every =
+  let trace_sample =
+    Arg.(value & opt (some int) None
+         & info [ "trace-sample" ] ~docv:"K"
+             ~doc:"Enable request-scoped tracing and keep a seeded reservoir of $(docv) uneventful \
+                   traces besides the always-kept error/degraded/retried/exemplar ones (implied with \
+                   default 8 by --trace-out).")
+  in
+  let slo =
+    Arg.(value & opt (some file) None
+         & info [ "slo" ] ~docv:"FILE"
+             ~doc:"Evaluate the bss-slo/1 objectives in $(docv) (rolling windows per metrics emission, \
+                   cumulative verdict in the summary) and exit nonzero when the final verdict fails.")
+  in
+  let build queue burst workers retries breaker_k breaker_cooldown deadline_ms fuel checkpoint_every chaos seed metrics_every trace_sample slo =
+    let slo =
+      Option.map
+        (fun path ->
+          let ic = open_in path in
+          let s = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          match Bss_obs.Slo.of_string s with
+          | Ok spec -> spec
+          | Error msg ->
+            prerr_endline (Printf.sprintf "bss: --slo %s: %s" path msg);
+            exit 2)
+        slo
+    in
     {
       default_config with
       queue_capacity = queue;
@@ -546,11 +574,13 @@ let service_config_term =
       chaos;
       seed;
       metrics_every;
+      trace_sample;
+      slo;
     }
   in
   Term.(
     const build $ queue $ burst $ workers $ retries $ breaker_k $ breaker_cooldown $ deadline_ms $ fuel
-    $ checkpoint_every $ chaos $ seed $ metrics_every)
+    $ checkpoint_every $ chaos $ seed $ metrics_every $ trace_sample $ slo)
 
 (* SIGINT/SIGTERM request a graceful drain: stop admitting, finish the
    in-flight wave, flush the journal, exit 3. *)
@@ -564,6 +594,11 @@ let install_drain_signals () =
 let service_exit (s : Service.Runtime.summary) ~strict =
   if s.Service.Runtime.interrupted then exit 3;
   if s.Service.Runtime.dropped > 0 || s.Service.Runtime.journal_dirty > 0 then exit 1;
+  (* the SLO gate is hard regardless of strictness: a soak that meets
+     its objectives passes even with rejections budgeted for *)
+  (match s.Service.Runtime.slo_verdict with
+  | Some v when not v.Bss_obs.Slo.ok -> exit 1
+  | _ -> ());
   if strict && (s.Service.Runtime.rejected > 0 || s.Service.Runtime.aborted > 0) then exit 1
 
 let service_profile_term =
@@ -587,14 +622,22 @@ let service_trace_term =
 
 (* Each domain records into its own DLS collector and the recording
    merges them deterministically on exit, so profiling no longer pins
-   the worker pool to one domain. *)
+   the worker pool to one domain. [--trace-out] implies request-scoped
+   tracing (reservoir 8) so the file carries the sampled span trees
+   alongside the aggregated flamegraph. *)
 let with_service_profile ~profile ~trace_out ~json config run =
+  let config =
+    if trace_out <> None && config.Service.Runtime.trace_sample = None then
+      { config with Service.Runtime.trace_sample = Some 8 }
+    else config
+  in
   if profile || trace_out <> None then begin
     let summary, report = Bss_obs.Probe.with_recording (fun () -> run config) in
     Option.iter
       (fun path ->
         let oc = open_out path in
-        output_string oc (Bss_obs.Render.chrome_trace report);
+        output_string oc
+          (Bss_obs.Render.chrome_trace ~traces:summary.Service.Runtime.traces report);
         close_out oc)
       trace_out;
     ( summary,
@@ -696,6 +739,77 @@ let soak_cmd =
       const run $ service_config_term $ requests $ journal $ resume $ json $ service_profile_term
       $ service_trace_term)
 
+(* ---------------- offline run analysis ---------------- *)
+
+let report_cmd =
+  let module Offline = Bss_obs.Offline in
+  let metrics =
+    Arg.(value & opt (some file) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"A captured metrics stream: --metrics-every JSONL lines and/or a --json run summary \
+                   (schema bss-metrics/1; interleaved human text is skipped; unknown schemas are \
+                   rejected).")
+  in
+  let against =
+    Arg.(value & opt (some file) None
+         & info [ "against" ] ~docv:"FILE"
+             ~doc:"A second metrics stream to diff counters against (baseline/current/delta).")
+  in
+  let trace =
+    Arg.(value & opt (some file) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"A --trace-out Chrome trace file: list the slowest request traces with their \
+                   critical-path breakdown (queue vs solve vs retry vs journal).")
+  in
+  let top =
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"K" ~doc:"Slowest traces to list (default 5).")
+  in
+  let read path =
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let run metrics against trace top =
+    if metrics = None && trace = None then begin
+      prerr_endline "bss report: nothing to analyze (pass --metrics and/or --trace)";
+      exit 2
+    end;
+    let load_points path =
+      match Offline.parse_metrics (read path) with
+      | Ok points -> points
+      | Error msg ->
+        prerr_endline (Printf.sprintf "bss report: %s: %s" path msg);
+        exit 2
+    in
+    Option.iter
+      (fun path ->
+        let points = load_points path in
+        let current = Offline.last points in
+        Printf.printf "metrics: %s (%d record%s)\n" path (List.length points)
+          (if List.length points = 1 then "" else "s");
+        let baseline = Option.map (fun p -> Offline.last (load_points p)) against in
+        print_string (Offline.counter_table ?baseline current);
+        print_string (Offline.percentile_table current))
+      metrics;
+    Option.iter
+      (fun path ->
+        match Offline.parse_traces (read path) with
+        | Error msg ->
+          prerr_endline (Printf.sprintf "bss report: %s: %s" path msg);
+          exit 2
+        | Ok rows ->
+          Printf.printf "traces: %d in %s, slowest %d:\n" (List.length rows) path
+            (min top (List.length rows));
+          print_string (Offline.trace_table (Offline.slowest ~k:top rows)))
+      trace
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Analyze a previous run's metrics JSONL and trace files offline: percentile tables, \
+             counter diffs between runs, and the slowest request traces broken down by phase.")
+    Term.(const run $ metrics $ against $ trace $ top)
+
 (* ---------------- the benchmark regression gate ---------------- *)
 
 let bench_cmd =
@@ -760,9 +874,11 @@ let bench_cmd =
     | Some path ->
       let baseline = load path in
       let c = Regress.against ~tolerance:(float_of_int tolerance /. 100.) ~baseline current in
+      print_string c.Regress.table;
       List.iter print_endline c.Regress.lines;
+      let checks = List.length current.Regress.entries + List.length c.Regress.lines in
       if c.Regress.failures = [] then
-        Printf.printf "gate: ok (%d checks, tolerance %d%%)\n" (List.length c.Regress.lines) tolerance
+        Printf.printf "gate: ok (%d checks, tolerance %d%%)\n" checks tolerance
       else begin
         Printf.printf "gate: %d failure(s)\n" (List.length c.Regress.failures);
         exit 1
@@ -778,4 +894,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "bss" ~doc)
-          [ solve_cmd; generate_cmd; check_cmd; fuzz_cmd; serve_cmd; soak_cmd; bench_cmd ]))
+          [ solve_cmd; generate_cmd; check_cmd; fuzz_cmd; serve_cmd; soak_cmd; report_cmd; bench_cmd ]))

@@ -1,0 +1,76 @@
+(** Offline analysis of a previous run's machine-readable artifacts —
+    the engine behind [bss report].
+
+    Two inputs, both schema-versioned:
+
+    - the metrics stream: [--metrics-every] JSONL lines and/or the
+      [--json] run summary, every record tagged
+      [{"schema":"bss-metrics/1",...}]. Human text interleaved in a
+      captured stdout stream is skipped; a JSON record claiming to be
+      metrics with a schema this build does not understand is an
+      {e error}, not a skip — that rejection is what the tag exists
+      for;
+    - the trace file: the [--trace-out] Chrome trace, whose
+      [cat:"request"] events ({!Render.chrome_trace}[ ~traces]) are
+      regrouped into one row per request trace with a critical-path
+      breakdown by the spans' ["phase"] attribute (queue wait vs solve
+      attempts vs retry backoff vs journal append). *)
+
+val metrics_schema_version : string
+(** ["bss-metrics/1"]. *)
+
+(** One metrics record: live counters plus cumulative histogram
+    snapshots (quantiles recomputed from buckets, not trusted). *)
+type point = {
+  completed : int;
+  rejected : int;
+  aborted : int;
+  retries : int;
+  queue_peak : int;
+  waves : int;
+  hists : (string * Hist.snapshot) list;
+}
+
+val empty_point : point
+
+val parse_metrics : string -> (point list, string) result
+(** Parse a whole captured stream (JSONL, possibly interleaved with
+    text) into its metrics records, in file order. Errors on an
+    unsupported schema (with the line number) and on a stream with no
+    records at all. *)
+
+val last : point list -> point
+(** The final (cumulative) record; {!empty_point} for []. *)
+
+val counters : point -> (string * int) list
+(** The counter fields as rows, fixed order. *)
+
+(** One request trace regrouped from the Chrome trace file. *)
+type trace_row = {
+  trace_id : string;
+  request_id : string;
+  seq : int;  (** admission sequence (the event tid) *)
+  total_ns : float;  (** root ["request"] span duration *)
+  phases : (string * float) list;
+      (** ["phase"] attribute -> summed ns, by first appearance *)
+}
+
+val parse_traces : string -> (trace_row list, string) result
+(** Regroup a [--trace-out] file's [cat:"request"] events by trace.
+    Errors when the input is not a Chrome trace or holds no request
+    traces. *)
+
+val slowest : k:int -> trace_row list -> trace_row list
+(** Top [k] rows by total duration, ties in file order. *)
+
+val percentile_table : point -> string
+(** Histogram table: name, count, p50/p90/p99/max and the p99 bucket's
+    exemplar trace IDs — the link into the trace file. *)
+
+val counter_table : ?baseline:point -> point -> string
+(** Counter table; with [baseline], a four-column diff
+    (baseline/current/delta) between two runs. *)
+
+val trace_table : trace_row list -> string
+(** Critical-path table: per trace, total ms and the
+    queue/solve/retry/journal/other split. *)

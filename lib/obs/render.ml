@@ -137,6 +137,16 @@ let leaf path =
   | Some i -> String.sub path (i + 1) (String.length path - i - 1)
   | None -> path
 
+let metadata ~pid ~tid which name =
+  Json.obj
+    [
+      ("ph", Json.str "M");
+      ("name", Json.str which);
+      ("pid", Json.int pid);
+      ("tid", Json.int tid);
+      ("args", Json.obj [ ("name", Json.str name) ]);
+    ]
+
 (* Lay one domain's aggregated span tree out as a flamegraph: children
    nest inside their parent's interval, siblings go end to end in path
    order. The cursor is a synthetic offset — span totals carry no start
@@ -160,15 +170,10 @@ let domain_events ~pid (spans : (string * Report.span_total) list) =
   let kids parent = List.rev (Option.value ~default:[] (Hashtbl.find_opt children parent)) in
   let out = ref [] in
   let add e = out := e :: !out in
-  add
-    (Json.obj
-       [
-         ("ph", Json.str "M");
-         ("name", Json.str "process_name");
-         ("pid", Json.int pid);
-         ("tid", Json.int 0);
-         ("args", Json.obj [ ("name", Json.str (Printf.sprintf "domain %d" pid)) ]);
-       ]);
+  (* both metadata records: Perfetto only groups tracks under a named
+     process when the thread is named too *)
+  add (metadata ~pid ~tid:0 "process_name" (Printf.sprintf "domain %d" pid));
+  add (metadata ~pid ~tid:0 "thread_name" (Printf.sprintf "domain %d spans" pid));
   let rec emit cursor (path, (s : Report.span_total)) =
     add
       (Json.obj
@@ -197,11 +202,65 @@ let domain_events ~pid (spans : (string * Report.span_total) list) =
        0L (kids ""));
   List.rev !out
 
-let chrome_trace (r : Report.t) =
+(* Request traces live in their own trace process: one thread (tid =
+   admission sequence) per trace, named by its trace id, every span
+   event carrying the trace/request ids in [args] so Perfetto's flow and
+   search find them. Spans inside a request are genuinely sequential
+   (queue wait, attempts, journal), so the cursor layout is close to the
+   real request timeline, with real durations. *)
+let request_pid = 1000
+
+let request_trace_events (t : Trace_ctx.trace) =
+  let out = ref [] in
+  let add e = out := e :: !out in
+  add (metadata ~pid:request_pid ~tid:t.Trace_ctx.seq "thread_name" t.Trace_ctx.trace_id);
+  let attr_json (k, v) =
+    ( k,
+      match v with
+      | Trace_ctx.S s -> Json.str s
+      | Trace_ctx.I i -> Json.int i
+      | Trace_ctx.B b -> Json.bool b )
+  in
+  let rec emit cursor (s : Trace_ctx.span) =
+    add
+      (Json.obj
+         [
+           ("ph", Json.str "X");
+           ("name", Json.str s.Trace_ctx.name);
+           ("cat", Json.str "request");
+           ("ts", us cursor);
+           ("dur", us s.Trace_ctx.dur_ns);
+           ("pid", Json.int request_pid);
+           ("tid", Json.int t.Trace_ctx.seq);
+           ( "args",
+             Json.obj
+               ([
+                  ("trace_id", Json.str t.Trace_ctx.trace_id);
+                  ("request_id", Json.str t.Trace_ctx.request_id);
+                ]
+               @ List.map attr_json s.Trace_ctx.attrs) );
+         ]);
+    ignore
+      (List.fold_left
+         (fun c child ->
+           emit c child;
+           Int64.add c child.Trace_ctx.dur_ns)
+         cursor s.Trace_ctx.children)
+  in
+  emit 0L t.Trace_ctx.root;
+  List.rev !out
+
+let chrome_trace ?(traces = []) (r : Report.t) =
   let span_events =
     List.concat_map
       (fun (dom, spans) -> domain_events ~pid:(max dom 0) spans)
       r.Report.by_domain
+  in
+  let trace_events =
+    if traces = [] then []
+    else
+      metadata ~pid:request_pid ~tid:0 "process_name" "requests"
+      :: List.concat_map request_trace_events traces
   in
   let counter_events =
     List.map
@@ -219,6 +278,6 @@ let chrome_trace (r : Report.t) =
   in
   Json.obj
     [
-      ("traceEvents", Json.arr (span_events @ counter_events));
+      ("traceEvents", Json.arr (span_events @ trace_events @ counter_events));
       ("displayTimeUnit", Json.str "ms");
     ]

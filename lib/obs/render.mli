@@ -40,5 +40,14 @@ val csv : Report.t -> string
     events. Timestamps are synthetic offsets reconstructed from span
     totals (the collector aggregates, it does not log every interval),
     so the trace is a flamegraph of where time went, not a timeline of
-    when. *)
-val chrome_trace : Report.t -> string
+    when.
+
+    [?traces] adds sampled request traces ({!Trace_ctx.trace}) as their
+    own ["requests"] process (pid 1000): one thread per trace, named by
+    its trace id with the admission sequence as tid, spans as
+    [cat:"request"] X events whose [args] carry [trace_id],
+    [request_id] and the span's typed attributes — so a p99 histogram
+    exemplar id found in a report resolves to a full span tree in the
+    same file, searchable in Perfetto. Every process gets
+    [process_name]/[thread_name] metadata (["ph":"M"]) events. *)
+val chrome_trace : ?traces:Trace_ctx.trace list -> Report.t -> string

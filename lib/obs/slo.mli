@@ -1,0 +1,103 @@
+(** Declarative service-level objectives with an error-budget engine.
+
+    An objectives file (schema {!schema_version}) names what a healthy
+    run looks like — a latency quantile under a bound, an error rate and
+    a retry rate under a ceiling — and the engine evaluates it twice
+    over:
+
+    - {e rolling windows}: at every [--metrics-every] emission, the
+      delta since the previous emission (counters subtract; histograms
+      subtract bucket-wise via {!Hist.diff}, exactly) is checked and
+      each objective's {e burn rate} — measured over threshold, i.e.
+      how fast the error budget is being consumed, [> 1.0] means
+      violating — is tracked per window;
+    - {e final}: the cumulative run is the hard pass/fail gate
+      ([bss soak --slo]), with the worst window burn per objective
+      carried along as the early-warning signal.
+
+    Determinism: counter-based objectives are exact and reproduce
+    across worker counts (the runtime's counters are deterministic);
+    latency objectives read wall-clock histograms, so their [measured]
+    values wobble — but the {e verdict} against an honest threshold
+    does not, which is what the acceptance test pins. *)
+
+val schema_version : string
+(** ["bss-slo/1"]. *)
+
+type target =
+  | Latency of { hist : string; quantile : float; max_ns : float }
+      (** [hist] names a histogram or a family prefix —
+          ["service.solve_ns"] matches every
+          ["service.solve_ns.<variant>"] and merges them exactly *)
+  | Error_rate of { max : float }
+      (** (rejected + aborted) / all outcomes [<= max] *)
+  | Retry_rate of { max : float }
+      (** retries / processed (completed + aborted) [<= max] *)
+
+type objective = { name : string; target : target }
+type t = { objectives : objective list }
+
+(** What the engine evaluates against: the runtime's live counters and
+    cumulative histogram snapshots. *)
+type sample = {
+  completed : int;
+  rejected : int;
+  aborted : int;
+  retries : int;
+  hists : (string * Hist.snapshot) list;
+}
+
+val empty_sample : sample
+
+type check = {
+  objective : string;
+  ok : bool;
+  measured : float;
+  threshold : float;
+  burn : float;  (** measured / threshold; > 1.0 is violating *)
+}
+
+type verdict = {
+  ok : bool;
+  checks : check list;  (** one per objective, in file order *)
+  windows : int;  (** windows evaluated before this verdict *)
+  worst_burn : (string * float) list;
+      (** max window burn per objective, sorted; only on {!final} *)
+}
+
+val eval : t -> sample -> check list
+(** One-shot evaluation of a sample (no window state). *)
+
+type engine
+
+val engine : t -> engine
+
+val window : engine -> sample -> verdict
+(** Evaluate the delta between [sample] (cumulative) and the previous
+    {!window} call's sample, remember the burn rates, advance the
+    window count. [worst_burn] is empty here. *)
+
+val final : engine -> sample -> verdict
+(** The cumulative verdict — the gate — with [worst_burn] filled from
+    the windows seen. *)
+
+val verdict_json : verdict -> string
+(** One JSON object led by the deterministic fields:
+    [{"verdict":"pass"|"fail","failed":[names],"windows":n,
+      "checks":[{"objective":..,"ok":..,"measured":..,"threshold":..,
+      "burn":..}],"worst_window_burn":{..}}]. *)
+
+val verdict_text : verdict -> string
+(** Stable multi-line rendering for the text summary. *)
+
+val of_string : string -> (t, string) result
+(** Parse an objectives file:
+    [{"schema":"bss-slo/1","objectives":[
+       {"name":..,"type":"latency","hist":..,"quantile":0.99,"max_ms":..},
+       {"name":..,"type":"error_rate","max":..},
+       {"name":..,"type":"retry_rate","max":..}]}].
+    Rejects unknown schemas, unknown objective types, empty objective
+    lists and non-positive bounds. *)
+
+val to_json : t -> string
+(** Render a spec back to the file format (round-trips {!of_string}). *)

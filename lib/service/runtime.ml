@@ -7,6 +7,8 @@ module Chaos = Bss_resilience.Chaos
 module Probe = Bss_obs.Probe
 module Hist = Bss_obs.Hist
 module Event = Bss_obs.Event
+module Trace_ctx = Bss_obs.Trace_ctx
+module Slo = Bss_obs.Slo
 
 type config = {
   queue_capacity : int;
@@ -22,6 +24,8 @@ type config = {
   chaos : int option;
   seed : int;
   metrics_every : int option;
+  trace_sample : int option;
+  slo : Slo.t option;
 }
 
 let default_config =
@@ -39,6 +43,8 @@ let default_config =
     chaos = None;
     seed = 0;
     metrics_every = None;
+    trace_sample = None;
+    slo = None;
   }
 
 type status = Done | Rejected | Aborted
@@ -74,6 +80,8 @@ type summary = {
   journal_dirty : int;
   interrupted : bool;
   hists : (string * Hist.snapshot) list;
+  traces : Trace_ctx.trace list;
+  slo_verdict : Slo.verdict option;
 }
 
 (* deterministic across processes, unlike Hashtbl.hash's documented-but-
@@ -98,7 +106,7 @@ let request_sites = Chaos.sites @ [ "service.solve" ]
    per attempt from (chaos, id, attempt) — a transient-fault model that is
    independent of processing order, so retries and resumes replay
    identically. *)
-let process config (request : Request.t) algorithm =
+let process ?(tctx = Trace_ctx.disabled) config (request : Request.t) algorithm =
   let t0 = Monotonic_clock.now () in
   let latency () = Int64.sub (Monotonic_clock.now ()) t0 in
   match Request.instance request with
@@ -119,8 +127,21 @@ let process config (request : Request.t) algorithm =
         Solver.solve_robust ?deadline_ms:config.deadline_ms ?fuel:config.fuel ~algorithm
           request.variant inst
       in
+      (* one "attempt" frame per try: its duration is the solve (the
+         backoff before a retry lives in its own "backoff" frame), its
+         attrs say how the try ended; all no-ops when tracing is off *)
+      let tok = Trace_ctx.enter tctx "attempt" in
+      if Trace_ctx.enabled tctx then begin
+        Trace_ctx.add_attr tctx "phase" (Trace_ctx.S "solve");
+        Trace_ctx.add_attr tctx "n" (Trace_ctx.I a)
+      end;
       match Chaos.with_plan (plan a) solve_once with
       | r ->
+        if Trace_ctx.enabled tctx then begin
+          Trace_ctx.add_attr tctx "rung" (Trace_ctx.S r.Solver.rung);
+          Trace_ctx.add_attr tctx "degraded" (Trace_ctx.B (r.Solver.attempts <> []))
+        end;
+        Trace_ctx.leave tctx tok;
         if r.Solver.rung = "list-scheduling" && a < config.retries then retry a
         else
           Wdone
@@ -132,10 +153,16 @@ let process config (request : Request.t) algorithm =
               latency_ns = latency ();
             }
       | exception exn ->
+        if Trace_ctx.enabled tctx then
+          Trace_ctx.add_attr tctx "error" (Trace_ctx.S (Printexc.to_string exn));
+        Trace_ctx.leave tctx tok;
         if a < config.retries then retry a
         else Waborted { error = Rerror.Internal exn; retries_used = a; latency_ns = latency () }
     and retry a =
+      let tok = Trace_ctx.enter tctx "backoff" in
+      if Trace_ctx.enabled tctx then Trace_ctx.add_attr tctx "phase" (Trace_ctx.S "retry");
       Backoff.wait (Backoff.delay_us config.backoff rng ~attempt:(a + 1));
+      Trace_ctx.leave tctx tok;
       attempt (a + 1)
     in
     attempt 0
@@ -199,13 +226,19 @@ let run ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) confi
      [--metrics-every] and the summary read these, [--profile] sees the
      mirrored copies. *)
   let hist_tbl : (string, Hist.t) Hashtbl.t = Hashtbl.create 8 in
-  let hobserve name v =
-    (match Hashtbl.find_opt hist_tbl name with
-    | Some h -> Hist.record h v
-    | None ->
-      let h = Hist.create () in
-      Hashtbl.add hist_tbl name h;
-      Hist.record h v);
+  (* [?ex] attaches a trace id to the observation's bucket as an
+     exemplar; attachment happens on the coordinator in request order,
+     so the ring eviction replays deterministically *)
+  let hobserve ?ex name v =
+    let h =
+      match Hashtbl.find_opt hist_tbl name with
+      | Some h -> h
+      | None ->
+        let h = Hist.create () in
+        Hashtbl.add hist_tbl name h;
+        h
+    in
+    (match ex with Some id -> Hist.record_exemplar h v id | None -> Hist.record h v);
     if Probe.enabled () then Probe.observe name v
   in
   let hist_snapshots () =
@@ -214,22 +247,67 @@ let run ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) confi
   in
   let admitted_at : (string, int64) Hashtbl.t = Hashtbl.create 64 in
   let completed_live = ref 0 and rejected_live = ref 0 and aborted_live = ref 0 in
+  (* Request-scoped tracing: one context per admitted request, id
+     derived from (seed, admission sequence, request id) — no wall
+     clock. The context is written by exactly one party at a time
+     (coordinator at admission/completion, the worker in between), so
+     no synchronization is needed. Finished traces accumulate here and
+     are tail-sampled once at the end of the run. *)
+  let tracing = config.trace_sample <> None in
+  let admit_seq = ref 0 in
+  let ctxs : (string, Trace_ctx.t) Hashtbl.t = Hashtbl.create 64 in
+  let traces_rev = ref [] in
+  let finish_ctx ctx =
+    match Trace_ctx.finish ctx with
+    | Some t -> traces_rev := t :: !traces_rev
+    | None -> ()
+  in
+  (* the per-request bound that marks a trace SLO-violating at the tail
+     sampler: the tightest latency objective aimed at the solve hists *)
+  let solve_slo_bound =
+    match config.slo with
+    | None -> None
+    | Some spec ->
+      List.fold_left
+        (fun acc (o : Slo.objective) ->
+          match o.Slo.target with
+          | Slo.Latency { hist; max_ns; _ }
+            when String.length hist >= 16 && String.sub hist 0 16 = "service.solve_ns" -> (
+            match acc with Some b -> Some (Float.min b max_ns) | None -> Some max_ns)
+          | _ -> acc)
+        None spec.Slo.objectives
+  in
+  let slo_engine = Option.map Slo.engine config.slo in
+  let current_sample () =
+    {
+      Slo.completed = !completed_live;
+      rejected = !rejected_live;
+      aborted = !aborted_live;
+      retries = !retries_total;
+      hists = hist_snapshots ();
+    }
+  in
   let last_metrics = ref 0 in
   let metrics_line () =
     Json.obj
-      [
-        ( "metrics",
-          Json.obj
-            [
-              ("completed", Json.int !completed_live);
-              ("rejected", Json.int !rejected_live);
-              ("aborted", Json.int !aborted_live);
-              ("retries", Json.int !retries_total);
-              ("queue_peak", Json.int !queue_peak);
-              ("waves", Json.int !waves);
-              ("hists", Json.obj (List.map (fun (k, h) -> (k, Hist.to_json h)) (hist_snapshots ())));
-            ] );
-      ]
+      ([
+         ("schema", Json.str Bss_obs.Offline.metrics_schema_version);
+         ( "metrics",
+           Json.obj
+             [
+               ("completed", Json.int !completed_live);
+               ("rejected", Json.int !rejected_live);
+               ("aborted", Json.int !aborted_live);
+               ("retries", Json.int !retries_total);
+               ("queue_peak", Json.int !queue_peak);
+               ("waves", Json.int !waves);
+               ("hists", Json.obj (List.map (fun (k, h) -> (k, Hist.to_json h)) (hist_snapshots ())));
+             ] );
+       ]
+      @
+      match slo_engine with
+      | None -> []
+      | Some e -> [ ("slo", Slo.verdict_json (Slo.window e (current_sample ()))) ])
   in
   let maybe_emit_metrics () =
     match config.metrics_every with
@@ -279,9 +357,24 @@ let run ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) confi
         if Probe.enabled () then Probe.count "service.journal.flush_failed")
   in
   let admit r =
+    let seq = !admit_seq in
+    incr admit_seq;
+    let ctx =
+      if tracing then Trace_ctx.make ~seed:config.seed ~seq ~request_id:r.Request.id
+      else Trace_ctx.disabled
+    in
+    if Trace_ctx.enabled ctx then begin
+      Trace_ctx.add_attr ctx "variant" (Trace_ctx.S (Variant.to_string r.Request.variant));
+      Trace_ctx.add_attr ctx "tenant" (Trace_ctx.S "default")
+    end;
     let reject error =
       incr rejected_live;
       if Probe.enabled () then Probe.count "service.rejected";
+      if Trace_ctx.enabled ctx then begin
+        Trace_ctx.add_attr ctx "outcome" (Trace_ctx.S "rejected");
+        Trace_ctx.add_attr ctx "error" (Trace_ctx.S (Rerror.to_string error));
+        finish_ctx ctx
+      end;
       record_outcome
         {
           request = r;
@@ -299,6 +392,7 @@ let run ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) confi
     match Bqueue.admit queue r with
     | Ok () ->
       Hashtbl.replace admitted_at r.Request.id (Monotonic_clock.now ());
+      if Trace_ctx.enabled ctx then Hashtbl.replace ctxs r.Request.id ctx;
       if Probe.enabled () then Probe.count "service.enqueued"
     | Error e -> reject e
     | exception exn -> reject (Rerror.Internal exn)
@@ -312,12 +406,20 @@ let run ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) confi
       Probe.count ~n:(List.length wave) "service.queue.depth"
     end;
     let wave_start = Monotonic_clock.now () in
+    let ctx_of id = Option.value ~default:Trace_ctx.disabled (Hashtbl.find_opt ctxs id) in
     List.iter
       (fun (r : Request.t) ->
         match Hashtbl.find_opt admitted_at r.Request.id with
         | Some t ->
           Hashtbl.remove admitted_at r.Request.id;
-          hobserve "service.queue.wait_ns" (Int64.to_float (Int64.sub wave_start t))
+          let wait_ns = Int64.sub wave_start t in
+          let ctx = ctx_of r.Request.id in
+          if Trace_ctx.enabled ctx then begin
+            Trace_ctx.add_span ctx "queue.wait" ~dur_ns:wait_ns
+              ~attrs:[ ("phase", Trace_ctx.S "queue") ];
+            hobserve ~ex:(Trace_ctx.trace_id ctx) "service.queue.wait_ns" (Int64.to_float wait_ns)
+          end
+          else hobserve "service.queue.wait_ns" (Int64.to_float wait_ns)
         | None -> ())
       wave;
     (* route through the breaker on the coordinator, in request order *)
@@ -337,12 +439,20 @@ let run ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) confi
               (r, Breaker.Fallback, "fallback", Solver.Approx2)
           in
           note_transitions r.Request.variant;
+          (let ctx = ctx_of r.Request.id in
+           if Trace_ctx.enabled ctx then
+             let _, _, routed_as, _ = res in
+             Trace_ctx.add_attr ctx "route" (Trace_ctx.S routed_as));
           res)
         wave
     in
+    (* the worker domain takes over the request's trace context for the
+       duration of [process]; the coordinator is blocked in
+       [map_results] until every worker is joined, so ownership passes
+       cleanly back without synchronization *)
     let results =
       Parallel.map_results ~domains:workers ~retries:0
-        (fun (r, _, _, algorithm) -> process config r algorithm)
+        (fun (r, _, _, algorithm) -> process ~tctx:(ctx_of r.Request.id) config r algorithm)
         routed
     in
     List.iter2
@@ -359,11 +469,14 @@ let run ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) confi
         in
         Breaker.record (breaker r.Request.variant) ~route ~ok:(not failed_ladder);
         note_transitions r.Request.variant;
+        let ctx = ctx_of r.Request.id in
+        Hashtbl.remove ctxs r.Request.id;
+        let ex = if Trace_ctx.enabled ctx then Some (Trace_ctx.trace_id ctx) else None in
         (match wres with
         | Wdone d ->
           retries_total := !retries_total + d.retries_used;
           incr completed_live;
-          hobserve
+          hobserve ?ex
             ("service.solve_ns." ^ Variant.to_string r.Request.variant)
             (Int64.to_float d.latency_ns);
           hobserve "service.retries_per_request" (float_of_int d.retries_used);
@@ -373,8 +486,25 @@ let run ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) confi
             if d.degraded then Probe.count "service.degraded"
           end;
           Option.iter
-            (fun j -> Journal.add j { Journal.id = r.Request.id; rung = d.rung; makespan = d.makespan })
+            (fun j ->
+              let t0 = Monotonic_clock.now () in
+              Journal.add j { Journal.id = r.Request.id; rung = d.rung; makespan = d.makespan };
+              if Trace_ctx.enabled ctx then
+                Trace_ctx.add_span ctx "journal.append"
+                  ~dur_ns:(Int64.sub (Monotonic_clock.now ()) t0)
+                  ~attrs:[ ("phase", Trace_ctx.S "journal") ])
             journal;
+          if Trace_ctx.enabled ctx then begin
+            Trace_ctx.add_attr ctx "outcome" (Trace_ctx.S "done");
+            Trace_ctx.add_attr ctx "rung" (Trace_ctx.S d.rung);
+            Trace_ctx.add_attr ctx "retries" (Trace_ctx.I d.retries_used);
+            Trace_ctx.add_attr ctx "degraded" (Trace_ctx.B d.degraded);
+            (match solve_slo_bound with
+            | Some bound when Int64.to_float d.latency_ns > bound ->
+              Trace_ctx.add_attr ctx "slo_violation" (Trace_ctx.B true)
+            | _ -> ());
+            finish_ctx ctx
+          end;
           record_outcome
             {
               request = r;
@@ -395,6 +525,12 @@ let run ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) confi
           if Probe.enabled () then begin
             Probe.count "service.aborted";
             if a.retries_used > 0 then Probe.count ~n:a.retries_used "service.retries"
+          end;
+          if Trace_ctx.enabled ctx then begin
+            Trace_ctx.add_attr ctx "outcome" (Trace_ctx.S "aborted");
+            Trace_ctx.add_attr ctx "retries" (Trace_ctx.I a.retries_used);
+            Trace_ctx.add_attr ctx "error" (Trace_ctx.S (Rerror.to_string a.error));
+            finish_ctx ctx
           end;
           record_outcome
             {
@@ -467,6 +603,36 @@ let run ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) confi
       ordered;
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
   in
+  let final_hists = hist_snapshots () in
+  (* Tail sampling: always keep the stories worth reading — errors,
+     degradations, retried requests, SLO violations and every trace a
+     histogram bucket cites as an exemplar (the acceptance contract:
+     a p99 exemplar id must resolve to a full span tree in the trace
+     file) — and reservoir-sample the uneventful rest under the run
+     seed. Output is in admission order. *)
+  let traces =
+    match List.rev !traces_rev with
+    | [] -> []
+    | all ->
+      let exemplar_ids =
+        List.concat_map (fun (_, h) -> Hist.exemplar_ids h) final_hists |> List.sort_uniq compare
+      in
+      let interesting (t : Trace_ctx.trace) =
+        (match Trace_ctx.attr t "outcome" with Some "done" -> false | _ -> true)
+        || Trace_ctx.attr t "degraded" = Some "true"
+        || (match Trace_ctx.attr t "retries" with Some r -> r <> "0" | None -> false)
+        || Trace_ctx.attr t "slo_violation" = Some "true"
+        || List.mem t.Trace_ctx.trace_id exemplar_ids
+      in
+      let must, rest = List.partition interesting all in
+      let sampled =
+        Trace_ctx.reservoir ~seed:config.seed ~k:(Option.value config.trace_sample ~default:0) rest
+      in
+      List.sort
+        (fun (a : Trace_ctx.trace) (b : Trace_ctx.trace) -> compare a.Trace_ctx.seq b.Trace_ctx.seq)
+        (must @ sampled)
+  in
+  let slo_verdict = Option.map (fun e -> Slo.final e (current_sample ())) slo_engine in
   {
     outcomes = ordered;
     total = List.length requests;
@@ -487,7 +653,9 @@ let run ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) confi
     flush_failures = !flush_failures;
     journal_dirty = (match journal with None -> 0 | Some j -> Journal.dirty j);
     interrupted = !interrupted;
-    hists = hist_snapshots ();
+    hists = final_hists;
+    traces;
+    slo_verdict;
   }
 
 (* ---------------- rendering ---------------- *)
@@ -517,6 +685,8 @@ let render_text s =
     s.breaker;
   add "queue: capacity-peak=%d waves=%d\n" s.queue_peak s.waves;
   add "journal: dirty=%d flush-failures=%d\n" s.journal_dirty s.flush_failures;
+  (match s.traces with [] -> () | ts -> add "traces: %d sampled\n" (List.length ts));
+  Option.iter (fun v -> add "%s" (Slo.verdict_text v)) s.slo_verdict;
   if s.interrupted then add "interrupted: drained cleanly\n";
   Buffer.contents buf
 
@@ -541,7 +711,8 @@ let render_json s =
     List.fold_left (fun acc o -> Int64.add acc (Int64.div o.latency_ns 1_000L)) 0L s.outcomes
   in
   Json.obj
-    [
+    ([
+      ("schema", Json.str Bss_obs.Offline.metrics_schema_version);
       ("total", Json.int s.total);
       ("done", Json.int s.completed);
       ("checkpointed", Json.int s.checkpointed);
@@ -563,5 +734,8 @@ let render_json s =
       ("interrupted", Json.bool s.interrupted);
       ("latency_total_us", Json.int64 latency_total_us);
       ("hists", Json.obj (List.map (fun (k, h) -> (k, Hist.to_json h)) s.hists));
-      ("outcomes", Json.arr (List.map outcome_json s.outcomes));
     ]
+    @ (match s.slo_verdict with
+      | Some v -> [ ("slo", Slo.verdict_json v) ]
+      | None -> [])
+    @ [ ("outcomes", Json.arr (List.map outcome_json s.outcomes)) ])

@@ -37,11 +37,26 @@ type config = {
   metrics_every : int option;
       (** emit a periodic [metrics] JSON line through [emit_metrics] every
           N completions ([None] = never) *)
+  trace_sample : int option;
+      (** [Some k] enables request-scoped tracing
+          ({!Bss_obs.Trace_ctx}): every request gets a span tree with a
+          deterministic id derived from (seed, admission sequence,
+          request id). At the end of the run the traces are
+          tail-sampled — errors, degradations, retried requests, SLO
+          violations and histogram-exemplar traces are always kept, the
+          uneventful rest is reservoir-sampled down to [k] under the
+          run seed. [None] disables tracing entirely (the disabled path
+          allocates nothing — pinned by a Gc test). *)
+  slo : Bss_obs.Slo.t option;
+      (** evaluate these objectives over the run: one rolling-window
+          check per [metrics_every] emission (burn rates into the
+          metrics line) and a final cumulative verdict in the summary —
+          the [bss soak --slo] gate *)
 }
 
 (** capacity 64, burst 64, workers [None], 2 retries, default backoff,
     breaker k=3 cooldown=4, no budgets, checkpoint every 8, no chaos,
-    seed 0, no periodic metrics. *)
+    seed 0, no periodic metrics, no tracing, no SLOs. *)
 val default_config : config
 
 type status =
@@ -87,7 +102,18 @@ type summary = {
           ([service.journal.flush_ns]). Recorded on the coordinator from
           data the dispatch loop already holds, so they need no installed
           {!Bss_obs.Probe} recording; with one installed the same
-          observations are mirrored into it. *)
+          observations are mirrored into it. When tracing is enabled,
+          queue-wait and per-variant solve buckets carry exemplar trace
+          IDs ({!Bss_obs.Hist.record_exemplar}), attached on the
+          coordinator in request order so eviction replays
+          deterministically. *)
+  traces : Bss_obs.Trace_ctx.trace list;
+      (** the tail-sampled request traces, in admission order: all
+          error/degraded/retried/SLO-violating traces, every trace an
+          exemplar cites, plus a seeded reservoir of [trace_sample]
+          uneventful ones; [] when tracing is off *)
+  slo_verdict : Bss_obs.Slo.verdict option;
+      (** the final cumulative SLO evaluation, when [config.slo] is set *)
 }
 
 (** [run ?journal ?should_stop ?emit_metrics config requests] executes the

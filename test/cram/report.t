@@ -1,0 +1,121 @@
+Offline analysis and the SLO gate: a soak writes schema-tagged
+artifacts (metrics JSONL, summary JSON, Chrome trace), `bss report`
+reads them back without running anything, and `bss soak --slo` turns a
+declarative objectives file into a hard exit-code gate. Timings are
+wall-clock, so these tests pin counters, schemas, names and exit codes
+— never durations.
+
+An objectives file declares what healthy looks like (schema-tagged like
+every other artifact):
+
+  $ cat > slo.json <<'EOF'
+  > {"schema":"bss-slo/1","objectives":[
+  >   {"name":"errors","type":"error_rate","max":0.0},
+  >   {"name":"p99-solve","type":"latency","hist":"service.solve_ns","quantile":0.99,"max_ms":60000}]}
+  > EOF
+
+A clean seeded soak passes the gate (exit 0); the verdict's
+deterministic fields land in the text summary, in every periodic
+metrics line and in the summary JSON:
+
+  $ bss soak -n 24 --seed 7 --burst 8 --slo slo.json --metrics-every 8 --trace-out trace.json --json > run.json
+  $ grep -c '"schema":"bss-metrics/1"' run.json
+  4
+  $ grep -c '"slo":{"verdict":"pass","failed":\[\]' run.json
+  4
+
+Overload the same stream (queue capacity 6 against bursts of 8) and the
+zero-error objective fails: the run exits 1 and names the objective.
+The error-rate check is counter-based, so its measured value is exact:
+
+  $ bss soak -n 24 --seed 7 --burst 8 --queue 6 --slo slo.json > fail.out
+  [1]
+  $ grep -A1 '^slo:' fail.out
+  slo: FAIL (2 objectives, 0 windows)
+    FAIL errors                   measured=0.25 threshold=0 burn=inf
+
+`bss report` replays the captured stream offline. The counter table is
+seed-deterministic:
+
+  $ bss report --metrics run.json > report.out
+  $ head -11 report.out
+  metrics: run.json (4 records)
+  +------------+-------+
+  | counter    | value |
+  +------------+-------+
+  | completed  |    24 |
+  | rejected   |     0 |
+  | aborted    |     0 |
+  | retries    |     0 |
+  | queue_peak |     8 |
+  | waves      |     3 |
+  +------------+-------+
+
+The percentile table covers every service histogram and links p99
+buckets to exemplar trace ids; each cited id resolves to a complete
+span tree in the trace file (the tail-sampling contract):
+
+  $ grep -o 'service\.[a-z_.-]*' report.out | sort -u
+  service.queue.wait_ns
+  service.retries_per_request
+  service.solve_ns.non-preemptive
+  service.solve_ns.preemptive
+  service.solve_ns.splittable
+  $ python3 -c "
+  > import json, re
+  > table = open('report.out').read()
+  > cited = set(re.findall(r'[0-9a-f]{8}-[0-9]{4}', table))
+  > trace = json.load(open('trace.json'))
+  > roots = {e['args']['trace_id'] for e in trace['traceEvents']
+  >          if e.get('cat') == 'request' and e.get('name') == 'request'}
+  > print('cited exemplars:', len(cited) > 0)
+  > print('all resolve to request span trees:', cited <= roots)
+  > "
+  cited exemplars: True
+  all resolve to request span trees: True
+
+With the trace file, report breaks the slowest requests down by phase
+(queue vs solve vs retry vs journal):
+
+(how many uneventful traces join the always-kept exemplars is
+wall-clock-dependent, so the count is masked)
+
+  $ bss report --metrics run.json --trace trace.json --top 3 | grep '^traces:' | sed 's/ [0-9]* in / N in /'
+  traces: N in trace.json, slowest 3:
+  $ bss report --metrics run.json --trace trace.json --top 3 | grep -c 'soak-'
+  3
+
+Two runs diff mechanically (--against): the overloaded run completed 6
+fewer requests and rejected 6:
+
+  $ bss soak -n 24 --seed 7 --burst 8 --queue 6 --json > overload.json
+  $ bss report --metrics overload.json --against run.json | head -11
+  metrics: overload.json (1 record)
+  +------------+----------+---------+-------+
+  | counter    | baseline | current | delta |
+  +------------+----------+---------+-------+
+  | completed  |       24 |      18 |    -6 |
+  | rejected   |        0 |       6 |    +6 |
+  | aborted    |        0 |       0 |    +0 |
+  | retries    |        0 |       0 |    +0 |
+  | queue_peak |        8 |       6 |    -2 |
+  | waves      |        3 |       3 |    +0 |
+  +------------+----------+---------+-------+
+
+Unknown schemas are a rejection, not a skip — that is what the tag
+exists for. A stream with no records is also an error:
+
+  $ printf '%s\n' '{"schema":"bss-metrics/9","metrics":{}}' > bad.json
+  $ bss report --metrics bad.json
+  bss report: bad.json: line 1: unsupported schema "bss-metrics/9" (this build reads "bss-metrics/1")
+  [2]
+  $ bss report --metrics /dev/null
+  bss report: /dev/null: no metrics records found (run with --metrics-every or --json)
+  [2]
+
+The objectives file itself is schema-checked at startup:
+
+  $ printf '%s\n' '{"schema":"bss-slo/9","objectives":[]}' > badslo.json
+  $ bss soak -n 4 --slo badslo.json
+  bss: --slo badslo.json: unsupported schema "bss-slo/9" (this build reads "bss-slo/1")
+  [2]

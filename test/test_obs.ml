@@ -238,6 +238,78 @@ let test_hist_merge_exact () =
   let m = Hist.merge (Hist.snapshot a) (Hist.snapshot b) in
   check bool_c "merge equals pooled snapshot" true (m = Hist.snapshot pooled)
 
+(* ---------------- hist edge cases and exemplars ---------------- *)
+
+let test_hist_edges () =
+  (* empty: every quantile is 0, nothing to cite *)
+  check float_c "empty p50" 0. (Hist.quantile Hist.empty 0.5);
+  check float_c "empty p100" 0. (Hist.quantile Hist.empty 1.0);
+  check (Alcotest.list Alcotest.string) "empty exemplars" [] (Hist.exemplar_ids Hist.empty);
+  let h = Hist.create () in
+  check bool_c "fresh snapshot is empty" true (Hist.snapshot h = Hist.empty);
+  (* a single observation: every quantile clamps to it *)
+  Hist.record h 1000.;
+  let s = Hist.snapshot h in
+  List.iter
+    (fun p -> check float_c (Printf.sprintf "single q%.1f" p) 1000. (Hist.quantile s p))
+    [ 0.0; 0.5; 1.0 ];
+  (* clamp boundaries: bucket 0 holds [< 1), bucket i holds [2^(i-1), 2^i) *)
+  let b = Hist.create () in
+  List.iter (Hist.record b) [ 0.; 0.999; 1.0; 2.0; 4.0 ];
+  let sb = Hist.snapshot b in
+  check (Alcotest.list int_c) "boundary values land in ascending buckets" [ 0; 1; 2; 3 ]
+    (List.map fst sb.Hist.counts);
+  check float_c "lower_bound 0" 0. (Hist.lower_bound 0);
+  check float_c "upper_bound 0" 1. (Hist.upper_bound 0);
+  check float_c "lower_bound 3" 4. (Hist.lower_bound 3);
+  check bool_c "last bucket open" true (Hist.upper_bound (Hist.buckets - 1) = infinity)
+
+let test_hist_exemplar_eviction () =
+  (* the ring overwrites slot (seen mod cap): attaching a,b,c to one
+     bucket keeps [b; c] oldest-first — a pure function of attach order *)
+  let attach ids =
+    let h = Hist.create () in
+    List.iter (fun id -> Hist.record_exemplar h 100. id) ids;
+    Hist.snapshot h
+  in
+  let s = attach [ "a"; "b"; "c" ] in
+  check (Alcotest.list Alcotest.string) "ring evicts the oldest" [ "b"; "c" ] (Hist.exemplar_ids s);
+  check bool_c "replay is deterministic" true (attach [ "a"; "b"; "c" ] = s);
+  check (Alcotest.list Alcotest.string) "p99 bucket cites its exemplars" [ "b"; "c" ]
+    (Hist.quantile_exemplars s 0.99);
+  (* merge keeps the smallest cap ids of the union, order-insensitive *)
+  let t = attach [ "x" ] in
+  check (Alcotest.list Alcotest.string) "merge unions and truncates" [ "b"; "c" ]
+    (Hist.exemplar_ids (Hist.merge s t));
+  check bool_c "merge commutative on exemplars" true (Hist.merge s t = Hist.merge t s)
+
+let test_hist_diff () =
+  let h = Hist.create () in
+  List.iter (Hist.record h) [ 2.; 3. ];
+  let prev = Hist.snapshot h in
+  List.iter (Hist.record h) [ 100.; 200. ];
+  let cur = Hist.snapshot h in
+  let w = Hist.diff cur prev in
+  check int_c "window count" 2 w.Hist.count;
+  check float_c "window sum" 300. w.Hist.sum;
+  check bool_c "window buckets exclude the old range" true
+    (List.for_all (fun (i, _) -> Hist.lower_bound i >= 64.) w.Hist.counts);
+  check bool_c "empty window" true (Hist.diff cur cur = Hist.empty);
+  check bool_c "diff against empty is cur" true (Hist.diff cur Hist.empty = cur)
+
+let test_hist_json_roundtrip () =
+  let h = Hist.create () in
+  (* values kept small: the writer's %.6g float format must represent
+     count/sum/min/max exactly for the snapshot to round-trip *)
+  List.iter (fun (v, id) -> Hist.record_exemplar h v id) [ (1., "t1"); (64., "t2"); (300., "t3") ];
+  let s = Hist.snapshot h in
+  match Json.parse (Hist.to_json s) with
+  | Error e -> Alcotest.fail e
+  | Ok v -> (
+    match Hist.snapshot_of_json v with
+    | Ok s' -> check bool_c "snapshot round-trips through JSON" true (s' = s)
+    | Error e -> Alcotest.fail e)
+
 (* ---------------- deterministic multi-domain merge ---------------- *)
 
 (* The event interleave key is (per-domain seq, domain id): emission
@@ -259,6 +331,30 @@ let test_merge_event_interleave () =
     (values (Report.merge r1 r2));
   (* and the merge is order-insensitive for disjoint domains *)
   check bool_c "commutative" true (Report.merge r1 r2 = Report.merge r2 r1)
+
+(* Merging is where the event cap actually bites for multi-domain runs:
+   each collector stays under the cap, but their union may not. The
+   overflow must be dropped from the interleaved tail, counted in
+   [dropped_events] and surfaced as the "obs.events.dropped" counter. *)
+let test_merge_event_cap () =
+  let entries domain n =
+    List.init n (fun seq ->
+        { Report.domain; seq; event = Event.Note { source = "m"; key = "k"; value = "" } })
+  in
+  let half = (Report.event_cap / 2) + 5 in
+  let mk domain = { Report.empty with Report.events = entries domain half } in
+  let m = Report.merge (mk 0) (mk 1) in
+  check int_c "capped at event_cap" Report.event_cap (List.length m.Report.events);
+  check int_c "overflow counted" 10 m.Report.dropped_events;
+  check int_c "overflow surfaces as a counter" 10 (Report.counter m "obs.events.dropped");
+  (* the kept prefix is still the (seq, domain) interleave, i.e. the
+     earliest events survive, not whichever side merged first *)
+  let keys = List.map (fun (e : Report.event_entry) -> (e.Report.seq, e.Report.domain)) m.Report.events in
+  check bool_c "kept prefix interleaved by (seq, domain)" true (keys = List.sort compare keys);
+  (* with two domains contributing [half] events each, the cap keeps
+     exactly the first event_cap/2 seqs of both *)
+  check bool_c "kept prefix is the earliest events" true
+    (List.for_all (fun (seq, _) -> seq < Report.event_cap / 2) keys)
 
 (* Workers recording concurrently through their per-domain collectors
    must merge to exactly the sequential reference: counters and explicit
@@ -310,6 +406,252 @@ let test_service_profile_worker_independent () =
   check bool_c "soak counters: 4 workers = 1 worker" true
     (service_counters ~workers:4 = service_counters ~workers:1)
 
+(* ---------------- request-scoped trace contexts ---------------- *)
+
+let test_trace_ids_deterministic () =
+  let id = Trace_ctx.derive_id ~seed:7 ~seq:3 ~request_id:"soak-3" in
+  check Alcotest.string "stable across calls" id
+    (Trace_ctx.derive_id ~seed:7 ~seq:3 ~request_id:"soak-3");
+  check bool_c "carries the admission seq" true (string_contains id "-0003");
+  check bool_c "seed changes the id" true
+    (id <> Trace_ctx.derive_id ~seed:8 ~seq:3 ~request_id:"soak-3");
+  check bool_c "request id changes the id" true
+    (id <> Trace_ctx.derive_id ~seed:7 ~seq:3 ~request_id:"soak-4")
+
+let test_trace_span_tree () =
+  let t = Trace_ctx.make ~seed:1 ~seq:0 ~request_id:"req" in
+  check bool_c "live ctx enabled" true (Trace_ctx.enabled t);
+  Trace_ctx.add_attr t "variant" (Trace_ctx.S "splittable");
+  let tok = Trace_ctx.enter t "attempt" in
+  Trace_ctx.add_attr t "n" (Trace_ctx.I 0);
+  Trace_ctx.leave t tok;
+  Trace_ctx.add_span t "queue.wait" ~dur_ns:42L ~attrs:[ ("phase", Trace_ctx.S "queue") ];
+  match Trace_ctx.finish t with
+  | None -> Alcotest.fail "live context must produce a trace"
+  | Some trace ->
+    check Alcotest.string "root is the request span" "request" trace.Trace_ctx.root.Trace_ctx.name;
+    check Alcotest.string "trace id is the derived id"
+      (Trace_ctx.derive_id ~seed:1 ~seq:0 ~request_id:"req")
+      trace.Trace_ctx.trace_id;
+    check (Alcotest.list Alcotest.string) "children in emission order" [ "attempt"; "queue.wait" ]
+      (List.map (fun (s : Trace_ctx.span) -> s.Trace_ctx.name) trace.Trace_ctx.root.Trace_ctx.children);
+    check (Alcotest.option Alcotest.string) "root attr readable" (Some "splittable")
+      (Trace_ctx.attr trace "variant");
+    let j = Trace_ctx.to_json trace in
+    check bool_c "json names the trace" true (string_contains j trace.Trace_ctx.trace_id);
+    check bool_c "json keeps the tree" true (string_contains j "\"queue.wait\"")
+
+let test_trace_unwind_on_raise () =
+  (* a raise inside [span] loses only the open frame, not the trace *)
+  let t = Trace_ctx.make ~seed:1 ~seq:1 ~request_id:"r" in
+  (try Trace_ctx.span t "guarded" (fun () -> failwith "boom") with Failure _ -> ());
+  Trace_ctx.add_span t "after" ~dur_ns:1L ~attrs:[];
+  match Trace_ctx.finish t with
+  | None -> Alcotest.fail "trace lost after raise"
+  | Some trace ->
+    check (Alcotest.list Alcotest.string) "both children recorded" [ "guarded"; "after" ]
+      (List.map (fun (s : Trace_ctx.span) -> s.Trace_ctx.name) trace.Trace_ctx.root.Trace_ctx.children)
+
+(* Disabled tracing must cost nothing on the hot path — same contract
+   (and same measurement discipline) as [test_disabled_no_alloc]: the
+   attribute value, the attrs list and the body closure are hoisted so
+   only the traced operations themselves are charged. *)
+let tctx_body () = ()
+
+let test_trace_disabled_no_alloc () =
+  let t = Trace_ctx.disabled in
+  check bool_c "disabled reports disabled" false (Trace_ctx.enabled t);
+  let attr_v = Trace_ctx.S "v" in
+  let no_attrs = [] in
+  let dur = 0L in
+  for _ = 1 to 128 do
+    Trace_ctx.leave t (Trace_ctx.enter t "warm");
+    Trace_ctx.add_attr t "k" attr_v;
+    Trace_ctx.add_span t "warm" ~dur_ns:dur ~attrs:no_attrs;
+    tctx_body (Trace_ctx.span t "warm" tctx_body)
+  done;
+  Gc.minor ();
+  let before = Gc.minor_words () in
+  for _ = 1 to 100_000 do
+    let tok = Trace_ctx.enter t "noop" in
+    Trace_ctx.add_attr t "k" attr_v;
+    Trace_ctx.add_span t "noop" ~dur_ns:dur ~attrs:no_attrs;
+    Trace_ctx.leave t tok;
+    tctx_body (Trace_ctx.span t "noop" tctx_body)
+  done;
+  let delta = Gc.minor_words () -. before in
+  check float_c "minor words allocated while tracing disabled" 0.0 delta;
+  check bool_c "finish yields nothing" true (Trace_ctx.finish t = None)
+
+let test_trace_reservoir () =
+  let items = List.init 20 Fun.id in
+  let kept = Trace_ctx.reservoir ~seed:3 ~k:5 items in
+  check int_c "keeps k" 5 (List.length kept);
+  check bool_c "deterministic" true (kept = Trace_ctx.reservoir ~seed:3 ~k:5 items);
+  check bool_c "input order preserved" true (List.sort compare kept = kept);
+  check bool_c "different seed, different sample" true
+    (kept <> Trace_ctx.reservoir ~seed:4 ~k:5 items);
+  check bool_c "k = 0 keeps nothing" true (Trace_ctx.reservoir ~seed:3 ~k:0 items = []);
+  check bool_c "k >= n keeps everything" true (Trace_ctx.reservoir ~seed:3 ~k:50 items = items)
+
+(* ---------------- SLO engine ---------------- *)
+
+let slo_latency_spec max_ns =
+  {
+    Slo.objectives =
+      [ { Slo.name = "solve-p99"; target = Slo.Latency { hist = "lat"; quantile = 0.99; max_ns } } ];
+  }
+
+let test_slo_eval () =
+  let h = Hist.create () in
+  List.iter (Hist.record h) [ 10.; 20.; 64. ];
+  let sample =
+    { Slo.empty_sample with Slo.completed = 9; rejected = 1; hists = [ ("lat", Hist.snapshot h) ] }
+  in
+  (* latency: p99 resolves to 64, passing a 100ns bound, failing 50ns *)
+  (match Slo.eval (slo_latency_spec 100.) sample with
+  | [ c ] ->
+    check bool_c "latency under bound passes" true c.Slo.ok;
+    check float_c "measured is the bucket quantile" 64. c.Slo.measured;
+    check float_c "burn = measured/threshold" 0.64 c.Slo.burn
+  | _ -> Alcotest.fail "one check per objective");
+  (match Slo.eval (slo_latency_spec 50.) sample with
+  | [ c ] ->
+    check bool_c "latency over bound fails" false c.Slo.ok;
+    check float_c "burn > 1 when violating" 1.28 c.Slo.burn
+  | _ -> Alcotest.fail "one check per objective");
+  (* error rate: 1 rejection in 10 outcomes is exactly 0.1 *)
+  let errs = { Slo.objectives = [ { Slo.name = "errs"; target = Slo.Error_rate { max = 0.1 } } ] } in
+  (match Slo.eval errs sample with
+  | [ c ] ->
+    check bool_c "at the ceiling passes" true c.Slo.ok;
+    check float_c "error rate measured" 0.1 c.Slo.measured;
+    check float_c "burn at ceiling is 1" 1.0 c.Slo.burn
+  | _ -> Alcotest.fail "one check per objective")
+
+let test_slo_windows_and_final () =
+  let spec = { Slo.objectives = [ { Slo.name = "errs"; target = Slo.Error_rate { max = 0.25 } } ] } in
+  let e = Slo.engine spec in
+  (* first window: 4 clean completions *)
+  let s1 = { Slo.empty_sample with Slo.completed = 4 } in
+  let v1 = Slo.window e s1 in
+  check bool_c "clean window passes" true v1.Slo.ok;
+  check int_c "window counted" 1 v1.Slo.windows;
+  (* second window: the *delta* is 4 rejections and nothing else *)
+  let s2 = { Slo.empty_sample with Slo.completed = 4; rejected = 4 } in
+  let v2 = Slo.window e s2 in
+  check bool_c "all-error window fails" false v2.Slo.ok;
+  (match v2.Slo.checks with
+  | [ c ] -> check float_c "window burn uses the delta, not the cumulative" 4.0 c.Slo.burn
+  | _ -> Alcotest.fail "one check per objective");
+  (* the gate is cumulative: 4 errors in 8 outcomes = 0.5 > 0.25 *)
+  let f = Slo.final e s2 in
+  check bool_c "final verdict fails" false f.Slo.ok;
+  check int_c "final remembers the windows" 2 f.Slo.windows;
+  check bool_c "worst window burn carried" true (f.Slo.worst_burn = [ ("errs", 4.0) ]);
+  let j = Slo.verdict_json f in
+  check bool_c "verdict json leads with the verdict" true
+    (string_contains j "{\"verdict\":\"fail\",\"failed\":[\"errs\"]");
+  check bool_c "verdict text names the objective" true (string_contains (Slo.verdict_text f) "errs")
+
+let test_slo_file_roundtrip () =
+  let src =
+    {|{"schema":"bss-slo/1","objectives":[
+        {"name":"p99","type":"latency","hist":"service.solve_ns","quantile":0.99,"max_ms":5.0},
+        {"name":"errors","type":"error_rate","max":0.05},
+        {"name":"retries","type":"retry_rate","max":0.5}]}|}
+  in
+  (match Slo.of_string src with
+  | Error e -> Alcotest.fail e
+  | Ok spec -> (
+    check int_c "three objectives" 3 (List.length spec.Slo.objectives);
+    (match (List.hd spec.Slo.objectives).Slo.target with
+    | Slo.Latency { hist; quantile; max_ns } ->
+      check Alcotest.string "hist name" "service.solve_ns" hist;
+      check float_c "quantile" 0.99 quantile;
+      check float_c "max_ms converts to ns" 5e6 max_ns
+    | _ -> Alcotest.fail "first objective should be latency");
+    match Slo.of_string (Slo.to_json spec) with
+    | Ok spec' -> check bool_c "round-trips through to_json" true (spec' = spec)
+    | Error e -> Alcotest.fail e));
+  let reject src needle =
+    match Slo.of_string src with
+    | Ok _ -> Alcotest.fail ("accepted: " ^ needle)
+    | Error e -> check bool_c ("rejects " ^ needle) true (string_contains e needle)
+  in
+  reject {|{"schema":"bss-slo/9","objectives":[]}|} "schema";
+  reject {|{"schema":"bss-slo/1","objectives":[]}|} "objective";
+  reject {|{"schema":"bss-slo/1","objectives":[{"name":"x","type":"latency?"}]}|} "type"
+
+(* ---------------- offline analysis (bss report) ---------------- *)
+
+let test_offline_parse_metrics () =
+  let stream =
+    String.concat "\n"
+      [
+        "soak: wave 1 done";
+        {|{"schema":"bss-metrics/1","metrics":{"completed":3,"rejected":1,"aborted":0,"retries":2,"queue_peak":4,"waves":1,"hists":{}}}|};
+        {|{"schema":"bss-metrics/1","metrics":{"completed":8,"rejected":1,"aborted":0,"retries":2,"queue_peak":4,"waves":2,"hists":{}}}|};
+        "trailing human text";
+      ]
+  in
+  (match Offline.parse_metrics stream with
+  | Error e -> Alcotest.fail e
+  | Ok points ->
+    check int_c "two records" 2 (List.length points);
+    let last = Offline.last points in
+    check int_c "last completed" 8 last.Offline.completed;
+    check bool_c "counters rows" true
+      (List.mem ("completed", 8) (Offline.counters last)));
+  (match Offline.parse_metrics {|{"schema":"bss-metrics/0","metrics":{}}|} with
+  | Ok _ -> Alcotest.fail "accepted unknown metrics schema"
+  | Error e ->
+    check bool_c "unknown schema is an error, not a skip" true (string_contains e "schema"));
+  match Offline.parse_metrics "no json at all" with
+  | Ok _ -> Alcotest.fail "accepted a stream with no records"
+  | Error e -> check bool_c "empty stream is an error" true (string_contains e "no metrics")
+
+let test_offline_traces_roundtrip () =
+  (* a trace written by Render.chrome_trace must come back with its
+     phase breakdown intact — the bss report read path *)
+  let t = Trace_ctx.make ~seed:1 ~seq:0 ~request_id:"soak-0" in
+  Trace_ctx.add_span t "queue.wait" ~dur_ns:2_000_000L ~attrs:[ ("phase", Trace_ctx.S "queue") ];
+  Trace_ctx.add_span t "attempt" ~dur_ns:5_000_000L ~attrs:[ ("phase", Trace_ctx.S "solve") ];
+  let trace = Option.get (Trace_ctx.finish t) in
+  let file = Render.chrome_trace ~traces:[ trace ] Report.empty in
+  match Offline.parse_traces file with
+  | Error e -> Alcotest.fail e
+  | Ok [ row ] ->
+    check Alcotest.string "trace id survives" trace.Trace_ctx.trace_id row.Offline.trace_id;
+    check Alcotest.string "request id survives" "soak-0" row.Offline.request_id;
+    check int_c "seq is the tid" 0 row.Offline.seq;
+    check float_c "queue phase regrouped (ns)" 2e6 (List.assoc "queue" row.Offline.phases);
+    check float_c "solve phase regrouped (ns)" 5e6 (List.assoc "solve" row.Offline.phases);
+    let table = Offline.trace_table [ row ] in
+    check bool_c "trace table names the trace" true (string_contains table row.Offline.trace_id)
+  | Ok rows -> Alcotest.fail (Printf.sprintf "expected 1 trace row, got %d" (List.length rows))
+
+let test_offline_tables () =
+  let h = Hist.create () in
+  List.iter (fun (v, id) -> Hist.record_exemplar h v id) [ (1., "aa-1"); (64., "bb-2") ];
+  let point =
+    {
+      Offline.empty_point with
+      Offline.completed = 5;
+      retries = 2;
+      hists = [ ("service.total_ns", Hist.snapshot h) ];
+    }
+  in
+  let pt = Offline.percentile_table point in
+  List.iter
+    (fun needle -> check bool_c ("percentile table has " ^ needle) true (string_contains pt needle))
+    [ "service.total_ns"; "p99"; "bb-2" ];
+  let baseline = { Offline.empty_point with Offline.completed = 3; retries = 2 } in
+  let ct = Offline.counter_table ~baseline point in
+  List.iter
+    (fun needle -> check bool_c ("counter diff has " ^ needle) true (string_contains ct needle))
+    [ "baseline"; "delta"; "+2" ]
+
 (* ---------------- Chrome trace export ---------------- *)
 
 let test_chrome_trace () =
@@ -351,10 +693,35 @@ let () =
         [
           Alcotest.test_case "pinned quantiles" `Quick test_hist_pinned_quantiles;
           Alcotest.test_case "exact merge" `Quick test_hist_merge_exact;
+          Alcotest.test_case "edge cases" `Quick test_hist_edges;
+          Alcotest.test_case "exemplar eviction" `Quick test_hist_exemplar_eviction;
+          Alcotest.test_case "window diff" `Quick test_hist_diff;
+          Alcotest.test_case "json round-trip" `Quick test_hist_json_roundtrip;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "deterministic ids" `Quick test_trace_ids_deterministic;
+          Alcotest.test_case "span tree" `Quick test_trace_span_tree;
+          Alcotest.test_case "unwind on raise" `Quick test_trace_unwind_on_raise;
+          Alcotest.test_case "disabled no allocation" `Quick test_trace_disabled_no_alloc;
+          Alcotest.test_case "reservoir" `Quick test_trace_reservoir;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "eval" `Quick test_slo_eval;
+          Alcotest.test_case "windows and final" `Quick test_slo_windows_and_final;
+          Alcotest.test_case "file round-trip" `Quick test_slo_file_roundtrip;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "parse metrics" `Quick test_offline_parse_metrics;
+          Alcotest.test_case "trace round-trip" `Quick test_offline_traces_roundtrip;
+          Alcotest.test_case "tables" `Quick test_offline_tables;
         ] );
       ( "multi-domain",
         [
           Alcotest.test_case "event interleave" `Quick test_merge_event_interleave;
+          Alcotest.test_case "merge event cap" `Quick test_merge_event_cap;
           Alcotest.test_case "stress vs sequential" `Quick test_multi_domain_stress;
           Alcotest.test_case "service profile worker-independent" `Quick
             test_service_profile_worker_independent;

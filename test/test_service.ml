@@ -411,6 +411,81 @@ let test_batch_parse_errors () =
   | exception Rerror.Error (Rerror.Invalid_input { field = "variant"; _ }) -> ()
   | _ -> Alcotest.fail "unknown variant must be invalid"
 
+(* ---------------- request tracing and the SLO gate ---------------- *)
+
+module Trace_ctx = Bss_obs.Trace_ctx
+module Slo = Bss_obs.Slo
+
+(* The tracing acceptance contract: seeded runs sample the same trace
+   ids regardless of worker count (ids derive from the admission seq,
+   never a clock), and every histogram exemplar id resolves to a
+   sampled span tree. *)
+let test_run_tracing_deterministic () =
+  let requests = Request.soak_stream ~seed:5 ~requests:12 in
+  let run workers =
+    Runtime.run
+      { base_config with workers = Some workers; seed = 5; trace_sample = Some 4 }
+      requests
+  in
+  let s1 = run 1 in
+  let ids (s : Runtime.summary) =
+    List.map (fun (t : Trace_ctx.trace) -> t.Trace_ctx.trace_id) s.Runtime.traces
+  in
+  check bool_c "traces sampled" true (s1.Runtime.traces <> []);
+  check (Alcotest.list string_c) "sampled trace ids: 4 workers = 1 worker" (ids s1) (ids (run 4));
+  List.iter
+    (fun (t : Trace_ctx.trace) ->
+      check string_c "id is derived from (seed, seq, request id)"
+        (Trace_ctx.derive_id ~seed:5 ~seq:t.Trace_ctx.seq ~request_id:t.Trace_ctx.request_id)
+        t.Trace_ctx.trace_id;
+      check string_c "root span is the request" "request" t.Trace_ctx.root.Trace_ctx.name;
+      check bool_c "trace records its outcome" true (Trace_ctx.attr t "outcome" <> None))
+    s1.Runtime.traces;
+  let sampled = ids s1 in
+  List.iter
+    (fun (_, h) ->
+      List.iter
+        (fun ex ->
+          check bool_c ("exemplar " ^ ex ^ " resolves to a sampled trace") true
+            (List.mem ex sampled))
+        (Bss_obs.Hist.exemplar_ids h))
+    s1.Runtime.hists;
+  check bool_c "tracing off samples nothing" true
+    ((Runtime.run { base_config with seed = 5 } requests).Runtime.traces = [])
+
+(* The SLO gate verdict is made of deterministic counters only here (no
+   latency objective), so its JSON compares bit-for-bit across worker
+   counts; rejections flip it to fail and name the objective. *)
+let test_run_slo_gate_deterministic () =
+  let spec =
+    match
+      Slo.of_string
+        {|{"schema":"bss-slo/1","objectives":[
+            {"name":"errors","type":"error_rate","max":0.0},
+            {"name":"retries","type":"retry_rate","max":0.5}]}|}
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let verdict config n =
+    match (Runtime.run { config with Runtime.slo = Some spec } (batch n)).Runtime.slo_verdict with
+    | Some v -> v
+    | None -> Alcotest.fail "a run with --slo must carry a verdict"
+  in
+  let v1 = verdict { base_config with workers = Some 1 } 9 in
+  check bool_c "clean run passes" true v1.Slo.ok;
+  check string_c "verdict json: 4 workers = 1 worker" (Slo.verdict_json v1)
+    (Slo.verdict_json (verdict { base_config with workers = Some 4 } 9));
+  let vf = verdict { base_config with queue_capacity = 4; burst = 7 } 14 in
+  check bool_c "rejections fail the zero-error objective" false vf.Slo.ok;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check bool_c "failed objective named in the json" true
+    (contains (Slo.verdict_json vf) {|"failed":["errors"]|})
+
 let test_soak_stream_deterministic () =
   let a = Request.soak_stream ~seed:5 ~requests:16 in
   check bool_c "stable" true (a = Request.soak_stream ~seed:5 ~requests:16);
@@ -463,6 +538,8 @@ let () =
           Alcotest.test_case "resume from prefix journal" `Quick test_resume_from_prefix_journal;
           Alcotest.test_case "breaker trips and recovers" `Quick test_breaker_trips_in_runtime;
           Alcotest.test_case "chaos contract" `Slow test_chaos_contract;
+          Alcotest.test_case "tracing deterministic" `Quick test_run_tracing_deterministic;
+          Alcotest.test_case "slo gate deterministic" `Quick test_run_slo_gate_deterministic;
         ] );
       ( "requests",
         [
