@@ -476,6 +476,20 @@ let fuzz_cmd =
 (* ---------------- the batch-service runtime ---------------- *)
 
 module Service = Bss_service
+module Net = Bss_net
+
+let read_file path =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let load_slo path =
+  match Bss_obs.Slo.of_string (read_file path) with
+  | Ok spec -> spec
+  | Error msg ->
+    prerr_endline (Printf.sprintf "bss: --slo %s: %s" path msg);
+    exit 2
 
 (* shared flags of `bss serve` and `bss soak` *)
 let service_config_term =
@@ -547,19 +561,7 @@ let service_config_term =
                    cumulative verdict in the summary) and exit nonzero when the final verdict fails.")
   in
   let build queue burst workers retries breaker_k breaker_cooldown deadline_ms fuel checkpoint_every chaos seed metrics_every trace_sample slo =
-    let slo =
-      Option.map
-        (fun path ->
-          let ic = open_in path in
-          let s = really_input_string ic (in_channel_length ic) in
-          close_in ic;
-          match Bss_obs.Slo.of_string s with
-          | Ok spec -> spec
-          | Error msg ->
-            prerr_endline (Printf.sprintf "bss: --slo %s: %s" path msg);
-            exit 2)
-        slo
-    in
+    let slo = Option.map load_slo slo in
     {
       default_config with
       queue_capacity = queue;
@@ -647,29 +649,141 @@ let with_service_profile ~profile ~trace_out ~json config run =
   end
   else (run config, None)
 
+(* The deterministic slice of a socket-server run: connection/frame/shed
+   counters, completion totals, rung histogram and journal state — no
+   latencies, waves or queue peaks, which depend on how the kernel
+   batches reads. *)
+let render_net_text (s : Net.Server.summary) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "net: conns accepted=%d refused=%d evicted=%d closed=%d\n" s.Net.Server.accepted
+       s.Net.Server.refused s.Net.Server.evicted s.Net.Server.closed);
+  Buffer.add_string b
+    (Printf.sprintf "net: frames read=%d malformed=%d written=%d dropped=%d answers=%d dedup=%d\n"
+       s.Net.Server.frames_read s.Net.Server.frames_malformed s.Net.Server.frames_written
+       s.Net.Server.frames_dropped s.Net.Server.answers s.Net.Server.dedup_hits);
+  if s.Net.Server.shed_total > 0 then begin
+    Buffer.add_string b (Printf.sprintf "net: shed total=%d" s.Net.Server.shed_total);
+    List.iter
+      (fun (tenant, n) -> Buffer.add_string b (Printf.sprintf " %s=%d" tenant n))
+      s.Net.Server.shed;
+    Buffer.add_char b '\n'
+  end;
+  let sv = s.Net.Server.service in
+  Buffer.add_string b
+    (Printf.sprintf "service: completed=%d checkpointed=%d rejected=%d aborted=%d retries=%d\n"
+       sv.Service.Runtime.completed sv.Service.Runtime.checkpointed sv.Service.Runtime.rejected
+       sv.Service.Runtime.aborted sv.Service.Runtime.retries);
+  if sv.Service.Runtime.rungs <> [] then begin
+    Buffer.add_string b "rungs:";
+    List.iter
+      (fun (rung, n) -> Buffer.add_string b (Printf.sprintf " %s=%d" rung n))
+      sv.Service.Runtime.rungs;
+    Buffer.add_char b '\n'
+  end;
+  Buffer.add_string b
+    (Printf.sprintf "journal: rotations=%d dirty=%d\n" s.Net.Server.rotations
+       sv.Service.Runtime.journal_dirty);
+  Buffer.add_string b (Printf.sprintf "drain: %s\n" s.Net.Server.drain_reason);
+  Buffer.contents b
+
+let render_net_json (s : Net.Server.summary) =
+  let module Json = Bss_util.Json in
+  Json.obj
+    [
+      ("schema", Json.str "bss-net/1");
+      ( "net",
+        Json.obj
+          [
+            ("accepted", Json.int s.Net.Server.accepted);
+            ("refused", Json.int s.Net.Server.refused);
+            ("evicted", Json.int s.Net.Server.evicted);
+            ("closed", Json.int s.Net.Server.closed);
+            ("frames_read", Json.int s.Net.Server.frames_read);
+            ("frames_malformed", Json.int s.Net.Server.frames_malformed);
+            ("frames_written", Json.int s.Net.Server.frames_written);
+            ("frames_dropped", Json.int s.Net.Server.frames_dropped);
+            ("answers", Json.int s.Net.Server.answers);
+            ("dedup_hits", Json.int s.Net.Server.dedup_hits);
+            ("shed_total", Json.int s.Net.Server.shed_total);
+            ( "shed",
+              Json.obj (List.map (fun (t, n) -> (t, Json.int n)) s.Net.Server.shed) );
+            ("rotations", Json.int s.Net.Server.rotations);
+            ("drain", Json.str s.Net.Server.drain_reason);
+          ] );
+      ("service", Service.Runtime.render_json s.Net.Server.service);
+    ]
+
 let serve_cmd =
   let batch =
-    Arg.(required & opt (some file) None
+    Arg.(value & opt (some file) None
          & info [ "batch" ] ~docv:"FILE" ~doc:"Batch request file: one request per line (see docs/service.md).")
+  in
+  let listen =
+    Arg.(value & opt (some string) None
+         & info [ "listen" ] ~docv:"SOCKET"
+             ~doc:"Serve the bss-net/1 line protocol on a Unix-domain socket at $(docv) instead of \
+                   running a batch file. Per-tenant token-bucket quotas shed overload before the \
+                   bounded queue; SIGINT/SIGTERM drain gracefully (stop accepting, finish in-flight \
+                   requests, notify clients, flush the journal). Exactly one of $(b,--batch) or \
+                   $(b,--listen) is required.")
   in
   let journal =
     Arg.(value & opt (some string) None
-         & info [ "journal" ] ~docv:"FILE" ~doc:"Checkpoint journal path (default: $(b,BATCH).journal).")
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Checkpoint journal path (default with --batch: $(b,BATCH).journal; with --listen \
+                   the journal is off unless given).")
   in
   let resume =
     Arg.(value & flag
          & info [ "resume" ] ~doc:"Restore completions from the journal and re-solve only the rest.")
   in
+  let rotate_every =
+    Arg.(value & opt (some int) None
+         & info [ "rotate-every" ] ~docv:"N"
+             ~doc:"Rotate the journal after every $(docv) newly flushed completions: the active file \
+                   is sealed into a numbered segment atomically between flushes, and --resume reads \
+                   segments plus the active tail (zero-downtime rotation).")
+  in
+  let tenant_burst =
+    Arg.(value & opt (some int) None
+         & info [ "tenant-burst" ] ~docv:"N"
+             ~doc:"Arm per-tenant admission quotas (--listen only): each tenant's token bucket \
+                   starts full at $(docv) tokens and an admission takes one; empty buckets shed \
+                   with a typed overload answer.")
+  in
+  let tenant_rate =
+    Arg.(value & opt int 0
+         & info [ "tenant-rate" ] ~docv:"N"
+             ~doc:"Tokens refilled per refill step, clamped at the burst (0 = no refill: a hard \
+                   per-run budget per tenant).")
+  in
+  let tenant_refill_every =
+    Arg.(value & opt int 1
+         & info [ "tenant-refill-every" ] ~docv:"N"
+             ~doc:"Refill step cadence, counted in admission attempts across all tenants — \
+                   deterministic, unlike wall-clock refill.")
+  in
+  let drain_after =
+    Arg.(value & opt (some int) None
+         & info [ "drain-after" ] ~docv:"N"
+             ~doc:"Drain after $(docv) answers have been queued to clients — deterministic \
+                   shutdown for scripted runs (--listen only).")
+  in
+  let read_timeout_ms =
+    Arg.(value & opt int Net.Server.default_read_timeout_ms
+         & info [ "read-timeout-ms" ] ~docv:"MS"
+             ~doc:"Evict a connection whose partial frame has stalled this long (0 = never).")
+  in
+  let write_timeout_ms =
+    Arg.(value & opt int Net.Server.default_write_timeout_ms
+         & info [ "write-timeout-ms" ] ~docv:"MS"
+             ~doc:"Evict a connection whose queued responses have stalled this long (0 = never).")
+  in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit one machine-readable JSON object instead of text.") in
-  let run config batch journal resume json profile trace_out =
+  let run_batch config batch journal resume json profile trace_out =
     or_invalid_input ~json (fun () ->
-        let requests =
-          let ic = open_in batch in
-          let len = in_channel_length ic in
-          let s = really_input_string ic len in
-          close_in ic;
-          Service.Request.of_batch_string s
-        in
+        let requests = Service.Request.of_batch_string (read_file batch) in
         let journal_path = Option.value journal ~default:(batch ^ ".journal") in
         let journal =
           if resume then Service.Journal.load journal_path else Service.Journal.fresh journal_path
@@ -691,11 +805,91 @@ let serve_cmd =
         Option.iter print_string report;
         service_exit summary ~strict:true)
   in
+  let run_listen config listen journal resume rotate_every quota drain_after read_timeout_ms
+      write_timeout_ms json profile trace_out =
+    or_invalid_input ~json (fun () ->
+        (* Signals first: a supervisor may SIGTERM a server that is still
+           loading its journal, and that must already mean drain. *)
+        let should_stop = install_drain_signals () in
+        let journal =
+          Option.map
+            (fun path ->
+              if resume then Service.Journal.load ?rotate_every path
+              else Service.Journal.fresh ?rotate_every path)
+            journal
+        in
+        let net_config =
+          {
+            Net.Server.listen_path = listen;
+            service = config;
+            quota;
+            read_timeout_ms;
+            write_timeout_ms;
+            drain_after;
+            max_frame_bytes = Net.Server.default_max_frame_bytes;
+          }
+        in
+        let log line = if not json then print_endline line in
+        let config =
+          if trace_out <> None && config.Service.Runtime.trace_sample = None then
+            { config with Service.Runtime.trace_sample = Some 8 }
+          else config
+        in
+        let net_config = { net_config with Net.Server.service = config } in
+        let serve () =
+          Net.Server.serve ?journal ~should_stop ~emit_metrics:print_endline ~log net_config
+        in
+        let summary, report =
+          if profile || trace_out <> None then begin
+            let s, report = Bss_obs.Probe.with_recording serve in
+            Option.iter
+              (fun path ->
+                let oc = open_out path in
+                output_string oc
+                  (Bss_obs.Render.chrome_trace
+                     ~traces:s.Net.Server.service.Service.Runtime.traces report);
+                close_out oc)
+              trace_out;
+            ( s,
+              if profile then
+                Some (if json then Bss_obs.Render.json report ^ "\n" else Bss_obs.Render.table report)
+              else None )
+          end
+          else (serve (), None)
+        in
+        if json then print_endline (render_net_json summary)
+        else print_string (render_net_text summary);
+        Option.iter print_string report;
+        (match summary.Net.Server.service.Service.Runtime.slo_verdict with
+        | Some v when not v.Bss_obs.Slo.ok -> exit 1
+        | _ -> ());
+        if summary.Net.Server.service.Service.Runtime.journal_dirty > 0 then exit 1)
+  in
+  let run config batch listen journal resume rotate_every tenant_burst tenant_rate
+      tenant_refill_every drain_after read_timeout_ms write_timeout_ms json profile trace_out =
+    match (batch, listen) with
+    | Some batch, None -> run_batch config batch journal resume json profile trace_out
+    | None, Some listen ->
+      let quota =
+        Option.map
+          (fun burst ->
+            { Net.Quota.rate = tenant_rate; burst; refill_every = tenant_refill_every })
+          tenant_burst
+      in
+      run_listen config listen journal resume rotate_every quota drain_after read_timeout_ms
+        write_timeout_ms json profile trace_out
+    | _ ->
+      prerr_endline "bss serve: exactly one of --batch or --listen is required";
+      exit 2
+  in
   Cmd.v
-    (Cmd.info "serve" ~doc:"Run a batch of solve requests through the fault-tolerant service runtime.")
+    (Cmd.info "serve"
+       ~doc:"Run a batch of solve requests through the fault-tolerant service runtime, or serve \
+             the bss-net/1 socket protocol with --listen.")
     Term.(
-      const run $ service_config_term $ batch $ journal $ resume $ json $ service_profile_term
-      $ service_trace_term)
+      const run $ service_config_term $ batch $ listen $ journal $ resume $ rotate_every
+      $ tenant_burst $ tenant_rate $ tenant_refill_every $ drain_after $ read_timeout_ms
+      $ write_timeout_ms $ json $ service_profile_term $ service_trace_term)
 
 let soak_cmd =
   let requests =
@@ -711,7 +905,7 @@ let soak_cmd =
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit one machine-readable JSON object instead of text.") in
   let run config requests journal resume json profile trace_out =
-    let stream = Service.Request.soak_stream ~seed:config.Service.Runtime.seed ~requests in
+    let stream = Service.Request.soak_stream ~seed:config.Service.Runtime.seed ~requests () in
     let journal =
       Option.map
         (fun path -> if resume then Service.Journal.load path else Service.Journal.fresh path)
@@ -738,6 +932,102 @@ let soak_cmd =
     Term.(
       const run $ service_config_term $ requests $ journal $ resume $ json $ service_profile_term
       $ service_trace_term)
+
+let netsoak_cmd =
+  let connect =
+    Arg.(required & opt (some string) None
+         & info [ "connect" ] ~docv:"SOCKET" ~doc:"The serving socket path (bss serve --listen).")
+  in
+  let requests =
+    Arg.(value & opt int 50 & info [ "requests"; "n" ] ~docv:"N" ~doc:"Generated requests to stream.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"Stream seed (same stream as bss soak).") in
+  let tenants =
+    Arg.(value & opt string ""
+         & info [ "tenants" ] ~docv:"A,B,C"
+             ~doc:"Round-robin the stream across these tenant names (default: the default tenant). \
+                   Tenancy routes sharding and quotas only — realized instances are unchanged.")
+  in
+  let window =
+    Arg.(value & opt int Net.Client.default_config.Net.Client.window
+         & info [ "window" ] ~docv:"N" ~doc:"Max in-flight requests per connection.")
+  in
+  let rounds =
+    Arg.(value & opt int 1
+         & info [ "rounds" ] ~docv:"N"
+             ~doc:"Max connection rounds; each reconnect re-sends only unanswered ids, so a \
+                   killed-and-resumed server must answer every id exactly once across rounds.")
+  in
+  let connect_timeout_ms =
+    Arg.(value & opt int Net.Client.default_config.Net.Client.connect_timeout_ms
+         & info [ "connect-timeout-ms" ] ~docv:"MS"
+             ~doc:"Per-round budget to reach the socket (retrying inside it, for servers still \
+                   starting or restarting).")
+  in
+  let idle_timeout_ms =
+    Arg.(value & opt int Net.Client.default_config.Net.Client.idle_timeout_ms
+         & info [ "idle-timeout-ms" ] ~docv:"MS" ~doc:"Give up a round when the server sends nothing this long.")
+  in
+  let slo =
+    Arg.(value & opt (some file) None
+         & info [ "slo" ] ~docv:"FILE"
+             ~doc:"Evaluate the bss-slo/1 objectives in $(docv) against the answered stream — \
+                   latency histograms rebuilt from the durations in result frames — and exit \
+                   nonzero when the verdict fails.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the per-request result table (id, status, rung, makespan; stream order) \
+                   to $(docv) — the artifact CI joins across kill-and-resume for bit-identity.")
+  in
+  let frame =
+    Arg.(value & opt (some string) None
+         & info [ "frame" ] ~docv:"RAW"
+             ~doc:"Send this single raw line instead of a stream, print the first reply line, and \
+                   exit — the protocol probe for scripted tests.")
+  in
+  let run connect requests seed tenants window rounds connect_timeout_ms idle_timeout_ms slo out
+      frame =
+    match frame with
+    | Some raw -> (
+      match Net.Client.send_raw ~path:connect ~connect_timeout_ms ~idle_timeout_ms raw with
+      | Ok line -> print_endline line
+      | Error msg ->
+        prerr_endline ("bss netsoak: " ^ msg);
+        exit 1)
+    | None ->
+      let slo = Option.map load_slo slo in
+      let tenants = List.filter (fun t -> t <> "") (String.split_on_char ',' tenants) in
+      let stream = Service.Request.soak_stream ~tenants ~seed ~requests () in
+      let summary =
+        Net.Client.soak
+          {
+            Net.Client.connect_path = connect;
+            window;
+            rounds;
+            connect_timeout_ms;
+            idle_timeout_ms;
+            slo;
+          }
+          stream
+      in
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Net.Client.render_rows summary);
+          close_out oc)
+        out;
+      print_string (Net.Client.render_summary summary);
+      if not (Net.Client.ok summary) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "netsoak"
+       ~doc:"Drive a seeded request stream at a bss serve --listen socket, reconnecting until \
+             every id is answered exactly once, with an optional SLO gate over the answers.")
+    Term.(
+      const run $ connect $ requests $ seed $ tenants $ window $ rounds $ connect_timeout_ms
+      $ idle_timeout_ms $ slo $ out $ frame)
 
 (* ---------------- offline run analysis ---------------- *)
 
@@ -894,4 +1184,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "bss" ~doc)
-          [ solve_cmd; generate_cmd; check_cmd; fuzz_cmd; serve_cmd; soak_cmd; report_cmd; bench_cmd ]))
+          [
+            solve_cmd;
+            generate_cmd;
+            check_cmd;
+            fuzz_cmd;
+            serve_cmd;
+            soak_cmd;
+            netsoak_cmd;
+            report_cmd;
+            bench_cmd;
+          ]))

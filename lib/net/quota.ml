@@ -1,0 +1,55 @@
+type config = { rate : int; burst : int; refill_every : int }
+
+let validate c =
+  if c.burst < 1 then invalid_arg "Quota: burst < 1";
+  if c.rate < 0 then invalid_arg "Quota: rate < 0";
+  if c.refill_every < 1 then invalid_arg "Quota: refill_every < 1"
+
+type t = {
+  config : config;
+  buckets : (string, int ref) Hashtbl.t;
+  shed : (string, int ref) Hashtbl.t;
+  mutable attempts : int;
+}
+
+let create config =
+  validate config;
+  { config; buckets = Hashtbl.create 16; shed = Hashtbl.create 16; attempts = 0 }
+
+let bucket t tenant =
+  match Hashtbl.find_opt t.buckets tenant with
+  | Some b -> b
+  | None ->
+    let b = ref t.config.burst in
+    Hashtbl.add t.buckets tenant b;
+    b
+
+let tally tbl tenant =
+  match Hashtbl.find_opt tbl tenant with
+  | Some n -> incr n
+  | None -> Hashtbl.add tbl tenant (ref 1)
+
+(* Refill is driven by the admission-attempt counter, not the wall
+   clock, so a seeded overload run sheds the same requests on every
+   machine and across kill-and-resume. *)
+let admit t tenant =
+  t.attempts <- t.attempts + 1;
+  if t.config.rate > 0 && t.attempts mod t.config.refill_every = 0 then
+    Hashtbl.iter (fun _ b -> b := min t.config.burst (!b + t.config.rate)) t.buckets;
+  let b = bucket t tenant in
+  if !b > 0 then begin
+    decr b;
+    true
+  end
+  else begin
+    tally t.shed tenant;
+    false
+  end
+
+let tokens t tenant = !(bucket t tenant)
+
+let shed_counts t =
+  Hashtbl.fold (fun tenant n acc -> (tenant, !n) :: acc) t.shed []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let shed_total t = Hashtbl.fold (fun _ n acc -> acc + !n) t.shed 0

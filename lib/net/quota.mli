@@ -1,0 +1,31 @@
+(** Deterministic per-tenant admission quotas: a token bucket per
+    tenant, refilled by {e admission-attempt count} rather than the wall
+    clock, so a seeded overload run sheds exactly the same requests on
+    every machine, at every worker count, and across kill-and-resume.
+
+    Each tenant's bucket starts full at [burst] tokens; an admission
+    takes one. Every [refill_every]-th attempt (counted across all
+    tenants) adds [rate] tokens to every live bucket, clamped at
+    [burst]. [rate = 0] disables refill — a hard per-run budget per
+    tenant. Quotas apply uniformly to all tenants, including
+    {!Bss_service.Request.default_tenant}. *)
+
+type config = { rate : int; burst : int; refill_every : int }
+
+type t
+
+(** Raises [Invalid_argument] on [burst < 1], [rate < 0] or
+    [refill_every < 1]. *)
+val create : config -> t
+
+(** [admit t tenant] takes a token, creating a full bucket on first
+    sight of [tenant]; [false] counts the shed. *)
+val admit : t -> string -> bool
+
+(** Remaining tokens (the bucket is created full if absent). *)
+val tokens : t -> string -> int
+
+(** Sheds per tenant, sorted by tenant name. *)
+val shed_counts : t -> (string * int) list
+
+val shed_total : t -> int

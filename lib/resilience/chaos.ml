@@ -15,6 +15,8 @@ let sites =
 let service_sites =
   [ "service.admit"; "service.breaker.probe"; "service.journal.flush"; "service.solve" ]
 
+let net_sites = [ "net.accept"; "net.read"; "net.write" ]
+
 type state = { plan : (string * int * action) list; hits : (string, int ref) Hashtbl.t }
 
 let current : state option ref = ref None

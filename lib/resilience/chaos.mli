@@ -37,6 +37,16 @@ val sites : string list
     both catalogues. *)
 val service_sites : string list
 
+(** The socket front end's fault sites ([Bss_net]): ["net.accept"] (one
+    hit per accepted connection), ["net.read"] (one hit per complete
+    frame parsed off a connection) and ["net.write"] (one hit per
+    response frame queued for write). Hits are counted per {e frame},
+    not per syscall, so a plan fires at the same protocol position
+    regardless of how the kernel chunks the byte stream. Disjoint from
+    {!sites} and {!service_sites}; [bss serve --listen --chaos] arms
+    them. *)
+val net_sites : string list
+
 (** [armed ()] is true inside a {!with_plan} scope with a non-empty plan. *)
 val armed : unit -> bool
 

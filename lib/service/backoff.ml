@@ -1,11 +1,21 @@
 type policy = { base_us : int; factor : int; cap_us : int }
 
 let default = { base_us = 200; factor = 2; cap_us = 20_000 }
+let hard_cap_us = 1_000_000
 
 let delay_us policy rng ~attempt =
   if attempt < 1 then invalid_arg "Backoff.delay_us: attempt < 1";
-  let rec grow d k = if k <= 1 || d >= policy.cap_us then d else grow (d * policy.factor) (k - 1) in
-  let d = min policy.cap_us (grow policy.base_us attempt) in
+  let cap = max 1 (min policy.cap_us hard_cap_us) in
+  let factor = max 1 policy.factor in
+  (* Stop one multiplication early when the next step would pass the cap:
+     [d * factor] can wrap past max_int for adversarial policies (cap close
+     to max_int), so the overflow test divides instead of multiplying. *)
+  let rec grow d k =
+    if k <= 1 || d >= cap then d
+    else if d > cap / factor then cap (* the multiplication would land past the cap *)
+    else grow (d * factor) (k - 1)
+  in
+  let d = min cap (grow (min policy.base_us cap) attempt) in
   d + Bss_util.Prng.int rng ((d / 2) + 1)
 
 let wait us =

@@ -18,9 +18,19 @@ type policy = {
 (** base 200µs, factor 2, cap 20ms. *)
 val default : policy
 
+(** The module-level hard cap (1s) on any single delay, applied on top of
+    the policy's own [cap_us]. A policy cannot exceed it, and the growth
+    recursion stops before a multiplication could overflow toward it, so
+    even an adversarial policy ([cap_us] near [max_int]) yields bounded,
+    non-negative delays. *)
+val hard_cap_us : int
+
 (** [delay_us policy rng ~attempt] is the wait before retry [attempt]
-    (1-based): [min cap_us (base_us·factor^(attempt-1))] plus jitter
-    uniform in [\[0, delay/2\]] drawn from [rng]. *)
+    (1-based): [min cap (base_us·factor^(attempt-1))] plus jitter
+    uniform in [\[0, delay/2\]] drawn from [rng], where [cap = min cap_us
+    hard_cap_us]. Exactly one jitter draw per call, whatever the clamp
+    path — the rng stream position is a function of the attempt count
+    alone. *)
 val delay_us : policy -> Bss_util.Prng.t -> attempt:int -> int
 
 (** [wait us] busy-waits [us] microseconds on the monotonic clock. *)

@@ -10,6 +10,7 @@ type route = Requested | Probe | Fallback
 type t = {
   k : int;
   cooldown : int;
+  lock : Mutex.t;
   mutable state : state;
   mutable transitions : string list;  (* newest first *)
 }
@@ -17,9 +18,9 @@ type t = {
 let make ~k ~cooldown () =
   if k < 1 then invalid_arg "Breaker.make: k < 1";
   if cooldown < 1 then invalid_arg "Breaker.make: cooldown < 1";
-  { k; cooldown; state = Closed { failures = 0 }; transitions = [] }
+  { k; cooldown; lock = Mutex.create (); state = Closed { failures = 0 }; transitions = [] }
 
-let state t = t.state
+let state t = Mutex.protect t.lock (fun () -> t.state)
 
 let name = function Closed _ -> "closed" | Open _ -> "open" | Half_open _ -> "half-open"
 
@@ -29,16 +30,23 @@ let shift t next =
   t.state <- next
 
 let route t =
-  match t.state with
-  | Closed _ -> Requested
-  | Open _ -> Fallback
-  | Half_open { probing = true } -> Fallback
-  | Half_open { probing = false } ->
-    Guard.point "service.breaker.probe";
-    t.state <- Half_open { probing = true };
-    Probe
+  (* Decide-and-mark is one critical section: when several domains race a
+     half-open breaker, exactly one caller observes [probing = false] and
+     wins the probe; the rest see the marked state and fall back. The
+     guard point fires inside the section so a chaos raise leaves the
+     probe unmarked — the very next route may legitimately re-probe, and
+     the lock is released on the way out ([Mutex.protect]). *)
+  Mutex.protect t.lock (fun () ->
+      match t.state with
+      | Closed _ -> Requested
+      | Open _ -> Fallback
+      | Half_open { probing = true } -> Fallback
+      | Half_open { probing = false } ->
+        Guard.point "service.breaker.probe";
+        t.state <- Half_open { probing = true };
+        Probe)
 
-let record t ~route ~ok =
+let record_locked t ~route ~ok =
   match (t.state, route) with
   | Closed { failures }, Requested ->
     if ok then t.state <- Closed { failures = 0 }
@@ -56,4 +64,5 @@ let record t ~route ~ok =
        in closed state above; anything else is informational only *)
     ()
 
-let transitions t = List.rev t.transitions
+let record t ~route ~ok = Mutex.protect t.lock (fun () -> record_locked t ~route ~ok)
+let transitions t = Mutex.protect t.lock (fun () -> List.rev t.transitions)

@@ -10,9 +10,14 @@
     request runs the requested algorithm again — success closes the
     breaker, failure re-opens it for another cooldown.
 
-    All decisions are made and recorded on the coordinator domain in
-    request order, so breaker behavior is deterministic for a fixed
-    request stream no matter how many worker domains solve. *)
+    In the batch runtime all decisions are made and recorded on the
+    coordinator domain in request order, so breaker behavior is
+    deterministic for a fixed request stream no matter how many worker
+    domains solve. The state machine is nevertheless mutex-guarded:
+    {!route} decides {e and} marks the half-open probe in one critical
+    section, so concurrent callers racing a half-open breaker admit
+    exactly one probe — the losers get [Fallback], never a raced second
+    probe (pinned by a multi-domain test in [test/test_service.ml]). *)
 
 type state =
   | Closed of { failures : int }  (** consecutive ladder failures so far *)
@@ -33,8 +38,9 @@ val make : k:int -> cooldown:int -> unit -> t
 val state : t -> state
 
 (** [route t] decides how the next request on this variant runs, and
-    marks the probe in flight when it returns [Probe] (so later routes in
-    the same dispatch wave fall back until the probe's outcome arrives).
+    marks the probe in flight when it returns [Probe] (so later routes —
+    from this domain or a concurrent one — fall back until the probe's
+    outcome arrives; decide-and-mark is atomic).
     A [Probe] decision fires {!Bss_resilience.Guard.point}
     ["service.breaker.probe"]; an armed chaos fault there escapes as
     {!Bss_resilience.Chaos.Injected} and the caller must treat the probe

@@ -1,64 +1,137 @@
 module Guard = Bss_resilience.Guard
+module Rerror = Bss_resilience.Error
 
 type entry = { id : string; rung : string; makespan : string }
 
 type t = {
   path : string;
+  rotate_every : int option;
   mutable order : string list;  (* completion order, newest first *)
   by_id : (string, entry) Hashtbl.t;
+  mutable total : int;
+  mutable sealed : int;  (* oldest entries frozen into rotated segment files *)
+  mutable segments : int;  (* sealed segment files on disk: path.1 .. path.segments *)
   mutable dirty : int;
+  mutable salvaged : Rerror.t list;  (* newest first *)
 }
 
-let fresh path = { path; order = []; by_id = Hashtbl.create 64; dirty = 0 }
+let fresh ?rotate_every path =
+  (match rotate_every with
+  | Some k when k < 1 -> invalid_arg "Journal.fresh: rotate_every < 1"
+  | _ -> ());
+  {
+    path;
+    rotate_every;
+    order = [];
+    by_id = Hashtbl.create 64;
+    total = 0;
+    sealed = 0;
+    segments = 0;
+    dirty = 0;
+    salvaged = [];
+  }
+
+let segment_path path i = Printf.sprintf "%s.%d" path i
 
 let parse_line line =
   match String.split_on_char '\t' line with
-  | [ id; rung; makespan ] -> { id; rung; makespan }
-  | _ -> failwith ("Journal.load: corrupt journal line: " ^ line)
+  | [ id; rung; makespan ] when id <> "" -> Some { id; rung; makespan }
+  | _ -> None
 
-let load path =
-  let t = fresh path in
-  if Sys.file_exists path then begin
-    let ic = open_in path in
-    (try
-       while true do
-         let line = input_line ic in
-         if String.trim line <> "" then begin
-           let e = parse_line line in
-           if not (Hashtbl.mem t.by_id e.id) then begin
-             t.order <- e.id :: t.order;
-             Hashtbl.replace t.by_id e.id e
-           end
-         end
-       done
-     with End_of_file -> ());
-    close_in ic
-  end;
+let insert t e =
+  if not (Hashtbl.mem t.by_id e.id) then begin
+    t.order <- e.id :: t.order;
+    Hashtbl.replace t.by_id e.id e;
+    t.total <- t.total + 1
+  end
+
+(* Read one journal file, keeping the valid prefix. The first corrupt line
+   abandons the rest of that file (a torn tail means everything after the
+   tear is suspect) and records a typed detail; the abandoned entries are
+   simply re-solved by the resumed run, which is always safe. *)
+let load_file t file =
+  let ic = open_in file in
+  let lineno = ref 0 in
+  (try
+     let ok = ref true in
+     while !ok do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then begin
+         match parse_line line with
+         | Some e -> insert t e
+         | None ->
+           t.salvaged <-
+             Rerror.Invalid_input
+               {
+                 line = Some !lineno;
+                 field = "journal";
+                 reason = Printf.sprintf "corrupt entry in %s; salvaged the valid prefix" file;
+               }
+             :: t.salvaged;
+           if Bss_obs.Probe.enabled () then Bss_obs.Probe.count "service.journal.salvaged";
+           ok := false
+       end
+     done
+   with End_of_file -> ());
+  close_in ic
+
+let load ?rotate_every path =
+  let t = fresh ?rotate_every path in
+  let rec load_segments i =
+    let seg = segment_path path i in
+    if Sys.file_exists seg then begin
+      load_file t seg;
+      t.segments <- i;
+      load_segments (i + 1)
+    end
+  in
+  load_segments 1;
+  t.sealed <- t.total;
+  if Sys.file_exists path then load_file t path;
   t
 
 let path t = t.path
 let mem t id = Hashtbl.mem t.by_id id
+let find t id = Hashtbl.find_opt t.by_id id
 let entries t = List.rev_map (Hashtbl.find t.by_id) t.order
+let salvaged t = List.rev t.salvaged
+let segments t = t.segments
 
 let add t e =
   if not (Hashtbl.mem t.by_id e.id) then begin
-    t.order <- e.id :: t.order;
-    Hashtbl.replace t.by_id e.id e;
+    insert t e;
     t.dirty <- t.dirty + 1
   end
 
 let dirty t = t.dirty
 
+(* Entries not yet sealed into a rotated segment, oldest first: the first
+   [total - sealed] ids of [order] (which is newest-first), reversed. *)
+let unsealed t =
+  let rec take acc k ids = if k = 0 then acc else match ids with [] -> acc | id :: tl -> take (Hashtbl.find t.by_id id :: acc) (k - 1) tl in
+  take [] (t.total - t.sealed) t.order
+
 let render t =
   let buf = Buffer.create 256 in
   List.iter
     (fun (e : entry) -> Buffer.add_string buf (Printf.sprintf "%s\t%s\t%s\n" e.id e.rung e.makespan))
-    (entries t);
+    (unsealed t);
   Buffer.contents buf
 
 let flush t =
   if t.dirty > 0 then begin
     Guard.point "service.journal.flush";
     Bss_util.Atomic_file.write t.path (render t);
-    t.dirty <- 0
+    t.dirty <- 0;
+    match t.rotate_every with
+    | Some k when t.total - t.sealed >= k ->
+      (* Seal the active file under the next segment name. rename(2) is
+         atomic, and the entries are on disk under either name, so a kill
+         at any instant between the two flush steps loses nothing. *)
+      Sys.rename t.path (segment_path t.path (t.segments + 1));
+      t.segments <- t.segments + 1;
+      t.sealed <- t.total;
+      if Bss_obs.Probe.enabled () then Bss_obs.Probe.count "service.journal.rotated"
+    | _ -> ()
   end

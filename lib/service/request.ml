@@ -4,7 +4,16 @@ open Bss_core
 module Rerror = Bss_resilience.Error
 
 type source = File of string | Gen of { family : string; seed : int; m : int; n : int }
-type t = { id : string; variant : Variant.t; algorithm : Solver.algorithm; source : source }
+
+type t = {
+  id : string;
+  tenant : string;
+  variant : Variant.t;
+  algorithm : Solver.algorithm;
+  source : source;
+}
+
+let default_tenant = "default"
 
 let instance t =
   match t.source with
@@ -55,6 +64,7 @@ let of_batch_string s =
       Some
         {
           id;
+          tenant = default_tenant;
           variant = variant_of_string ~line variant;
           algorithm = algorithm_of_string ~line algorithm;
           source = File path;
@@ -63,6 +73,7 @@ let of_batch_string s =
       Some
         {
           id;
+          tenant = default_tenant;
           variant = variant_of_string ~line variant;
           algorithm = algorithm_of_string ~line algorithm;
           source =
@@ -98,9 +109,10 @@ let to_line t =
   | File path -> Printf.sprintf "%s file %s" head path
   | Gen { family; seed; m; n } -> Printf.sprintf "%s gen %s %d %d %d" head family seed m n
 
-let soak_stream ~seed ~requests =
+let soak_stream ?(tenants = []) ~seed ~requests () =
   let families = Array.of_list Bss_workloads.Generator.all in
   let variants = Array.of_list Variant.all in
+  let tenants = Array.of_list tenants in
   List.init requests (fun i ->
       let family = families.(i mod Array.length families).Bss_workloads.Generator.name in
       (* per-request avalanche: realization is a pure function of
@@ -108,6 +120,8 @@ let soak_stream ~seed ~requests =
       let rng = Prng.create (seed lxor ((i + 1) * 0x9e3779b9)) in
       {
         id = Printf.sprintf "soak-%s-%d" family i;
+        tenant =
+          (if Array.length tenants = 0 then default_tenant else tenants.(i mod Array.length tenants));
         variant = variants.(Prng.int rng (Array.length variants));
         algorithm = Solver.Approx3_2;
         source =

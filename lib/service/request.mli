@@ -16,10 +16,17 @@ type source =
 
 type t = {
   id : string;  (** unique within a batch; the journal key *)
+  tenant : string;  (** admission-quota + shard key; {!default_tenant} for batch work *)
   variant : Variant.t;
   algorithm : Solver.algorithm;
   source : source;
 }
+
+(** ["default"] — the tenant of batch-file and plain soak requests. The
+    socket front end spreads default-tenant work round-robin across the
+    worker pool; any other tenant is pinned to its hash shard
+    ({!Bss_util.Strhash.shard}). *)
+val default_tenant : string
 
 (** [instance t] realizes the request's instance.
     @raise Bss_resilience.Error.Error
@@ -41,12 +48,27 @@ val instance : t -> Instance.t
       duplicate id. *)
 val of_batch_string : string -> t list
 
-(** One batch-file line (inverse of {!of_batch_string} for one request). *)
+(** One batch-file line (inverse of {!of_batch_string} for one request).
+    The tenant is not represented — batch files are single-tenant. *)
 val to_line : t -> string
 
-(** [soak_stream ~seed ~requests] is a deterministic soak workload:
-    [requests] generated requests round-robining the workload families and
-    variants, algorithm 3/2, ids ["soak-<family>-<i>"], sizes drawn from a
-    PRNG derived from [(seed, i)] (so any sub-batch realizes identically
-    regardless of processing order). *)
-val soak_stream : seed:int -> requests:int -> t list
+(** [variant_of_string ~line s] parses [nonp]/[pmtn]/[split] (and their
+    long forms); [line] tags the typed error on failure.
+    @raise Bss_resilience.Error.Error ([Invalid_input]) otherwise. *)
+val variant_of_string : line:int -> string -> Variant.t
+
+(** [algorithm_of_string ~line s] parses [2], [3/2] or [3/2+1/<k>].
+    @raise Bss_resilience.Error.Error ([Invalid_input]) otherwise. *)
+val algorithm_of_string : line:int -> string -> Solver.algorithm
+
+(** Inverse of {!algorithm_of_string} (["3/2+1/4"] prints as ["3/2+1/4"]). *)
+val algorithm_to_string : Solver.algorithm -> string
+
+(** [soak_stream ?tenants ~seed ~requests ()] is a deterministic soak
+    workload: [requests] generated requests round-robining the workload
+    families and variants, algorithm 3/2, ids ["soak-<family>-<i>"], sizes
+    drawn from a PRNG derived from [(seed, i)] (so any sub-batch realizes
+    identically regardless of processing order). [tenants] round-robins
+    tenant names over the stream (default: all {!default_tenant}); tenant
+    assignment does not perturb the realized instances. *)
+val soak_stream : ?tenants:string list -> seed:int -> requests:int -> unit -> t list

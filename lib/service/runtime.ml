@@ -60,6 +60,7 @@ type outcome = {
   from_checkpoint : bool;
   error : Rerror.t option;
   latency_ns : int64;
+  queue_wait_ns : int64;
 }
 
 type summary = {
@@ -87,10 +88,7 @@ type summary = {
 (* deterministic across processes, unlike Hashtbl.hash's documented-but-
    version-dependent mixing: retry jitter and chaos plans derived from a
    request id must replay identically on resume *)
-let id_hash s =
-  let h = ref 5381 in
-  String.iter (fun c -> h := ((!h * 33) + Char.code c) land max_int) s;
-  !h
+let id_hash = Strhash.djb2
 
 (* ---------------- the per-request worker ---------------- *)
 
@@ -161,42 +159,128 @@ let process ?(tctx = Trace_ctx.disabled) config (request : Request.t) algorithm 
     and retry a =
       let tok = Trace_ctx.enter tctx "backoff" in
       if Trace_ctx.enabled tctx then Trace_ctx.add_attr tctx "phase" (Trace_ctx.S "retry");
-      Backoff.wait (Backoff.delay_us config.backoff rng ~attempt:(a + 1));
+      let d = Backoff.delay_us config.backoff rng ~attempt:(a + 1) in
+      (* the jitter sequence is a pure function of (seed, id, attempt),
+         so the merged histogram is identical across worker counts — the
+         determinism test pins 1-worker == 4-worker snapshots *)
+      if Probe.enabled () then Probe.observe "service.backoff.delay_us" (float_of_int d);
+      Backoff.wait d;
       Trace_ctx.leave tctx tok;
       attempt (a + 1)
     in
     attempt 0
 
-(* ---------------- the coordinator loop ---------------- *)
+(* ---------------- the engine ---------------- *)
 
-let rec take n = function
-  | [] -> ([], [])
-  | xs when n = 0 -> ([], xs)
-  | x :: xs ->
-    let front, rest = take (n - 1) xs in
-    (x :: front, rest)
+(* The wave machinery behind both drivers: [run] (batch: a request list
+   admitted in bursts) and the socket front end ([Bss_net.Server]: frames
+   admitted as they arrive, dispatched between select rounds). All mutable
+   run state lives here; drivers own only their intake policy. *)
+module Engine = struct
+  type t = {
+    config : config;
+    workers : int;
+    journal : Journal.t option;
+    emit_metrics : string -> unit;
+    queue : Request.t Bqueue.t;
+    breakers : (Variant.t * (Breaker.t * int ref)) list;
+    outcomes : (string, outcome) Hashtbl.t;
+    mutable order : string list;  (* first-record order, newest first *)
+    mutable recorded : int;
+    mutable queued : int;
+    retries_total : int ref;
+    queue_peak : int ref;
+    waves : int ref;
+    flush_failures : int ref;
+    interrupted : bool ref;
+    not_admitted : int ref;
+    checkpointed : int ref;
+    hist_tbl : (string, Hist.t) Hashtbl.t;
+    admitted_at : (string, int64) Hashtbl.t;
+    completed_live : int ref;
+    rejected_live : int ref;
+    aborted_live : int ref;
+    tracing : bool;
+    admit_seq : int ref;
+    ctxs : (string, Trace_ctx.t) Hashtbl.t;
+    traces_rev : Trace_ctx.trace list ref;
+    solve_slo_bound : float option;
+    slo_engine : Slo.engine option;
+    last_metrics : int ref;
+  }
 
-let run ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) config
-    (requests : Request.t list) =
-  if config.burst < 1 then invalid_arg "Runtime.run: burst < 1";
-  if config.retries < 0 then invalid_arg "Runtime.run: retries < 0";
-  if config.checkpoint_every < 1 then invalid_arg "Runtime.run: checkpoint_every < 1";
-  (* the armed chaos plan is process-global scoped state, so fault
-     injection forces a single worker domain *)
-  let workers =
-    if config.chaos <> None then 1 else Option.value config.workers ~default:(Parallel.recommended ())
-  in
-  let queue = Bqueue.create ~capacity:config.queue_capacity in
-  let breakers =
-    List.map
-      (fun v -> (v, (Breaker.make ~k:config.breaker_k ~cooldown:config.breaker_cooldown (), ref 0)))
-      Variant.all
-  in
-  let breaker v = fst (List.assoc v breakers) in
+  let create ?journal ?(emit_metrics = ignore) config =
+    if config.burst < 1 then invalid_arg "Runtime: burst < 1";
+    if config.retries < 0 then invalid_arg "Runtime: retries < 0";
+    if config.checkpoint_every < 1 then invalid_arg "Runtime: checkpoint_every < 1";
+    (* the armed chaos plan is process-global scoped state, so fault
+       injection forces a single worker domain *)
+    let workers =
+      if config.chaos <> None then 1
+      else Option.value config.workers ~default:(Parallel.recommended ())
+    in
+    (* the per-request bound that marks a trace SLO-violating at the tail
+       sampler: the tightest latency objective aimed at the solve hists *)
+    let solve_slo_bound =
+      match config.slo with
+      | None -> None
+      | Some spec ->
+        List.fold_left
+          (fun acc (o : Slo.objective) ->
+            match o.Slo.target with
+            | Slo.Latency { hist; max_ns; _ }
+              when String.length hist >= 16 && String.sub hist 0 16 = "service.solve_ns" -> (
+              match acc with Some b -> Some (Float.min b max_ns) | None -> Some max_ns)
+            | _ -> acc)
+          None spec.Slo.objectives
+    in
+    {
+      config;
+      workers;
+      journal;
+      emit_metrics;
+      queue = Bqueue.create ~capacity:config.queue_capacity;
+      breakers =
+        List.map
+          (fun v ->
+            (v, (Breaker.make ~k:config.breaker_k ~cooldown:config.breaker_cooldown (), ref 0)))
+          Variant.all;
+      outcomes = Hashtbl.create 64;
+      order = [];
+      recorded = 0;
+      queued = 0;
+      retries_total = ref 0;
+      queue_peak = ref 0;
+      waves = ref 0;
+      flush_failures = ref 0;
+      interrupted = ref false;
+      not_admitted = ref 0;
+      checkpointed = ref 0;
+      hist_tbl = Hashtbl.create 8;
+      admitted_at = Hashtbl.create 64;
+      completed_live = ref 0;
+      rejected_live = ref 0;
+      aborted_live = ref 0;
+      tracing = config.trace_sample <> None;
+      admit_seq = ref 0;
+      ctxs = Hashtbl.create 64;
+      traces_rev = ref [];
+      solve_slo_bound;
+      slo_engine = Option.map Slo.engine config.slo;
+      last_metrics = ref 0;
+    }
+
+  let workers t = t.workers
+  let checkpointed t = !(t.checkpointed)
+  let queued t = t.queued
+  let interrupt t ~pending = t.interrupted := true; t.not_admitted := pending
+
+  let breaker t v = fst (List.assoc v t.breakers)
+
   (* surface each state change once: a counter plus a typed event, fed
      after every route/record (the only operations that can flip state) *)
-  let note_transitions v =
-    let b, seen = List.assoc v breakers in
+  let note_transitions t v =
+    let b, seen = List.assoc v t.breakers in
     let ts = Breaker.transitions b in
     let total = List.length ts in
     if total > !seen then begin
@@ -210,123 +294,93 @@ let run ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) confi
           ts;
       seen := total
     end
-  in
-  let outcomes : (string, outcome) Hashtbl.t = Hashtbl.create 64 in
-  let record_outcome o = Hashtbl.replace outcomes o.request.Request.id o in
-  let retries_total = ref 0 in
-  let queue_peak = ref 0 in
-  let waves = ref 0 in
-  let flush_failures = ref 0 in
-  let interrupted = ref false in
-  let not_admitted = ref 0 in
+
+  let record_outcome t o =
+    let id = o.request.Request.id in
+    if not (Hashtbl.mem t.outcomes id) then begin
+      t.order <- id :: t.order;
+      t.recorded <- t.recorded + 1
+    end;
+    Hashtbl.replace t.outcomes id o
+
+  let cached t id = Hashtbl.find_opt t.outcomes id
+
   (* Service histograms live on the coordinator: every observation is
      derived from data the dispatch loop already holds (worker latencies
      come back in the wave results), so recording needs no cross-domain
      sink and works with or without an installed Probe recording —
      [--metrics-every] and the summary read these, [--profile] sees the
      mirrored copies. *)
-  let hist_tbl : (string, Hist.t) Hashtbl.t = Hashtbl.create 8 in
-  (* [?ex] attaches a trace id to the observation's bucket as an
-     exemplar; attachment happens on the coordinator in request order,
-     so the ring eviction replays deterministically *)
-  let hobserve ?ex name v =
+  let hobserve ?ex t name v =
     let h =
-      match Hashtbl.find_opt hist_tbl name with
+      match Hashtbl.find_opt t.hist_tbl name with
       | Some h -> h
       | None ->
         let h = Hist.create () in
-        Hashtbl.add hist_tbl name h;
+        Hashtbl.add t.hist_tbl name h;
         h
     in
     (match ex with Some id -> Hist.record_exemplar h v id | None -> Hist.record h v);
     if Probe.enabled () then Probe.observe name v
-  in
-  let hist_snapshots () =
-    Hashtbl.fold (fun k h acc -> (k, Hist.snapshot h) :: acc) hist_tbl []
+
+  let hist_snapshots t =
+    Hashtbl.fold (fun k h acc -> (k, Hist.snapshot h) :: acc) t.hist_tbl []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
-  in
-  let admitted_at : (string, int64) Hashtbl.t = Hashtbl.create 64 in
-  let completed_live = ref 0 and rejected_live = ref 0 and aborted_live = ref 0 in
-  (* Request-scoped tracing: one context per admitted request, id
-     derived from (seed, admission sequence, request id) — no wall
-     clock. The context is written by exactly one party at a time
-     (coordinator at admission/completion, the worker in between), so
-     no synchronization is needed. Finished traces accumulate here and
-     are tail-sampled once at the end of the run. *)
-  let tracing = config.trace_sample <> None in
-  let admit_seq = ref 0 in
-  let ctxs : (string, Trace_ctx.t) Hashtbl.t = Hashtbl.create 64 in
-  let traces_rev = ref [] in
-  let finish_ctx ctx =
+
+  let finish_ctx t ctx =
     match Trace_ctx.finish ctx with
-    | Some t -> traces_rev := t :: !traces_rev
+    | Some tr -> t.traces_rev := tr :: !(t.traces_rev)
     | None -> ()
-  in
-  (* the per-request bound that marks a trace SLO-violating at the tail
-     sampler: the tightest latency objective aimed at the solve hists *)
-  let solve_slo_bound =
-    match config.slo with
-    | None -> None
-    | Some spec ->
-      List.fold_left
-        (fun acc (o : Slo.objective) ->
-          match o.Slo.target with
-          | Slo.Latency { hist; max_ns; _ }
-            when String.length hist >= 16 && String.sub hist 0 16 = "service.solve_ns" -> (
-            match acc with Some b -> Some (Float.min b max_ns) | None -> Some max_ns)
-          | _ -> acc)
-        None spec.Slo.objectives
-  in
-  let slo_engine = Option.map Slo.engine config.slo in
-  let current_sample () =
+
+  let current_sample t =
     {
-      Slo.completed = !completed_live;
-      rejected = !rejected_live;
-      aborted = !aborted_live;
-      retries = !retries_total;
-      hists = hist_snapshots ();
+      Slo.completed = !(t.completed_live);
+      rejected = !(t.rejected_live);
+      aborted = !(t.aborted_live);
+      retries = !(t.retries_total);
+      hists = hist_snapshots t;
     }
-  in
-  let last_metrics = ref 0 in
-  let metrics_line () =
+
+  let metrics_line t =
     Json.obj
       ([
          ("schema", Json.str Bss_obs.Offline.metrics_schema_version);
          ( "metrics",
            Json.obj
              [
-               ("completed", Json.int !completed_live);
-               ("rejected", Json.int !rejected_live);
-               ("aborted", Json.int !aborted_live);
-               ("retries", Json.int !retries_total);
-               ("queue_peak", Json.int !queue_peak);
-               ("waves", Json.int !waves);
-               ("hists", Json.obj (List.map (fun (k, h) -> (k, Hist.to_json h)) (hist_snapshots ())));
+               ("completed", Json.int !(t.completed_live));
+               ("rejected", Json.int !(t.rejected_live));
+               ("aborted", Json.int !(t.aborted_live));
+               ("retries", Json.int !(t.retries_total));
+               ("queue_peak", Json.int !(t.queue_peak));
+               ("waves", Json.int !(t.waves));
+               ("hists", Json.obj (List.map (fun (k, h) -> (k, Hist.to_json h)) (hist_snapshots t)));
              ] );
        ]
       @
-      match slo_engine with
+      match t.slo_engine with
       | None -> []
-      | Some e -> [ ("slo", Slo.verdict_json (Slo.window e (current_sample ()))) ])
-  in
-  let maybe_emit_metrics () =
-    match config.metrics_every with
-    | Some every when every > 0 && !completed_live - !last_metrics >= every ->
-      last_metrics := !completed_live;
-      emit_metrics (metrics_line ())
+      | Some e -> [ ("slo", Slo.verdict_json (Slo.window e (current_sample t))) ])
+
+  let maybe_emit_metrics t =
+    match t.config.metrics_every with
+    | Some every when every > 0 && !(t.completed_live) - !(t.last_metrics) >= every ->
+      t.last_metrics := !(t.completed_live);
+      t.emit_metrics (metrics_line t)
     | _ -> ()
-  in
-  (* restore checkpointed completions: journal entries are trusted verbatim *)
-  let checkpointed = ref 0 in
-  (match journal with
-  | None -> ()
-  | Some j ->
-    List.iter
-      (fun (r : Request.t) ->
-        if Journal.mem j r.Request.id then begin
-          let e = List.find (fun (e : Journal.entry) -> e.Journal.id = r.Request.id) (Journal.entries j) in
-          incr checkpointed;
-          record_outcome
+
+  (* restore a checkpointed completion: journal entries are trusted verbatim *)
+  let from_checkpoint t (r : Request.t) =
+    match t.journal with
+    | None -> None
+    | Some j -> (
+      if Hashtbl.mem t.outcomes r.Request.id then None
+      else
+        match Journal.find j r.Request.id with
+        | None -> None
+        | Some e ->
+          incr t.checkpointed;
+          let o =
             {
               request = r;
               status = Done;
@@ -338,44 +392,55 @@ let run ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) confi
               from_checkpoint = true;
               error = None;
               latency_ns = 0L;
+              queue_wait_ns = 0L;
             }
-        end)
-      requests);
-  if Probe.enabled () && !checkpointed > 0 then Probe.count ~n:!checkpointed "service.resumed";
-  let pending = List.filter (fun (r : Request.t) -> not (Hashtbl.mem outcomes r.Request.id)) requests in
-  let try_flush () =
-    match journal with
+          in
+          record_outcome t o;
+          Some o)
+
+  let try_flush t =
+    match t.journal with
     | None -> ()
     | Some j -> (
       let t0 = Monotonic_clock.now () in
       match Journal.flush j with
       | () ->
-        hobserve "service.journal.flush_ns" (Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0));
+        hobserve t "service.journal.flush_ns"
+          (Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0));
         if Probe.enabled () then Probe.count "service.journal.flush_ok"
       | exception _ ->
-        incr flush_failures;
+        incr t.flush_failures;
         if Probe.enabled () then Probe.count "service.journal.flush_failed")
-  in
-  let admit r =
-    let seq = !admit_seq in
-    incr admit_seq;
+
+  (* the final flush must land even under an armed journal-flush fault:
+     every retry advances the site's hit counter past the armed hits *)
+  let final_flush t =
+    match t.journal with
+    | None -> ()
+    | Some j ->
+      let rec final k = if Journal.dirty j > 0 && k > 0 then (try_flush t; final (k - 1)) in
+      final 4
+
+  let admit t (r : Request.t) =
+    let seq = !(t.admit_seq) in
+    incr t.admit_seq;
     let ctx =
-      if tracing then Trace_ctx.make ~seed:config.seed ~seq ~request_id:r.Request.id
+      if t.tracing then Trace_ctx.make ~seed:t.config.seed ~seq ~request_id:r.Request.id
       else Trace_ctx.disabled
     in
     if Trace_ctx.enabled ctx then begin
       Trace_ctx.add_attr ctx "variant" (Trace_ctx.S (Variant.to_string r.Request.variant));
-      Trace_ctx.add_attr ctx "tenant" (Trace_ctx.S "default")
+      Trace_ctx.add_attr ctx "tenant" (Trace_ctx.S r.Request.tenant)
     end;
     let reject error =
-      incr rejected_live;
+      incr t.rejected_live;
       if Probe.enabled () then Probe.count "service.rejected";
       if Trace_ctx.enabled ctx then begin
         Trace_ctx.add_attr ctx "outcome" (Trace_ctx.S "rejected");
         Trace_ctx.add_attr ctx "error" (Trace_ctx.S (Rerror.to_string error));
-        finish_ctx ctx
+        finish_ctx t ctx
       end;
-      record_outcome
+      let o =
         {
           request = r;
           status = Rejected;
@@ -387,278 +452,399 @@ let run ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) confi
           from_checkpoint = false;
           error = Some error;
           latency_ns = 0L;
+          queue_wait_ns = 0L;
         }
+      in
+      record_outcome t o;
+      Error o
     in
-    match Bqueue.admit queue r with
+    match Bqueue.admit t.queue r with
     | Ok () ->
-      Hashtbl.replace admitted_at r.Request.id (Monotonic_clock.now ());
-      if Trace_ctx.enabled ctx then Hashtbl.replace ctxs r.Request.id ctx;
-      if Probe.enabled () then Probe.count "service.enqueued"
+      t.queued <- t.queued + 1;
+      Hashtbl.replace t.admitted_at r.Request.id (Monotonic_clock.now ());
+      if Trace_ctx.enabled ctx then Hashtbl.replace t.ctxs r.Request.id ctx;
+      if Probe.enabled () then Probe.count "service.enqueued";
+      Ok ()
     | Error e -> reject e
     | exception exn -> reject (Rerror.Internal exn)
-  in
-  let dispatch wave =
-    Probe.span "service.wave" @@ fun () ->
-    incr waves;
-    queue_peak := max !queue_peak (List.length wave);
-    if Probe.enabled () then begin
-      Probe.count "service.wave";
-      Probe.count ~n:(List.length wave) "service.queue.depth"
-    end;
-    let wave_start = Monotonic_clock.now () in
-    let ctx_of id = Option.value ~default:Trace_ctx.disabled (Hashtbl.find_opt ctxs id) in
-    List.iter
-      (fun (r : Request.t) ->
-        match Hashtbl.find_opt admitted_at r.Request.id with
-        | Some t ->
-          Hashtbl.remove admitted_at r.Request.id;
-          let wait_ns = Int64.sub wave_start t in
-          let ctx = ctx_of r.Request.id in
-          if Trace_ctx.enabled ctx then begin
-            Trace_ctx.add_span ctx "queue.wait" ~dur_ns:wait_ns
-              ~attrs:[ ("phase", Trace_ctx.S "queue") ];
-            hobserve ~ex:(Trace_ctx.trace_id ctx) "service.queue.wait_ns" (Int64.to_float wait_ns)
-          end
-          else hobserve "service.queue.wait_ns" (Int64.to_float wait_ns)
-        | None -> ())
-      wave;
-    (* route through the breaker on the coordinator, in request order *)
-    let routed =
-      List.map
-        (fun (r : Request.t) ->
-          let b = breaker r.Request.variant in
-          let res =
-            match Breaker.route b with
-            | Breaker.Requested -> (r, Breaker.Requested, "requested", r.Request.algorithm)
-            | Breaker.Probe -> (r, Breaker.Probe, "probe", r.Request.algorithm)
-            | Breaker.Fallback -> (r, Breaker.Fallback, "fallback", Solver.Approx2)
-            | exception _ ->
-              (* an injected fault on the half-open probe point: the probe
-                 failed before it ran — re-open and fall back *)
-              Breaker.record b ~route:Breaker.Probe ~ok:false;
-              (r, Breaker.Fallback, "fallback", Solver.Approx2)
-          in
-          note_transitions r.Request.variant;
-          (let ctx = ctx_of r.Request.id in
-           if Trace_ctx.enabled ctx then
-             let _, _, routed_as, _ = res in
-             Trace_ctx.add_attr ctx "route" (Trace_ctx.S routed_as));
-          res)
-        wave
-    in
-    (* the worker domain takes over the request's trace context for the
-       duration of [process]; the coordinator is blocked in
-       [map_results] until every worker is joined, so ownership passes
-       cleanly back without synchronization *)
-    let results =
-      Parallel.map_results ~domains:workers ~retries:0
-        (fun (r, _, _, algorithm) -> process ~tctx:(ctx_of r.Request.id) config r algorithm)
+
+  (* Fan a routed wave out to the worker pool. All-default-tenant waves
+     (batch and plain soak) go straight through [Parallel.map_results] —
+     one task per request, the historical layout. A wave with named
+     tenants is first grouped into [workers] shards: a tenant's requests
+     are pinned to the shard [Strhash.shard tenant], preserving their
+     relative order (one flooding tenant contends with itself, not with
+     everyone); default-tenant requests round-robin over shards by wave
+     position. Results are reassembled into wave order, so downstream
+     accounting is oblivious to the grouping. *)
+  let solve_wave t routed ~ctx_of =
+    let all_default =
+      List.for_all
+        (fun ((r : Request.t), _, _, _) -> r.Request.tenant = Request.default_tenant)
         routed
     in
-    List.iter2
-      (fun (r, route, routed_as, _) result ->
-        let wres =
-          match result with
-          | Ok w -> w
-          | Error (f : Parallel.failure) ->
-            (* [process] catches everything, so this is belt-and-braces *)
-            Waborted { error = Rerror.Internal f.Parallel.exn; retries_used = 0; latency_ns = 0L }
-        in
-        let failed_ladder =
-          match wres with Wdone d -> d.degraded | Waborted _ -> true
-        in
-        Breaker.record (breaker r.Request.variant) ~route ~ok:(not failed_ladder);
-        note_transitions r.Request.variant;
-        let ctx = ctx_of r.Request.id in
-        Hashtbl.remove ctxs r.Request.id;
-        let ex = if Trace_ctx.enabled ctx then Some (Trace_ctx.trace_id ctx) else None in
-        (match wres with
-        | Wdone d ->
-          retries_total := !retries_total + d.retries_used;
-          incr completed_live;
-          hobserve ?ex
-            ("service.solve_ns." ^ Variant.to_string r.Request.variant)
-            (Int64.to_float d.latency_ns);
-          hobserve "service.retries_per_request" (float_of_int d.retries_used);
-          if Probe.enabled () then begin
-            Probe.count "service.done";
-            if d.retries_used > 0 then Probe.count ~n:d.retries_used "service.retries";
-            if d.degraded then Probe.count "service.degraded"
-          end;
-          Option.iter
-            (fun j ->
-              let t0 = Monotonic_clock.now () in
-              Journal.add j { Journal.id = r.Request.id; rung = d.rung; makespan = d.makespan };
-              if Trace_ctx.enabled ctx then
-                Trace_ctx.add_span ctx "journal.append"
-                  ~dur_ns:(Int64.sub (Monotonic_clock.now ()) t0)
-                  ~attrs:[ ("phase", Trace_ctx.S "journal") ])
-            journal;
-          if Trace_ctx.enabled ctx then begin
-            Trace_ctx.add_attr ctx "outcome" (Trace_ctx.S "done");
-            Trace_ctx.add_attr ctx "rung" (Trace_ctx.S d.rung);
-            Trace_ctx.add_attr ctx "retries" (Trace_ctx.I d.retries_used);
-            Trace_ctx.add_attr ctx "degraded" (Trace_ctx.B d.degraded);
-            (match solve_slo_bound with
-            | Some bound when Int64.to_float d.latency_ns > bound ->
-              Trace_ctx.add_attr ctx "slo_violation" (Trace_ctx.B true)
-            | _ -> ());
-            finish_ctx ctx
-          end;
-          record_outcome
-            {
-              request = r;
-              status = Done;
-              rung = Some d.rung;
-              makespan = Some d.makespan;
-              routed = routed_as;
-              retries_used = d.retries_used;
-              degraded = d.degraded;
-              from_checkpoint = false;
-              error = None;
-              latency_ns = d.latency_ns;
-            }
-        | Waborted a ->
-          retries_total := !retries_total + a.retries_used;
-          incr aborted_live;
-          hobserve "service.retries_per_request" (float_of_int a.retries_used);
-          if Probe.enabled () then begin
-            Probe.count "service.aborted";
-            if a.retries_used > 0 then Probe.count ~n:a.retries_used "service.retries"
-          end;
-          if Trace_ctx.enabled ctx then begin
-            Trace_ctx.add_attr ctx "outcome" (Trace_ctx.S "aborted");
-            Trace_ctx.add_attr ctx "retries" (Trace_ctx.I a.retries_used);
-            Trace_ctx.add_attr ctx "error" (Trace_ctx.S (Rerror.to_string a.error));
-            finish_ctx ctx
-          end;
-          record_outcome
-            {
-              request = r;
-              status = Aborted;
-              rung = None;
-              makespan = None;
-              routed = routed_as;
-              retries_used = a.retries_used;
-              degraded = false;
-              from_checkpoint = false;
-              error = Some a.error;
-              latency_ns = a.latency_ns;
-            });
-        match journal with
-        | Some j when Journal.dirty j >= config.checkpoint_every -> try_flush ()
-        | _ -> ())
-      routed results
-  in
-  let rec loop pending =
-    if should_stop () then begin
-      interrupted := true;
-      not_admitted := List.length pending
+    if all_default then
+      Parallel.map_results ~domains:t.workers ~retries:0
+        (fun ((r : Request.t), _, _, algorithm) ->
+          process ~tctx:(ctx_of r.Request.id) t.config r algorithm)
+        routed
+    else begin
+      let arr = Array.of_list routed in
+      let shards = max 1 t.workers in
+      let buckets = Array.make shards [] in
+      Array.iteri
+        (fun i ((r : Request.t), _, _, _) ->
+          let s =
+            if r.Request.tenant = Request.default_tenant then i mod shards
+            else Strhash.shard ~shards r.Request.tenant
+          in
+          buckets.(s) <- i :: buckets.(s))
+        arr;
+      if Probe.enabled () then
+        Array.iteri
+          (fun s idxs ->
+            if idxs <> [] then
+              Probe.count ~n:(List.length idxs) (Printf.sprintf "service.shard.%d" s))
+          buckets;
+      let groups =
+        Array.to_list buckets |> List.filter_map (function [] -> None | l -> Some (List.rev l))
+      in
+      let group_results =
+        Parallel.map_results ~domains:t.workers ~retries:0
+          (fun idxs ->
+            List.map
+              (fun i ->
+                let (r : Request.t), _, _, algorithm = arr.(i) in
+                (i, process ~tctx:(ctx_of r.Request.id) t.config r algorithm))
+              idxs)
+          groups
+      in
+      let out = Array.make (Array.length arr) None in
+      List.iter2
+        (fun idxs res ->
+          match res with
+          | Ok pairs -> List.iter (fun (i, w) -> out.(i) <- Some (Ok w)) pairs
+          | Error (f : Parallel.failure) -> List.iter (fun i -> out.(i) <- Some (Error f)) idxs)
+        groups group_results;
+      Array.to_list (Array.map (function Some r -> r | None -> assert false) out)
     end
-    else
-      match pending with
-      | [] -> ()
-      | _ ->
-        let front, rest = take config.burst pending in
-        List.iter admit front;
-        dispatch (Bqueue.drain queue);
-        maybe_emit_metrics ();
-        loop rest
-  in
+
+  let dispatch_wave t wave =
+    let completed = ref [] in
+    (Probe.span "service.wave" @@ fun () ->
+     incr t.waves;
+     t.queue_peak := max !(t.queue_peak) (List.length wave);
+     if Probe.enabled () then begin
+       Probe.count "service.wave";
+       Probe.count ~n:(List.length wave) "service.queue.depth"
+     end;
+     let wave_start = Monotonic_clock.now () in
+     let ctx_of id = Option.value ~default:Trace_ctx.disabled (Hashtbl.find_opt t.ctxs id) in
+     let waits : (string, int64) Hashtbl.t = Hashtbl.create 16 in
+     List.iter
+       (fun (r : Request.t) ->
+         match Hashtbl.find_opt t.admitted_at r.Request.id with
+         | Some at ->
+           Hashtbl.remove t.admitted_at r.Request.id;
+           let wait_ns = Int64.sub wave_start at in
+           Hashtbl.replace waits r.Request.id wait_ns;
+           let ctx = ctx_of r.Request.id in
+           if Trace_ctx.enabled ctx then begin
+             Trace_ctx.add_span ctx "queue.wait" ~dur_ns:wait_ns
+               ~attrs:[ ("phase", Trace_ctx.S "queue") ];
+             hobserve ~ex:(Trace_ctx.trace_id ctx) t "service.queue.wait_ns"
+               (Int64.to_float wait_ns)
+           end
+           else hobserve t "service.queue.wait_ns" (Int64.to_float wait_ns)
+         | None -> ())
+       wave;
+     (* route through the breaker on the coordinator, in request order *)
+     let routed =
+       List.map
+         (fun (r : Request.t) ->
+           let b = breaker t r.Request.variant in
+           let res =
+             match Breaker.route b with
+             | Breaker.Requested -> (r, Breaker.Requested, "requested", r.Request.algorithm)
+             | Breaker.Probe -> (r, Breaker.Probe, "probe", r.Request.algorithm)
+             | Breaker.Fallback -> (r, Breaker.Fallback, "fallback", Solver.Approx2)
+             | exception _ ->
+               (* an injected fault on the half-open probe point: the probe
+                  failed before it ran — re-open and fall back *)
+               Breaker.record b ~route:Breaker.Probe ~ok:false;
+               (r, Breaker.Fallback, "fallback", Solver.Approx2)
+           in
+           note_transitions t r.Request.variant;
+           (let ctx = ctx_of r.Request.id in
+            if Trace_ctx.enabled ctx then
+              let _, _, routed_as, _ = res in
+              Trace_ctx.add_attr ctx "route" (Trace_ctx.S routed_as));
+           res)
+         wave
+     in
+     (* the worker domain takes over the request's trace context for the
+        duration of [process]; the coordinator is blocked until every
+        worker is joined, so ownership passes cleanly back without
+        synchronization *)
+     let results = solve_wave t routed ~ctx_of in
+     List.iter2
+       (fun ((r : Request.t), route, routed_as, _) result ->
+         let wres =
+           match result with
+           | Ok w -> w
+           | Error (f : Parallel.failure) ->
+             (* [process] catches everything, so this is belt-and-braces *)
+             Waborted { error = Rerror.Internal f.Parallel.exn; retries_used = 0; latency_ns = 0L }
+         in
+         let failed_ladder = match wres with Wdone d -> d.degraded | Waborted _ -> true in
+         Breaker.record (breaker t r.Request.variant) ~route ~ok:(not failed_ladder);
+         note_transitions t r.Request.variant;
+         let ctx = ctx_of r.Request.id in
+         Hashtbl.remove t.ctxs r.Request.id;
+         let ex = if Trace_ctx.enabled ctx then Some (Trace_ctx.trace_id ctx) else None in
+         let wait_ns = Option.value ~default:0L (Hashtbl.find_opt waits r.Request.id) in
+         (match wres with
+         | Wdone d ->
+           t.retries_total := !(t.retries_total) + d.retries_used;
+           incr t.completed_live;
+           hobserve ?ex t
+             ("service.solve_ns." ^ Variant.to_string r.Request.variant)
+             (Int64.to_float d.latency_ns);
+           hobserve t "service.retries_per_request" (float_of_int d.retries_used);
+           if Probe.enabled () then begin
+             Probe.count "service.done";
+             if d.retries_used > 0 then Probe.count ~n:d.retries_used "service.retries";
+             if d.degraded then Probe.count "service.degraded"
+           end;
+           Option.iter
+             (fun j ->
+               let t0 = Monotonic_clock.now () in
+               Journal.add j { Journal.id = r.Request.id; rung = d.rung; makespan = d.makespan };
+               if Trace_ctx.enabled ctx then
+                 Trace_ctx.add_span ctx "journal.append"
+                   ~dur_ns:(Int64.sub (Monotonic_clock.now ()) t0)
+                   ~attrs:[ ("phase", Trace_ctx.S "journal") ])
+             t.journal;
+           if Trace_ctx.enabled ctx then begin
+             Trace_ctx.add_attr ctx "outcome" (Trace_ctx.S "done");
+             Trace_ctx.add_attr ctx "rung" (Trace_ctx.S d.rung);
+             Trace_ctx.add_attr ctx "retries" (Trace_ctx.I d.retries_used);
+             Trace_ctx.add_attr ctx "degraded" (Trace_ctx.B d.degraded);
+             (match t.solve_slo_bound with
+             | Some bound when Int64.to_float d.latency_ns > bound ->
+               Trace_ctx.add_attr ctx "slo_violation" (Trace_ctx.B true)
+             | _ -> ());
+             finish_ctx t ctx
+           end;
+           let o =
+             {
+               request = r;
+               status = Done;
+               rung = Some d.rung;
+               makespan = Some d.makespan;
+               routed = routed_as;
+               retries_used = d.retries_used;
+               degraded = d.degraded;
+               from_checkpoint = false;
+               error = None;
+               latency_ns = d.latency_ns;
+               queue_wait_ns = wait_ns;
+             }
+           in
+           record_outcome t o;
+           completed := o :: !completed
+         | Waborted a ->
+           t.retries_total := !(t.retries_total) + a.retries_used;
+           incr t.aborted_live;
+           hobserve t "service.retries_per_request" (float_of_int a.retries_used);
+           if Probe.enabled () then begin
+             Probe.count "service.aborted";
+             if a.retries_used > 0 then Probe.count ~n:a.retries_used "service.retries"
+           end;
+           if Trace_ctx.enabled ctx then begin
+             Trace_ctx.add_attr ctx "outcome" (Trace_ctx.S "aborted");
+             Trace_ctx.add_attr ctx "retries" (Trace_ctx.I a.retries_used);
+             Trace_ctx.add_attr ctx "error" (Trace_ctx.S (Rerror.to_string a.error));
+             finish_ctx t ctx
+           end;
+           let o =
+             {
+               request = r;
+               status = Aborted;
+               rung = None;
+               makespan = None;
+               routed = routed_as;
+               retries_used = a.retries_used;
+               degraded = false;
+               from_checkpoint = false;
+               error = Some a.error;
+               latency_ns = a.latency_ns;
+               queue_wait_ns = wait_ns;
+             }
+           in
+           record_outcome t o;
+           completed := o :: !completed);
+         match t.journal with
+         | Some j when Journal.dirty j >= t.config.checkpoint_every -> try_flush t
+         | _ -> ())
+       routed results);
+    maybe_emit_metrics t;
+    List.rev !completed
+
+  let dispatch t =
+    let wave = Bqueue.drain t.queue in
+    t.queued <- 0;
+    dispatch_wave t wave
+
   (* Coordinator-level fault plan: the service sites that fire outside the
      per-request scopes (admission, journal flush, breaker probe). The
      per-request plans armed inside [process] nest within it and mask it
      only for the duration of one solve, where no coordinator site fires. *)
-  let coordinator_plan =
+  let coordinator_plan config =
     match config.chaos with
     | None -> []
     | Some c ->
       let sites = [ "service.admit"; "service.breaker.probe"; "service.journal.flush" ] in
       Chaos.plan_of_seed ~sites ~spread:16 c
       @ Chaos.plan_of_seed ~sites ~spread:16 (c lxor 0x55aa77)
+
+  let summary ?requests t =
+    let ordered =
+      match requests with
+      | Some reqs ->
+        List.filter_map (fun (r : Request.t) -> Hashtbl.find_opt t.outcomes r.Request.id) reqs
+      | None -> List.rev_map (fun id -> Hashtbl.find t.outcomes id) t.order
+    in
+    let total = match requests with Some reqs -> List.length reqs | None -> t.recorded in
+    let count p = List.length (List.filter p ordered) in
+    let completed = count (fun o -> o.status = Done) in
+    let rejected = count (fun o -> o.status = Rejected) in
+    let aborted = count (fun o -> o.status = Aborted) in
+    let rungs =
+      let tbl = Hashtbl.create 4 in
+      List.iter
+        (fun o ->
+          match o.rung with
+          | Some rung ->
+            Hashtbl.replace tbl rung (1 + Option.value ~default:0 (Hashtbl.find_opt tbl rung))
+          | None -> ())
+        ordered;
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+    in
+    let final_hists = hist_snapshots t in
+    (* Tail sampling: always keep the stories worth reading — errors,
+       degradations, retried requests, SLO violations and every trace a
+       histogram bucket cites as an exemplar (the acceptance contract:
+       a p99 exemplar id must resolve to a full span tree in the trace
+       file) — and reservoir-sample the uneventful rest under the run
+       seed. Output is in admission order. *)
+    let traces =
+      match List.rev !(t.traces_rev) with
+      | [] -> []
+      | all ->
+        let exemplar_ids =
+          List.concat_map (fun (_, h) -> Hist.exemplar_ids h) final_hists |> List.sort_uniq compare
+        in
+        let interesting (tr : Trace_ctx.trace) =
+          (match Trace_ctx.attr tr "outcome" with Some "done" -> false | _ -> true)
+          || Trace_ctx.attr tr "degraded" = Some "true"
+          || (match Trace_ctx.attr tr "retries" with Some r -> r <> "0" | None -> false)
+          || Trace_ctx.attr tr "slo_violation" = Some "true"
+          || List.mem tr.Trace_ctx.trace_id exemplar_ids
+        in
+        let must, rest = List.partition interesting all in
+        let sampled =
+          Trace_ctx.reservoir ~seed:t.config.seed
+            ~k:(Option.value t.config.trace_sample ~default:0)
+            rest
+        in
+        List.sort
+          (fun (a : Trace_ctx.trace) (b : Trace_ctx.trace) ->
+            compare a.Trace_ctx.seq b.Trace_ctx.seq)
+          (must @ sampled)
+    in
+    let slo_verdict = Option.map (fun e -> Slo.final e (current_sample t)) t.slo_engine in
+    {
+      outcomes = ordered;
+      total;
+      completed;
+      checkpointed = !(t.checkpointed);
+      rejected;
+      aborted;
+      dropped = total - List.length ordered - !(t.not_admitted);
+      not_admitted = !(t.not_admitted);
+      retries = !(t.retries_total);
+      rungs;
+      breaker =
+        List.filter_map
+          (fun (v, (b, _)) -> match Breaker.transitions b with [] -> None | ts -> Some (v, ts))
+          t.breakers;
+      queue_peak = !(t.queue_peak);
+      waves = !(t.waves);
+      flush_failures = !(t.flush_failures);
+      journal_dirty = (match t.journal with None -> 0 | Some j -> Journal.dirty j);
+      interrupted = !(t.interrupted);
+      hists = final_hists;
+      traces;
+      slo_verdict;
+    }
+end
+
+(* ---------------- the batch driver ---------------- *)
+
+let rec take n = function
+  | [] -> ([], [])
+  | xs when n = 0 -> ([], xs)
+  | x :: xs ->
+    let front, rest = take (n - 1) xs in
+    (x :: front, rest)
+
+let run ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) config
+    (requests : Request.t list) =
+  let e = Engine.create ?journal ~emit_metrics config in
+  (* restore checkpointed completions before admitting anything *)
+  (match journal with
+  | None -> ()
+  | Some _ -> List.iter (fun (r : Request.t) -> ignore (Engine.from_checkpoint e r)) requests);
+  if Probe.enabled () && Engine.checkpointed e > 0 then
+    Probe.count ~n:(Engine.checkpointed e) "service.resumed";
+  let pending =
+    List.filter (fun (r : Request.t) -> Engine.cached e r.Request.id = None) requests
   in
-  Chaos.with_plan coordinator_plan (fun () ->
+  let rec loop pending =
+    if should_stop () then Engine.interrupt e ~pending:(List.length pending)
+    else
+      match pending with
+      | [] -> ()
+      | _ ->
+        let front, rest = take config.burst pending in
+        List.iter (fun r -> ignore (Engine.admit e r)) front;
+        ignore (Engine.dispatch e);
+        loop rest
+  in
+  Chaos.with_plan (Engine.coordinator_plan config) (fun () ->
       loop pending;
-      (* the final flush must land even under an armed journal-flush fault:
-         every retry advances the site's hit counter past the armed hits *)
-      match journal with
-      | None -> ()
-      | Some j ->
-        let rec final k = if Journal.dirty j > 0 && k > 0 then (try_flush (); final (k - 1)) in
-        final 4);
-  let ordered =
-    List.filter_map (fun (r : Request.t) -> Hashtbl.find_opt outcomes r.Request.id) requests
-  in
-  let count p = List.length (List.filter p ordered) in
-  let completed = count (fun o -> o.status = Done) in
-  let rejected = count (fun o -> o.status = Rejected) in
-  let aborted = count (fun o -> o.status = Aborted) in
-  let rungs =
-    let tbl = Hashtbl.create 4 in
-    List.iter
-      (fun o ->
-        match o.rung with
-        | Some rung -> Hashtbl.replace tbl rung (1 + Option.value ~default:0 (Hashtbl.find_opt tbl rung))
-        | None -> ())
-      ordered;
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
-  in
-  let final_hists = hist_snapshots () in
-  (* Tail sampling: always keep the stories worth reading — errors,
-     degradations, retried requests, SLO violations and every trace a
-     histogram bucket cites as an exemplar (the acceptance contract:
-     a p99 exemplar id must resolve to a full span tree in the trace
-     file) — and reservoir-sample the uneventful rest under the run
-     seed. Output is in admission order. *)
-  let traces =
-    match List.rev !traces_rev with
-    | [] -> []
-    | all ->
-      let exemplar_ids =
-        List.concat_map (fun (_, h) -> Hist.exemplar_ids h) final_hists |> List.sort_uniq compare
-      in
-      let interesting (t : Trace_ctx.trace) =
-        (match Trace_ctx.attr t "outcome" with Some "done" -> false | _ -> true)
-        || Trace_ctx.attr t "degraded" = Some "true"
-        || (match Trace_ctx.attr t "retries" with Some r -> r <> "0" | None -> false)
-        || Trace_ctx.attr t "slo_violation" = Some "true"
-        || List.mem t.Trace_ctx.trace_id exemplar_ids
-      in
-      let must, rest = List.partition interesting all in
-      let sampled =
-        Trace_ctx.reservoir ~seed:config.seed ~k:(Option.value config.trace_sample ~default:0) rest
-      in
-      List.sort
-        (fun (a : Trace_ctx.trace) (b : Trace_ctx.trace) -> compare a.Trace_ctx.seq b.Trace_ctx.seq)
-        (must @ sampled)
-  in
-  let slo_verdict = Option.map (fun e -> Slo.final e (current_sample ())) slo_engine in
-  {
-    outcomes = ordered;
-    total = List.length requests;
-    completed;
-    checkpointed = !checkpointed;
-    rejected;
-    aborted;
-    dropped = List.length requests - List.length ordered - !not_admitted;
-    not_admitted = !not_admitted;
-    retries = !retries_total;
-    rungs;
-    breaker =
-      List.filter_map
-        (fun (v, (b, _)) -> match Breaker.transitions b with [] -> None | ts -> Some (v, ts))
-        breakers;
-    queue_peak = !queue_peak;
-    waves = !waves;
-    flush_failures = !flush_failures;
-    journal_dirty = (match journal with None -> 0 | Some j -> Journal.dirty j);
-    interrupted = !interrupted;
-    hists = final_hists;
-    traces;
-    slo_verdict;
-  }
+      Engine.final_flush e);
+  Engine.summary ~requests e
 
 (* ---------------- rendering ---------------- *)
+
+let render_totals s =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "service: %d requests | done=%d (checkpointed=%d) rejected=%d aborted=%d dropped=%d not-admitted=%d retries=%d\n"
+    s.total s.completed s.checkpointed s.rejected s.aborted s.dropped s.not_admitted s.retries;
+  if s.rungs <> [] then
+    add "rungs: %s\n" (String.concat " " (List.map (fun (r, k) -> Printf.sprintf "%s=%d" r k) s.rungs));
+  List.iter
+    (fun (v, ts) -> add "breaker[%s]: %s\n" (Variant.to_string v) (String.concat " " ts))
+    s.breaker;
+  add "queue: capacity-peak=%d waves=%d\n" s.queue_peak s.waves;
+  add "journal: dirty=%d flush-failures=%d\n" s.journal_dirty s.flush_failures;
+  (match s.traces with [] -> () | ts -> add "traces: %d sampled\n" (List.length ts));
+  Option.iter (fun v -> add "%s" (Slo.verdict_text v)) s.slo_verdict;
+  if s.interrupted then add "interrupted: drained cleanly\n";
+  Buffer.contents buf
 
 let render_text s =
   let buf = Buffer.create 1024 in
@@ -676,18 +862,7 @@ let render_text s =
       | Aborted ->
         add "%-24s aborted  %s\n" o.request.Request.id (Rerror.to_string (Option.get o.error)))
     s.outcomes;
-  add "service: %d requests | done=%d (checkpointed=%d) rejected=%d aborted=%d dropped=%d not-admitted=%d retries=%d\n"
-    s.total s.completed s.checkpointed s.rejected s.aborted s.dropped s.not_admitted s.retries;
-  if s.rungs <> [] then
-    add "rungs: %s\n" (String.concat " " (List.map (fun (r, k) -> Printf.sprintf "%s=%d" r k) s.rungs));
-  List.iter
-    (fun (v, ts) -> add "breaker[%s]: %s\n" (Variant.to_string v) (String.concat " " ts))
-    s.breaker;
-  add "queue: capacity-peak=%d waves=%d\n" s.queue_peak s.waves;
-  add "journal: dirty=%d flush-failures=%d\n" s.journal_dirty s.flush_failures;
-  (match s.traces with [] -> () | ts -> add "traces: %d sampled\n" (List.length ts));
-  Option.iter (fun v -> add "%s" (Slo.verdict_text v)) s.slo_verdict;
-  if s.interrupted then add "interrupted: drained cleanly\n";
+  Buffer.add_string buf (render_totals s);
   Buffer.contents buf
 
 let render_json s =

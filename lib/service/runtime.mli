@@ -75,6 +75,11 @@ type outcome = {
   from_checkpoint : bool;  (** restored from the journal, not re-solved *)
   error : Bss_resilience.Error.t option;  (** for [Rejected]/[Aborted] *)
   latency_ns : int64;  (** wall-clock in the worker; 0 for checkpointed *)
+  queue_wait_ns : int64;
+      (** admission-to-dispatch wait; 0 for rejected/checkpointed. The
+          socket front end copies both durations into response frames so
+          a remote client can reconstruct the latency histograms the SLO
+          gate reads. *)
 }
 
 type summary = {
@@ -116,6 +121,79 @@ type summary = {
       (** the final cumulative SLO evaluation, when [config.slo] is set *)
 }
 
+(** The wave machinery shared by the batch driver ({!run}) and the socket
+    front end ([Bss_net.Server]): admission into the bounded queue,
+    breaker routing, worker-pool fan-out, outcome accounting, journal
+    checkpointing and metrics/trace/SLO bookkeeping — without an intake
+    policy. Drivers decide {e when} to admit and dispatch; the engine
+    guarantees the bookkeeping is identical whichever driver runs it
+    (the batch cram pins did not move when [run] was rebuilt on it).
+
+    Not synchronized: all engine calls must come from one coordinator
+    domain (workers are managed internally). *)
+module Engine : sig
+  type t
+
+  (** [create ?journal ?emit_metrics config] validates [config] (raising
+      [Invalid_argument] as {!run} does) and allocates an idle engine.
+      [chaos] forces one worker, as in {!run}. *)
+  val create : ?journal:Journal.t -> ?emit_metrics:(string -> unit) -> config -> t
+
+  (** Resolved worker-domain count (also the shard count). *)
+  val workers : t -> int
+
+  (** Outcomes restored from the journal so far. *)
+  val checkpointed : t -> int
+
+  (** Requests admitted since the last {!dispatch}. *)
+  val queued : t -> int
+
+  (** The outcome already recorded for [id], if any — a checkpoint
+      restore, a completed solve, or a rejection. The socket front end
+      uses this to answer re-sent ids without re-solving (exactly-once
+      across reconnects). *)
+  val cached : t -> string -> outcome option
+
+  (** [from_checkpoint t r] restores [r] from the journal when present
+      (recording a [from_checkpoint] outcome) — [None] if the journal
+      lacks it or an outcome already exists. Does not count
+      ["service.resumed"]; drivers count their own restore policy. *)
+  val from_checkpoint : t -> Request.t -> outcome option
+
+  (** [admit t r] offers [r] to the bounded queue. [Error o] is the
+      recorded [Rejected] outcome (typed [Overloaded] backpressure, or an
+      injected admission fault). Does not dedup against {!cached} — the
+      driver decides replay semantics first. *)
+  val admit : t -> Request.t -> (unit, outcome) result
+
+  (** [dispatch t] drains the queue into one wave: queue-wait accounting,
+      coordinator-side breaker routing, worker fan-out (tenant-hash
+      sharding when the wave has non-default tenants), outcome recording,
+      checkpoint flushes and periodic metrics. Returns the wave's
+      outcomes in wave order. An empty wave still counts (as in the batch
+      loop, where every burst dispatches). *)
+  val dispatch : t -> outcome list
+
+  (** Marks the run interrupted with [pending] unattempted requests. *)
+  val interrupt : t -> pending:int -> unit
+
+  (** Retries the journal flush up to 4 times (armed chaos hits are
+      consumed by the retries) — call once at the end of a run. *)
+  val final_flush : t -> unit
+
+  (** The seeded coordinator-side chaos plan over the service sites
+      (admission, breaker probe, journal flush); [[]] when [config.chaos]
+      is [None]. Drivers arm it ({!Bss_resilience.Chaos.with_plan})
+      around their whole loop including the final flush. *)
+  val coordinator_plan : config -> (string * int * Bss_resilience.Chaos.action) list
+
+  (** The run summary. With [~requests] (the batch driver), outcomes are
+      listed in request order and [total]/[dropped] account against that
+      list; without it (the socket front end), outcomes are in
+      first-record order and [total] is the recorded count. *)
+  val summary : ?requests:Request.t list -> t -> summary
+end
+
 (** [run ?journal ?should_stop ?emit_metrics config requests] executes the
     batch. [journal] enables checkpointing (entries already present are
     restored, not re-solved); [should_stop] is polled between waves — when
@@ -138,6 +216,12 @@ val run :
     counts, breaker transitions and totals — no timestamps or latencies,
     so seed-pinned runs render identically (cram-pinned). *)
 val render_text : summary -> string
+
+(** Just the aggregate tail of {!render_text} (totals, rungs, breaker,
+    queue, journal, traces, SLO) without the per-request lines — the
+    socket front end prints this after its own connection counters, where
+    per-request lines would duplicate the response frames. *)
+val render_totals : summary -> string
 
 (** One JSON object with the full summary, including per-outcome typed
     error records ({!Bss_resilience.Error.to_json}) and latency

@@ -1,0 +1,93 @@
+The socket front end: bss serve --listen speaks the bss-net/1 line
+protocol (newline-delimited JSON over a Unix-domain socket), with
+per-tenant admission quotas, slow-client eviction, graceful drain and
+journal rotation; bss netsoak is the paired client. Everything pinned
+here is seed-driven and timestamp-free.
+
+The help documents the wire mode and its quota/drain knobs.
+
+  $ bss serve --help=plain | grep -A 6 -- '--listen=SOCKET'
+         --listen=SOCKET
+             Serve the bss-net/1 line protocol on a Unix-domain socket at
+             SOCKET instead of running a batch file. Per-tenant token-bucket
+             quotas shed overload before the bounded queue; SIGINT/SIGTERM
+             drain gracefully (stop accepting, finish in-flight requests,
+             notify clients, flush the journal). Exactly one of --batch or
+             --listen is required.
+  $ bss serve --help=plain | grep -A 3 -- '--tenant-burst=N'
+         --tenant-burst=N
+             Arm per-tenant admission quotas (--listen only): each tenant's
+             token bucket starts full at N tokens and an admission takes one;
+             empty buckets shed with a typed overload answer.
+  $ bss serve --help=plain | grep -A 2 -- '--drain-after=N'
+         --drain-after=N
+             Drain after N answers have been queued to clients —
+             deterministic shutdown for scripted runs (--listen only).
+
+Exactly one of --batch and --listen must be given.
+
+  $ bss serve
+  bss serve: exactly one of --batch or --listen is required
+  [2]
+
+Protocol probes over a live socket. A malformed frame draws a typed
+error frame (the connection is not killed for it); ping draws pong; a
+well-formed solve draws a result frame. Latency fields are the only
+nondeterministic bytes, so the probe masks them.
+
+  $ bss serve --listen bss.sock --seed 7 --drain-after 1 > server.log 2>&1 &
+  $ bss netsoak --connect bss.sock --connect-timeout-ms 20000 --frame 'garbage'
+  {"schema":"bss-net/1","op":"error","error":{"kind":"invalid_input","field":"frame","reason":"not a JSON object: Json.parse: bad number  at offset 0"}}
+  $ bss netsoak --connect bss.sock --connect-timeout-ms 20000 --frame '{"schema":"bss-net/1","op":"ping"}'
+  {"schema":"bss-net/1","op":"pong"}
+  $ bss netsoak --connect bss.sock --connect-timeout-ms 20000 --frame '{"schema":"bss-net/1","op":"solve","id":"probe-1","variant":"nonp","algorithm":"3/2","gen":{"family":"tiny","seed":"14","m":2,"n":8}}' | sed -E 's/"(solve|queue_wait)_ns":[0-9]+/"\1_ns":_/g'
+  {"schema":"bss-net/1","op":"result","id":"probe-1","tenant":"default","status":"done","variant":"non-preemptive","rung":"requested","makespan":"43","routed":"requested","retries":0,"degraded":false,"checkpointed":false,"solve_ns":_,"queue_wait_ns":_}
+  $ wait
+  $ sed -E 's/written=[0-9]+ dropped=[0-9]+/written=_ dropped=_/' server.log
+  net: listening on bss.sock
+  net: draining (drain-after)
+  net: conns accepted=3 refused=0 evicted=0 closed=3
+  net: frames read=3 malformed=1 written=_ dropped=_ answers=1 dedup=0
+  service: completed=1 checkpointed=0 rejected=0 aborted=0 retries=0
+  rungs: requested=1
+  journal: rotations=0 dirty=0
+  drain: drain-after
+
+A seeded overload run: 30 requests round-robined over three tenants
+against a burst-4 quota with no refill. Admission is counted, not
+clocked, so exactly the same 18 requests shed on every machine — 6 per
+tenant, typed as overload answers, every id answered exactly once
+(shed is an answer; the silence would be the bug). The server drains
+itself after the 30th answer and both sides exit 0.
+
+  $ bss serve --listen bss.sock --seed 7 --queue 64 --workers 2 --tenant-burst 4 --drain-after 30 --journal j > server.log 2>&1 &
+  $ bss netsoak --connect bss.sock -n 30 --seed 7 --tenants acme,biz,chi --window 8 --connect-timeout-ms 20000
+  netsoak: sent=30 answered=30 done=12 shed=18 rejected=0 aborted=0 dup=0
+  netsoak: reconnects=0 protocol_errors=0 unanswered=0
+  netsoak: shed acme=6 biz=6 chi=6
+  $ wait
+  $ cat server.log
+  net: listening on bss.sock
+  net: draining (drain-after)
+  net: conns accepted=1 refused=0 evicted=0 closed=1
+  net: frames read=30 malformed=0 written=31 dropped=0 answers=30 dedup=0
+  net: shed total=18 acme=6 biz=6 chi=6
+  service: completed=12 checkpointed=0 rejected=0 aborted=0 retries=0
+  rungs: requested=12
+  journal: rotations=0 dirty=0
+  drain: drain-after
+
+The journal recorded the 12 completions; a second server life resumes
+from it and answers the same stream from checkpoints — dedup answers
+the already-journaled ids without re-solving anything.
+
+  $ wc -l < j | tr -d ' '
+  12
+  $ bss serve --listen bss.sock --seed 7 --queue 64 --workers 2 --drain-after 30 --journal j --resume > server.log 2>&1 &
+  $ bss netsoak --connect bss.sock -n 30 --seed 7 --tenants acme,biz,chi --window 8 --connect-timeout-ms 20000
+  netsoak: sent=30 answered=30 done=30 shed=0 rejected=0 aborted=0 dup=0
+  netsoak: reconnects=0 protocol_errors=0 unanswered=0
+  $ wait
+  $ grep -E 'service:|drain:' server.log
+  service: completed=30 checkpointed=12 rejected=0 aborted=0 retries=0
+  drain: drain-after

@@ -397,7 +397,7 @@ let test_multi_domain_stress () =
    its full pool (it used to pin to one worker). *)
 let service_counters ~workers =
   let module Runtime = Bss_service.Runtime in
-  let requests = Bss_service.Request.soak_stream ~seed:5 ~requests:12 in
+  let requests = Bss_service.Request.soak_stream ~seed:5 ~requests:12 () in
   let config = { Runtime.default_config with Runtime.workers = Some workers; seed = 5 } in
   let _, report = Probe.with_recording (fun () -> Runtime.run config requests) in
   report.Report.counters

@@ -148,6 +148,38 @@ let test_breaker_probe_chaos () =
         check bool_c "re-opened" true (Breaker.state b = Breaker.Open { remaining = 1 })
       | _ -> Alcotest.fail "armed probe point must raise")
 
+(* Concurrent callers racing a half-open breaker: route decides and
+   marks the probe in one critical section, so however many domains race,
+   exactly one wins the probe and the rest fall back — never a raced
+   second probe. *)
+let test_breaker_concurrent_probe () =
+  for round = 1 to 8 do
+    let b = Breaker.make ~k:1 ~cooldown:1 () in
+    Breaker.record b ~route:Breaker.Requested ~ok:false;
+    Breaker.record b ~route:Breaker.Fallback ~ok:true;
+    check bool_c "half-open" true (Breaker.state b = Breaker.Half_open { probing = false });
+    let n = 6 in
+    let ready = Atomic.make 0 in
+    let domains =
+      List.init n (fun _ ->
+          Domain.spawn (fun () ->
+              (* barrier: maximize the race on the decide-and-mark section *)
+              Atomic.incr ready;
+              while Atomic.get ready < n do
+                Domain.cpu_relax ()
+              done;
+              Breaker.route b))
+    in
+    let routes = List.map Domain.join domains in
+    let count r = List.length (List.filter (fun x -> x = r) routes) in
+    check int_c (Printf.sprintf "round %d: exactly one probe" round) 1 (count Breaker.Probe);
+    check int_c (Printf.sprintf "round %d: losers fall back" round) (n - 1) (count Breaker.Fallback);
+    check int_c (Printf.sprintf "round %d: none requested" round) 0 (count Breaker.Requested);
+    (* the single probe's outcome still drives the state machine *)
+    Breaker.record b ~route:Breaker.Probe ~ok:true;
+    check bool_c (Printf.sprintf "round %d: probe closes" round) true (Breaker.state b = closed_0)
+  done
+
 (* ---------------- journal ---------------- *)
 
 let test_journal_roundtrip () =
@@ -176,10 +208,34 @@ let test_journal_missing_and_corrupt () =
   let path = tmp_path "journal_missing.tsv" in
   if Sys.file_exists path then Sys.remove path;
   check int_c "missing file is empty" 0 (List.length (Journal.entries (Journal.load path)));
-  Out_channel.with_open_bin path (fun oc -> output_string oc "only-two\tfields\n");
-  (match Journal.load path with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "corrupt journal must refuse to load");
+  (* a torn file: two good entries, then a line cut mid-write by a crash,
+     then a stray entry after the tear. Salvage keeps the valid prefix,
+     abandons everything from the tear on, and reports a typed detail. *)
+  Out_channel.with_open_bin path (fun oc ->
+      output_string oc "a\trequested\t10\nb\trequested\t20\nc\treq";
+      output_string oc "\nd\trequested\t40\n");
+  let j = Journal.load path in
+  check bool_c "valid prefix salvaged" true
+    (Journal.entries j
+    = [
+        { Journal.id = "a"; rung = "requested"; makespan = "10" };
+        { Journal.id = "b"; rung = "requested"; makespan = "20" };
+      ]);
+  check bool_c "suffix after the tear abandoned" true (not (Journal.mem j "d"));
+  (match Journal.salvaged j with
+  | [ Bss_resilience.Error.Invalid_input { line = Some 3; field = "journal"; _ } ] -> ()
+  | other ->
+    Alcotest.fail
+      (Printf.sprintf "expected one Invalid_input at line 3, got [%s]"
+         (String.concat "; " (List.map Bss_resilience.Error.to_string other))));
+  check bool_c "healthy journal reports no salvage" true
+    (Journal.salvaged (Journal.fresh path) = []);
+  (* the salvage is counted when a recording is installed *)
+  let (), report =
+    Bss_obs.Probe.with_recording (fun () -> ignore (Journal.load path))
+  in
+  check int_c "service.journal.salvaged counted" 1
+    (Bss_obs.Report.counter report "service.journal.salvaged");
   Sys.remove path
 
 let test_journal_flush_chaos_keeps_old () =
@@ -199,6 +255,51 @@ let test_journal_flush_chaos_keeps_old () =
   check int_c "recovered" 2 (List.length (Journal.entries (Journal.load path)));
   Sys.remove path
 
+(* Zero-downtime rotation: flushes seal the active file into numbered
+   segments; the sealed history is never rewritten, and a resume walks
+   the whole chain in order. *)
+let test_journal_rotation () =
+  let path = tmp_path "rotate.tsv" in
+  let clean () =
+    if Sys.file_exists path then Sys.remove path;
+    for i = 1 to 6 do
+      let seg = path ^ "." ^ string_of_int i in
+      if Sys.file_exists seg then Sys.remove seg
+    done
+  in
+  clean ();
+  let entry i = { Journal.id = Printf.sprintf "e%d" i; rung = "requested"; makespan = string_of_int i } in
+  let j = Journal.fresh ~rotate_every:2 path in
+  for i = 1 to 5 do
+    Journal.add j (entry i);
+    Journal.flush j
+  done;
+  check int_c "two sealed segments" 2 (Journal.segments j);
+  check bool_c "segment files on disk" true
+    (Sys.file_exists (path ^ ".1") && Sys.file_exists (path ^ ".2"));
+  (* the active file holds only the unsealed tail *)
+  check string_c "active file is the tail" "e5\trequested\t5\n"
+    (In_channel.with_open_bin path In_channel.input_all);
+  let seg1 = In_channel.with_open_bin (path ^ ".1") In_channel.input_all in
+  (* resume spans the chain, oldest first *)
+  let j' = Journal.load ~rotate_every:2 path in
+  check int_c "resume sees the segments" 2 (Journal.segments j');
+  check bool_c "entries span the chain in order" true
+    (Journal.entries j' = List.init 5 (fun i -> entry (i + 1)));
+  (* the next seal starts after the restored tail; sealed history is immutable *)
+  Journal.add j' (entry 6);
+  Journal.flush j';
+  check int_c "rotated again on resume" 3 (Journal.segments j');
+  check string_c "sealed segment untouched" seg1
+    (In_channel.with_open_bin (path ^ ".1") In_channel.input_all);
+  check bool_c "nothing lost" true
+    (Journal.entries (Journal.load ~rotate_every:2 path) = List.init 6 (fun i -> entry (i + 1)));
+  check bool_c "rotate_every < 1 rejected" true
+    (match Journal.fresh ~rotate_every:0 path with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  clean ()
+
 (* ---------------- the runtime ---------------- *)
 
 (* a deterministic mixed batch: every variant, generated instances *)
@@ -207,6 +308,7 @@ let batch n =
       let variants = [| Variant.Nonpreemptive; Variant.Preemptive; Variant.Splittable |] in
       {
         Request.id = Printf.sprintf "r%02d" i;
+        tenant = Request.default_tenant;
         variant = variants.(i mod 3);
         algorithm = Bss_core.Solver.Approx3_2;
         source =
@@ -250,6 +352,43 @@ let test_run_worker_count_invariant () =
   let one = run 1 in
   check bool_c "1 = 2 workers" true (one = run 2);
   check bool_c "1 = 4 workers" true (one = run 4)
+
+(* The retry jitter stream is a pure function of (run seed, request id,
+   attempt): the runtime seeds one private Prng per request
+   (seed lxor djb2 id), and Backoff keeps no global state. So the
+   schedules a single domain computes are bit-identical to the same
+   requests sharded across 4 concurrent domains — the worker-count
+   invariance the hard cap must not break, computed exactly as the
+   worker pool computes it. *)
+let test_backoff_jitter_worker_invariant () =
+  let policy = { Backoff.base_us = 100; factor = 3; cap_us = 5_000 } in
+  let ids = List.init 32 (fun i -> Printf.sprintf "req-%02d" i) in
+  let schedule id =
+    let rng = Prng.create (42 lxor Strhash.djb2 id) in
+    List.init 5 (fun i -> Backoff.delay_us policy rng ~attempt:(i + 1))
+  in
+  let serial = List.map schedule ids in
+  let workers = 4 in
+  let shards =
+    List.init workers (fun w -> List.filteri (fun i _ -> i mod workers = w) ids)
+  in
+  let by_shard =
+    List.map (fun shard -> Domain.spawn (fun () -> List.map schedule shard)) shards
+    |> List.map Domain.join
+  in
+  let sharded =
+    List.mapi (fun i _ -> List.nth (List.nth by_shard (i mod workers)) (i / workers)) ids
+  in
+  check bool_c "4-worker schedules = 1-worker schedules" true (sharded = serial);
+  (* and an adversarial policy still lands under the module hard cap *)
+  let hostile = { Backoff.base_us = max_int / 2; factor = max_int / 2; cap_us = max_int } in
+  let rng = Prng.create 7 in
+  List.iter
+    (fun attempt ->
+      let d = Backoff.delay_us hostile rng ~attempt in
+      check bool_c (Printf.sprintf "attempt %d hard-capped" attempt) true
+        (d >= 0 && d <= Backoff.hard_cap_us + (Backoff.hard_cap_us / 2)))
+    [ 1; 2; 13; 62 ]
 
 let test_run_backpressure () =
   let s =
@@ -421,7 +560,7 @@ module Slo = Bss_obs.Slo
    never a clock), and every histogram exemplar id resolves to a
    sampled span tree. *)
 let test_run_tracing_deterministic () =
-  let requests = Request.soak_stream ~seed:5 ~requests:12 in
+  let requests = Request.soak_stream ~seed:5 ~requests:12 () in
   let run workers =
     Runtime.run
       { base_config with workers = Some workers; seed = 5; trace_sample = Some 4 }
@@ -487,10 +626,10 @@ let test_run_slo_gate_deterministic () =
     (contains (Slo.verdict_json vf) {|"failed":["errors"]|})
 
 let test_soak_stream_deterministic () =
-  let a = Request.soak_stream ~seed:5 ~requests:16 in
-  check bool_c "stable" true (a = Request.soak_stream ~seed:5 ~requests:16);
+  let a = Request.soak_stream ~seed:5 ~requests:16 () in
+  check bool_c "stable" true (a = Request.soak_stream ~seed:5 ~requests:16 ());
   check bool_c "prefix-closed" true
-    (Request.soak_stream ~seed:5 ~requests:8 = List.filteri (fun i _ -> i < 8) a);
+    (Request.soak_stream ~seed:5 ~requests:8 () = List.filteri (fun i _ -> i < 8) a);
   let ids = List.map (fun (r : Request.t) -> r.Request.id) a in
   check bool_c "unique ids" true (List.length (List.sort_uniq compare ids) = 16)
 
@@ -522,17 +661,20 @@ let () =
           Alcotest.test_case "full cycle" `Quick test_breaker_cycle;
           Alcotest.test_case "success resets" `Quick test_breaker_success_resets;
           Alcotest.test_case "probe chaos" `Quick test_breaker_probe_chaos;
+          Alcotest.test_case "concurrent half-open probe" `Quick test_breaker_concurrent_probe;
         ] );
       ( "journal",
         [
           Alcotest.test_case "round-trip" `Quick test_journal_roundtrip;
           Alcotest.test_case "missing and corrupt" `Quick test_journal_missing_and_corrupt;
           Alcotest.test_case "flush fault keeps old" `Quick test_journal_flush_chaos_keeps_old;
+          Alcotest.test_case "rotation" `Quick test_journal_rotation;
         ] );
       ( "runtime",
         [
           Alcotest.test_case "clean run" `Quick test_run_clean;
           Alcotest.test_case "worker-count invariant" `Quick test_run_worker_count_invariant;
+          Alcotest.test_case "backoff jitter worker-invariant" `Quick test_backoff_jitter_worker_invariant;
           Alcotest.test_case "backpressure" `Quick test_run_backpressure;
           Alcotest.test_case "kill-and-resume determinism" `Slow test_kill_and_resume_determinism;
           Alcotest.test_case "resume from prefix journal" `Quick test_resume_from_prefix_journal;
