@@ -111,6 +111,73 @@ let measure ~runs f =
   ignore (Sys.opaque_identity (f ()));
   median (List.init runs (fun _ -> time_once f))
 
+(* ---------------- net throughput ---------------- *)
+
+(* One full serve+soak round trip over a loopback Unix-domain socket: a
+   server domain answers the seeded 30-request stream and drains itself,
+   while the netsoak client drives it under a bounded window — the
+   closed-loop service path (wire parse, admission, dispatch waves,
+   response flush) that pure solver timings never touch. The
+   [scaling/net-throughput] entry gates the wall time of the round trip;
+   [net/solve-p99] reports the p99 server-side solve time carried back
+   in the result frames (informational — solver entries already gate
+   compute). *)
+let net_requests = 30
+
+let net_socket_path () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "bss-bench-%d.sock" (Unix.getpid ()))
+
+let net_round_trip ~socket_path () =
+  (try Sys.remove socket_path with Sys_error _ -> ());
+  let requests = Bss_service.Request.soak_stream ~seed:7 ~requests:net_requests () in
+  let config =
+    {
+      Bss_net.Server.listen_path = socket_path;
+      service = { Bss_service.Runtime.default_config with workers = Some 2; seed = 7 };
+      quota = None;
+      read_timeout_ms = Bss_net.Server.default_read_timeout_ms;
+      write_timeout_ms = Bss_net.Server.default_write_timeout_ms;
+      drain_after = Some net_requests;
+      max_frame_bytes = Bss_net.Server.default_max_frame_bytes;
+    }
+  in
+  let server = Domain.spawn (fun () -> Bss_net.Server.serve config) in
+  let client =
+    { Bss_net.Client.default_config with connect_path = socket_path; window = 8; rounds = 3 }
+  in
+  let summary = Bss_net.Client.soak client requests in
+  ignore (Domain.join server);
+  if not (Bss_net.Client.ok summary && summary.Bss_net.Client.answered = net_requests) then
+    failwith "net-throughput round trip failed: stream not answered exactly once";
+  summary
+
+let percentile p samples =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0.0 else a.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let net_entries ~progress ~quick =
+  let socket_path = net_socket_path () in
+  let runs = if quick then 3 else 5 in
+  let last = ref None in
+  let ns = measure ~runs (fun () -> last := Some (net_round_trip ~socket_path ())) in
+  (try Sys.remove socket_path with Sys_error _ -> ());
+  let name = Printf.sprintf "scaling/net-throughput/n=%d" net_requests in
+  progress
+    (Printf.sprintf "%-28s %12.0f ns/run (%.0f req/s)" name ns
+       (1e9 *. float_of_int net_requests /. ns));
+  let p99 =
+    match !last with
+    | None -> 0.0
+    | Some s ->
+      percentile 0.99
+        (List.map (fun r -> Int64.to_float r.Bss_net.Client.solve_ns) s.Bss_net.Client.rows)
+  in
+  progress (Printf.sprintf "%-28s %12.0f ns solve p99" "net/solve-p99" p99);
+  [ { name; ns_per_run = ns; runs }; { name = "net/solve-p99"; ns_per_run = p99; runs = 1 } ]
+
 let run ?(progress = fun _ -> ()) ~quick () =
   let runs = if quick then 5 else 9 in
   let entries =
@@ -121,6 +188,7 @@ let run ?(progress = fun _ -> ()) ~quick () =
         { name; ns_per_run = ns; runs })
       (table1_cases () @ scaling_cases ~quick)
   in
+  let entries = entries @ net_entries ~progress ~quick in
   let counters = counter_sweep () in
   progress (Printf.sprintf "counter sweep: %d deterministic counters" (List.length counters));
   { schema = schema_version; quick; meta = [ ("git_rev", git_rev ()) ]; entries; counters }

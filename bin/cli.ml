@@ -1100,6 +1100,128 @@ let report_cmd =
              counter diffs between runs, and the slowest request traces broken down by phase.")
     Term.(const run $ metrics $ against $ trace $ top)
 
+(* ---------------- systematic fault-schedule exploration ---------------- *)
+
+let torture_cmd =
+  let module Harness = Bss_sim.Harness in
+  let requests =
+    Arg.(value & opt int 12
+         & info [ "n"; "requests" ] ~docv:"N"
+             ~doc:"Smoke-workload size: $(docv) seeded soak requests per schedule run.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.") in
+  let depth =
+    Arg.(value & opt int 1
+         & info [ "depth" ] ~docv:"D"
+             ~doc:"1 explores every single-fault schedule exhaustively; 2 adds a bounded pairwise \
+                   frontier (see --max-pairs).")
+  in
+  let sites =
+    Arg.(value & opt string "all"
+         & info [ "sites" ] ~docv:"PREFIXES"
+             ~doc:"Comma-separated site-name prefixes to enumerate faults at (e.g. \
+                   service.,journal.), or 'all' for every site the census finds.")
+  in
+  let max_pairs =
+    Arg.(value & opt int 256
+         & info [ "max-pairs" ] ~docv:"K"
+             ~doc:"Bound on depth-2 pairwise schedules, strided across the whole space; 0 removes \
+                   the bound. Single-fault schedules are never bounded.")
+  in
+  let dir =
+    Arg.(value & opt string "."
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"Scratch directory for the journal chain (cleaned before every schedule run).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Where to write the bss-torture/1 reproducer on violation (default \
+                   DIR/torture-reproducer.json); with --replay, where to write the replayed report.")
+  in
+  let replay =
+    Arg.(value & opt (some file) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Skip the sweep; re-run the bss-torture/1 reproducer at $(docv) and report what \
+                   this replay observes. Exit 1 when the violation reproduces.")
+  in
+  let break_invariant =
+    Arg.(value & opt (some string) None
+         & info [ "break-invariant" ] ~docv:"PREFIX"
+             ~doc:"Test hook: treat the first fired fault whose site matches $(docv) as a \
+                   synthetic exactly-once violation — demonstrates detection, shrinking and \
+                   replay end-to-end on a healthy build.")
+  in
+  let census_only =
+    Arg.(value & flag
+         & info [ "census" ]
+             ~doc:"Print the fault-opportunity census (site -> hits of a fault-free run) and exit.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Print the sweep summary as a bss-metrics/1 JSON object (readable \
+                                 by bss report) instead of text.")
+  in
+  let run requests seed depth sites max_pairs dir out replay break_invariant census_only json =
+    let cfg =
+      {
+        Harness.default_config with
+        requests;
+        seed;
+        depth;
+        sites = String.split_on_char ',' sites |> List.map String.trim
+                |> List.filter (fun s -> s <> "");
+        max_pairs;
+        dir;
+        break_invariant;
+      }
+    in
+    match replay with
+    | Some path -> (
+      match Harness.reproducer_of_string (read_file path) with
+      | Error msg ->
+        prerr_endline (Printf.sprintf "bss torture: %s: %s" path msg);
+        exit 2
+      | Ok r ->
+        let replayed = Harness.replay ~dir r in
+        print_string (Harness.render_reproducer replayed);
+        Option.iter
+          (fun p ->
+            let oc = open_out p in
+            output_string oc (Harness.reproducer_json replayed);
+            output_string oc "\n";
+            close_out oc;
+            Printf.printf "wrote %s\n" p)
+          out;
+        if replayed.Harness.r_violations <> [] then exit 1)
+    | None ->
+      if census_only then print_string (Harness.render_census (Harness.census cfg))
+      else begin
+        let sweep = Harness.explore ~log:prerr_endline cfg in
+        if json then print_endline (Harness.summary_json sweep)
+        else print_string (Harness.render_sweep sweep);
+        (match sweep.Harness.reproducer with
+        | None -> ()
+        | Some r ->
+          let path = Option.value out ~default:(Filename.concat dir "torture-reproducer.json") in
+          let oc = open_out path in
+          output_string oc (Harness.reproducer_json r);
+          output_string oc "\n";
+          close_out oc;
+          Printf.printf "wrote %s\n" path);
+        if sweep.Harness.violated > 0 then exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:"Systematically explore fault schedules against the batch-service loop: census every \
+             fault opportunity, run every single-fault schedule (and a bounded pairwise frontier) \
+             with crash-resume, check the five crash-consistency invariants after each, and shrink \
+             any violation to a minimal replayable reproducer.")
+    Term.(
+      const run $ requests $ seed $ depth $ sites $ max_pairs $ dir $ out $ replay
+      $ break_invariant $ census_only $ json)
+
 (* ---------------- the benchmark regression gate ---------------- *)
 
 let bench_cmd =
@@ -1193,5 +1315,6 @@ let () =
             soak_cmd;
             netsoak_cmd;
             report_cmd;
+            torture_cmd;
             bench_cmd;
           ]))

@@ -31,11 +31,16 @@ let tally tbl tenant =
 
 (* Refill is driven by the admission-attempt counter, not the wall
    clock, so a seeded overload run sheds the same requests on every
-   machine and across kill-and-resume. *)
+   machine and across kill-and-resume. The refill for a completed
+   window lands before the next attempt draws a token: after
+   [refill_every] attempts have been counted, attempt
+   [refill_every + 1] sees the refilled bucket rather than paying for
+   the window it did not belong to. *)
 let admit t tenant =
-  t.attempts <- t.attempts + 1;
-  if t.config.rate > 0 && t.attempts mod t.config.refill_every = 0 then
+  if t.config.rate > 0 && t.attempts > 0 && t.attempts mod t.config.refill_every = 0
+  then
     Hashtbl.iter (fun _ b -> b := min t.config.burst (!b + t.config.rate)) t.buckets;
+  t.attempts <- t.attempts + 1;
   let b = bucket t tenant in
   if !b > 0 then begin
     decr b;

@@ -4,9 +4,11 @@
     every machine, at every worker count, and across kill-and-resume.
 
     Each tenant's bucket starts full at [burst] tokens; an admission
-    takes one. Every [refill_every]-th attempt (counted across all
-    tenants) adds [rate] tokens to every live bucket, clamped at
-    [burst]. [rate = 0] disables refill — a hard per-run budget per
+    takes one. After every [refill_every] attempts (counted across all
+    tenants), [rate] tokens are added to every live bucket, clamped at
+    [burst], {e before} the next attempt draws — so a bucket emptied
+    exactly at a window boundary admits the first attempt of the next
+    window. [rate = 0] disables refill — a hard per-run budget per
     tenant. Quotas apply uniformly to all tenants, including
     {!Bss_service.Request.default_tenant}. *)
 

@@ -15,16 +15,35 @@ type point = {
   retries : int;
   queue_peak : int;
   waves : int;
+  salvaged : int option;
+  schedules_explored : int option;
+  schedules_violated : int option;
   hists : (string * Hist.snapshot) list;
 }
 
 let empty_point =
-  { completed = 0; rejected = 0; aborted = 0; retries = 0; queue_peak = 0; waves = 0; hists = [] }
+  {
+    completed = 0;
+    rejected = 0;
+    aborted = 0;
+    retries = 0;
+    queue_peak = 0;
+    waves = 0;
+    salvaged = None;
+    schedules_explored = None;
+    schedules_violated = None;
+    hists = [];
+  }
 
 let ( let* ) = Result.bind
 
 let int_member name v =
   match Json.member name v with Some (Json.Num n) -> int_of_float n | _ -> 0
+
+(* Counters absent from old artifacts must stay absent from the report
+   (the pinned tables predate them), so these parse to [None], not 0. *)
+let opt_int_member name v =
+  match Json.member name v with Some (Json.Num n) -> Some (int_of_float n) | _ -> None
 
 let hists_member v =
   match Json.member "hists" v with
@@ -61,6 +80,9 @@ let point_of_json v =
         retries = int_member "retries" m;
         queue_peak = int_member "queue_peak" m;
         waves = int_member "waves" m;
+        salvaged = opt_int_member "salvaged" m;
+        schedules_explored = opt_int_member "schedules_explored" m;
+        schedules_violated = opt_int_member "schedules_violated" m;
         hists;
       }
   | None ->
@@ -73,6 +95,9 @@ let point_of_json v =
         retries = int_member "retries" v;
         queue_peak = int_member "queue_peak" v;
         waves = int_member "waves" v;
+        salvaged = opt_int_member "salvaged" v;
+        schedules_explored = opt_int_member "schedules_explored" v;
+        schedules_violated = opt_int_member "schedules_violated" v;
         hists;
       }
 
@@ -110,6 +135,7 @@ let parse_metrics content =
 let last points = match List.rev points with p :: _ -> p | [] -> empty_point
 
 let counters p =
+  let opt name = function Some v -> [ (name, v) ] | None -> [] in
   [
     ("completed", p.completed);
     ("rejected", p.rejected);
@@ -118,6 +144,9 @@ let counters p =
     ("queue_peak", p.queue_peak);
     ("waves", p.waves);
   ]
+  @ opt "service.journal.salvaged" p.salvaged
+  @ opt "sim.schedules.explored" p.schedules_explored
+  @ opt "sim.schedules.violated" p.schedules_violated
 
 (* ---------------- the trace file ---------------- *)
 

@@ -28,6 +28,12 @@ type point = {
   retries : int;
   queue_peak : int;
   waves : int;
+  salvaged : int option;
+      (** [service.journal.salvaged] — [None] when the artifact predates
+          the counter or salvaged nothing, so old pinned reports are
+          unchanged *)
+  schedules_explored : int option;  (** [sim.schedules.explored] from [bss torture] *)
+  schedules_violated : int option;  (** [sim.schedules.violated] from [bss torture] *)
   hists : (string * Hist.snapshot) list;
 }
 
@@ -43,7 +49,9 @@ val last : point list -> point
 (** The final (cumulative) record; {!empty_point} for []. *)
 
 val counters : point -> (string * int) list
-(** The counter fields as rows, fixed order. *)
+(** The counter fields as rows, fixed order; the optional counters
+    ([service.journal.salvaged], [sim.schedules.*]) appear only when the
+    artifact carried them. *)
 
 (** One request trace regrouped from the Chrome trace file. *)
 type trace_row = {

@@ -1,6 +1,7 @@
-type action = Raise | Stall of int
+type action = Raise | Stall of int | Crash
 
 exception Injected of { site : string; hit : int }
+exception Crashed of { site : string; hit : int }
 
 let sites =
   [
@@ -17,7 +18,22 @@ let service_sites =
 
 let net_sites = [ "net.accept"; "net.read"; "net.write" ]
 
-type state = { plan : (string * int * action) list; hits : (string, int ref) Hashtbl.t }
+let journal_sites =
+  [
+    "journal.rename.after";
+    "journal.rename.before";
+    "journal.seal.after";
+    "journal.seal.before";
+    "journal.write.after";
+    "journal.write.before";
+  ]
+
+type state = {
+  plan : (string * int * action) list;
+  hits : (string, int ref) Hashtbl.t;
+  census : bool;  (* count fires without injecting *)
+  fired : (string * int * action) list ref;  (* matched entries, firing order (reversed) *)
+}
 
 let current : state option ref = ref None
 let armed () = !current != None
@@ -42,22 +58,47 @@ let fire site =
     in
     let hit = !counter in
     incr counter;
-    List.iter
-      (fun (s, h, action) ->
-        if s = site && h = hit then begin
-          match action with
-          | Raise -> raise (Injected { site; hit })
-          | Stall us -> stall_us us
-        end)
-      st.plan
+    if not st.census then
+      List.iter
+        (fun ((s, h, action) as entry) ->
+          if s = site && h = hit then begin
+            st.fired := entry :: !(st.fired);
+            match action with
+            | Raise -> raise (Injected { site; hit })
+            | Crash -> raise (Crashed { site; hit })
+            | Stall us -> stall_us us
+          end)
+        st.plan
+
+let fresh_state ?(census = false) plan =
+  { plan; hits = Hashtbl.create 8; census; fired = ref [] }
 
 let with_plan plan f =
   match plan with
   | [] -> f ()
   | _ ->
     let prev = !current in
-    current := Some { plan; hits = Hashtbl.create 8 };
+    current := Some (fresh_state plan);
     Fun.protect ~finally:(fun () -> current := prev) f
+
+let run_plan plan f =
+  let prev = !current in
+  let st = fresh_state plan in
+  current := Some st;
+  let result = try Ok (f ()) with e -> Error e in
+  current := prev;
+  (result, List.rev !(st.fired))
+
+let with_census f =
+  let prev = !current in
+  let st = fresh_state ~census:true [] in
+  current := Some st;
+  let r = Fun.protect ~finally:(fun () -> current := prev) f in
+  let counts =
+    Hashtbl.fold (fun site c acc -> (site, !c) :: acc) st.hits []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  (r, counts)
 
 let plan_of_seed ?(sites = sites) ?(spread = 12) seed =
   let rng = Bss_util.Prng.create (0x5eed_c4a0 lxor seed) in
@@ -71,10 +112,13 @@ let plan_of_seed ?(sites = sites) ?(spread = 12) seed =
   let n = 1 + Bss_util.Prng.int rng 2 in
   List.init n (fun _ -> draw ())
 
+let describe_action = function
+  | Raise -> "raise"
+  | Crash -> "crash"
+  | Stall us -> Printf.sprintf "stall(%dus)" us
+
 let describe_plan plan =
   String.concat " "
     (List.map
-       (fun (site, hit, action) ->
-         Printf.sprintf "%s@%d:%s" site hit
-           (match action with Raise -> "raise" | Stall us -> Printf.sprintf "stall(%dus)" us))
+       (fun (site, hit, action) -> Printf.sprintf "%s@%d:%s" site hit (describe_action action))
        plan)

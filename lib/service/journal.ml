@@ -122,14 +122,18 @@ let render t =
 let flush t =
   if t.dirty > 0 then begin
     Guard.point "service.journal.flush";
-    Bss_util.Atomic_file.write t.path (render t);
+    Bss_util.Atomic_file.write
+      ~hook:(fun ev -> Bss_resilience.Chaos.fire ("journal." ^ ev))
+      t.path (render t);
     t.dirty <- 0;
     match t.rotate_every with
     | Some k when t.total - t.sealed >= k ->
       (* Seal the active file under the next segment name. rename(2) is
          atomic, and the entries are on disk under either name, so a kill
          at any instant between the two flush steps loses nothing. *)
+      Bss_resilience.Chaos.fire "journal.seal.before";
       Sys.rename t.path (segment_path t.path (t.segments + 1));
+      Bss_resilience.Chaos.fire "journal.seal.after";
       t.segments <- t.segments + 1;
       t.sealed <- t.total;
       if Bss_obs.Probe.enabled () then Bss_obs.Probe.count "service.journal.rotated"

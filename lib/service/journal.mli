@@ -76,5 +76,10 @@ val dirty : t -> int
     file reached [rotate_every] entries. Fires
     {!Bss_resilience.Guard.point} ["service.journal.flush"] first; an
     armed chaos fault or an I/O error escapes — the caller contains it
-    and retries at the next checkpoint. *)
+    and retries at the next checkpoint. The six
+    {!Bss_resilience.Chaos.journal_sites} crash points fire along the
+    way ([journal.write.*]/[journal.rename.*] from inside the atomic
+    write, [journal.seal.*] around the rotation rename), so a torture
+    schedule can simulate a kill between any two steps of the
+    protocol. *)
 val flush : t -> unit

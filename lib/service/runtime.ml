@@ -79,6 +79,7 @@ type summary = {
   waves : int;
   flush_failures : int;
   journal_dirty : int;
+  journal_salvaged : int;
   interrupted : bool;
   hists : (string * Hist.snapshot) list;
   traces : Trace_ctx.trace list;
@@ -89,6 +90,12 @@ type summary = {
    version-dependent mixing: retry jitter and chaos plans derived from a
    request id must replay identically on resume *)
 let id_hash = Strhash.djb2
+
+(* A simulated process death must unwind the whole run, whatever catch-all
+   it meets on the way out — containment would turn "the process died here"
+   into "the request failed here". Every broad [exception] arm below calls
+   this first. *)
+let reraise_crash = function Chaos.Crashed _ as e -> raise e | _ -> ()
 
 (* ---------------- the per-request worker ---------------- *)
 
@@ -109,7 +116,9 @@ let process ?(tctx = Trace_ctx.disabled) config (request : Request.t) algorithm 
   let latency () = Int64.sub (Monotonic_clock.now ()) t0 in
   match Request.instance request with
   | exception Rerror.Error e -> Waborted { error = e; retries_used = 0; latency_ns = latency () }
-  | exception exn -> Waborted { error = Rerror.Internal exn; retries_used = 0; latency_ns = latency () }
+  | exception exn ->
+    reraise_crash exn;
+    Waborted { error = Rerror.Internal exn; retries_used = 0; latency_ns = latency () }
   | inst ->
     let rng = Prng.create (config.seed lxor id_hash request.id) in
     let plan attempt =
@@ -154,6 +163,7 @@ let process ?(tctx = Trace_ctx.disabled) config (request : Request.t) algorithm 
         if Trace_ctx.enabled tctx then
           Trace_ctx.add_attr tctx "error" (Trace_ctx.S (Printexc.to_string exn));
         Trace_ctx.leave tctx tok;
+        reraise_crash exn;
         if a < config.retries then retry a
         else Waborted { error = Rerror.Internal exn; retries_used = a; latency_ns = latency () }
     and retry a =
@@ -408,7 +418,8 @@ module Engine = struct
         hobserve t "service.journal.flush_ns"
           (Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0));
         if Probe.enabled () then Probe.count "service.journal.flush_ok"
-      | exception _ ->
+      | exception exn ->
+        reraise_crash exn;
         incr t.flush_failures;
         if Probe.enabled () then Probe.count "service.journal.flush_failed")
 
@@ -466,7 +477,9 @@ module Engine = struct
       if Probe.enabled () then Probe.count "service.enqueued";
       Ok ()
     | Error e -> reject e
-    | exception exn -> reject (Rerror.Internal exn)
+    | exception exn ->
+      reraise_crash exn;
+      reject (Rerror.Internal exn)
 
   (* Fan a routed wave out to the worker pool. All-default-tenant waves
      (batch and plain soak) go straight through [Parallel.map_results] —
@@ -568,7 +581,8 @@ module Engine = struct
              | Breaker.Requested -> (r, Breaker.Requested, "requested", r.Request.algorithm)
              | Breaker.Probe -> (r, Breaker.Probe, "probe", r.Request.algorithm)
              | Breaker.Fallback -> (r, Breaker.Fallback, "fallback", Solver.Approx2)
-             | exception _ ->
+             | exception exn ->
+               reraise_crash exn;
                (* an injected fault on the half-open probe point: the probe
                   failed before it ran — re-open and fall back *)
                Breaker.record b ~route:Breaker.Probe ~ok:false;
@@ -593,7 +607,9 @@ module Engine = struct
            match result with
            | Ok w -> w
            | Error (f : Parallel.failure) ->
-             (* [process] catches everything, so this is belt-and-braces *)
+             (* [process] re-raises Crashed and catches everything else, so
+                the worker-pool wrapper only ever reports a crash here *)
+             reraise_crash f.Parallel.exn;
              Waborted { error = Rerror.Internal f.Parallel.exn; retries_used = 0; latency_ns = 0L }
          in
          let failed_ladder = match wres with Wdone d -> d.degraded | Waborted _ -> true in
@@ -783,6 +799,8 @@ module Engine = struct
       waves = !(t.waves);
       flush_failures = !(t.flush_failures);
       journal_dirty = (match t.journal with None -> 0 | Some j -> Journal.dirty j);
+      journal_salvaged =
+        (match t.journal with None -> 0 | Some j -> List.length (Journal.salvaged j));
       interrupted = !(t.interrupted);
       hists = final_hists;
       traces;
@@ -840,7 +858,8 @@ let render_totals s =
     (fun (v, ts) -> add "breaker[%s]: %s\n" (Variant.to_string v) (String.concat " " ts))
     s.breaker;
   add "queue: capacity-peak=%d waves=%d\n" s.queue_peak s.waves;
-  add "journal: dirty=%d flush-failures=%d\n" s.journal_dirty s.flush_failures;
+  add "journal: dirty=%d flush-failures=%d%s\n" s.journal_dirty s.flush_failures
+    (if s.journal_salvaged > 0 then Printf.sprintf " salvaged=%d" s.journal_salvaged else "");
   (match s.traces with [] -> () | ts -> add "traces: %d sampled\n" (List.length ts));
   Option.iter (fun v -> add "%s" (Slo.verdict_text v)) s.slo_verdict;
   if s.interrupted then add "interrupted: drained cleanly\n";
@@ -906,6 +925,9 @@ let render_json s =
       ("waves", Json.int s.waves);
       ("flush_failures", Json.int s.flush_failures);
       ("journal_dirty", Json.int s.journal_dirty);
+    ]
+    @ (if s.journal_salvaged > 0 then [ ("salvaged", Json.int s.journal_salvaged) ] else [])
+    @ [
       ("interrupted", Json.bool s.interrupted);
       ("latency_total_us", Json.int64 latency_total_us);
       ("hists", Json.obj (List.map (fun (k, h) -> (k, Hist.to_json h)) s.hists));

@@ -98,6 +98,9 @@ type summary = {
   waves : int;
   flush_failures : int;  (** journal flushes that failed (chaos or I/O) and were retried *)
   journal_dirty : int;  (** completions not on disk at exit — 0 unless every flush failed *)
+  journal_salvaged : int;
+      (** corrupt lines salvaged around when the journal was loaded — 0 on
+          a healthy chain (rendered, and emitted in JSON, only when > 0) *)
   interrupted : bool;  (** [should_stop] drained the run early *)
   hists : (string * Bss_obs.Hist.snapshot) list;
       (** service latency histograms, sorted by name: per-variant solve

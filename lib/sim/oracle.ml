@@ -1,0 +1,177 @@
+module Runtime = Bss_service.Runtime
+module Journal = Bss_service.Journal
+module Request = Bss_service.Request
+module Rerror = Bss_resilience.Error
+
+type violation = { invariant : string; detail : string }
+
+type evidence = {
+  requests : Request.t list;
+  baseline : (string * (string * string)) list;
+  summary : Runtime.summary;
+  journal_path : string;
+  rotate_every : int;
+  lives : int;
+}
+
+type verdict = { violations : violation list; salvaged : int }
+
+let v invariant fmt = Printf.ksprintf (fun detail -> { invariant; detail }) fmt
+
+(* 1. Exactly-once: every request id draws exactly one terminal outcome,
+   and no outcome answers an id that was never asked. *)
+let exactly_once ev =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun (o : Runtime.outcome) ->
+      let id = o.Runtime.request.Request.id in
+      Hashtbl.replace counts id (1 + Option.value ~default:0 (Hashtbl.find_opt counts id)))
+    ev.summary.Runtime.outcomes;
+  let asked = Hashtbl.create 64 in
+  List.iter (fun (r : Request.t) -> Hashtbl.replace asked r.Request.id ()) ev.requests;
+  List.concat_map
+    (fun (r : Request.t) ->
+      match Option.value ~default:0 (Hashtbl.find_opt counts r.Request.id) with
+      | 1 -> []
+      | 0 -> [ v "exactly-once" "lost answer: %s has no outcome after %d lives" r.Request.id ev.lives ]
+      | n -> [ v "exactly-once" "duplicated answer: %s has %d outcomes" r.Request.id n ])
+    ev.requests
+  @ List.filter_map
+      (fun (o : Runtime.outcome) ->
+        let id = o.Runtime.request.Request.id in
+        if Hashtbl.mem asked id then None
+        else Some (v "exactly-once" "answer for unknown id %s" id))
+      ev.summary.Runtime.outcomes
+
+(* 2. Replay bit-identity: whenever a faulted run completes a request on
+   the same ladder rung as the fault-free baseline, the makespan must be
+   the identical decimal string — faults may degrade a request to a lower
+   rung, but they may never change what a rung computes. *)
+let replay_identity ev =
+  List.filter_map
+    (fun (o : Runtime.outcome) ->
+      match (o.Runtime.status, o.Runtime.rung, o.Runtime.makespan) with
+      | Runtime.Done, Some rung, Some makespan -> (
+        let id = o.Runtime.request.Request.id in
+        match List.assoc_opt id ev.baseline with
+        | None -> Some (v "replay-identity" "%s completed but has no baseline outcome" id)
+        | Some (brung, bmakespan) ->
+          if rung = brung && makespan <> bmakespan then
+            Some
+              (v "replay-identity" "%s diverged on rung %s: %s (baseline %s)" id rung makespan
+                 bmakespan)
+          else None)
+      | _ -> None)
+    ev.summary.Runtime.outcomes
+
+let read_lines file =
+  let ic = open_in file in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let segment_path path i = Printf.sprintf "%s.%d" path i
+
+(* 3. Journal chain integrity after resume: a fresh load of the chain the
+   run left behind must be clean (no salvage — simulated crashes respect
+   the atomic-write contract, so a torn line here is a real bug), with
+   contiguous segment numbering, no id recorded twice across the chain,
+   and every entry agreeing with the final outcome for its id. *)
+let journal_integrity ev (reload : Journal.t) =
+  let salvage =
+    match Journal.salvaged reload with
+    | [] -> []
+    | d :: _ as ds ->
+      [ v "journal-integrity" "%d corrupt line(s) after resume; first: %s" (List.length ds)
+          (Rerror.to_string d) ]
+  in
+  let segs = Journal.segments reload in
+  let orphans =
+    List.filter_map
+      (fun k ->
+        let f = segment_path ev.journal_path (segs + k) in
+        if Sys.file_exists f then Some (v "journal-integrity" "orphaned segment %s (chain ends at %d)" f segs)
+        else None)
+      [ 1; 2; 3 ]
+  in
+  let outcome_of =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (o : Runtime.outcome) -> Hashtbl.replace tbl o.Runtime.request.Request.id o)
+      ev.summary.Runtime.outcomes;
+    Hashtbl.find_opt tbl
+  in
+  let entry_checks =
+    List.concat_map
+      (fun (e : Journal.entry) ->
+        match outcome_of e.Journal.id with
+        | None -> [ v "journal-integrity" "journaled id %s is not a request of this run" e.Journal.id ]
+        | Some o -> (
+          match (o.Runtime.status, o.Runtime.makespan) with
+          | Runtime.Done, Some m when m = e.Journal.makespan -> []
+          | Runtime.Done, Some m ->
+            [ v "journal-integrity" "journal disagrees with outcome for %s: %s vs %s" e.Journal.id
+                e.Journal.makespan m ]
+          | _ -> [ v "journal-integrity" "journaled id %s did not complete" e.Journal.id ]))
+      (Journal.entries reload)
+  in
+  let raw_dups =
+    let seen = Hashtbl.create 64 in
+    let files =
+      List.init segs (fun i -> segment_path ev.journal_path (i + 1))
+      @ (if Sys.file_exists ev.journal_path then [ ev.journal_path ] else [])
+    in
+    List.concat_map
+      (fun file ->
+        List.filter_map
+          (fun line ->
+            match String.index_opt line '\t' with
+            | Some t ->
+              let id = String.sub line 0 t in
+              if Hashtbl.mem seen id then
+                Some (v "journal-integrity" "id %s recorded twice across the chain (in %s)" id file)
+              else begin
+                Hashtbl.replace seen id ();
+                None
+              end
+            | None -> None)
+          (List.filter (fun l -> String.trim l <> "") (read_lines file)))
+      files
+  in
+  salvage @ orphans @ entry_checks @ raw_dups
+
+(* 4. Outcome conservation: terminal statuses partition the request set —
+   nothing dropped on the floor, nothing left unattempted. *)
+let conservation ev =
+  let s = ev.summary in
+  let sum = s.Runtime.completed + s.Runtime.rejected + s.Runtime.aborted in
+  (if sum <> s.Runtime.total then
+     [ v "conservation" "done=%d + rejected=%d + aborted=%d <> total=%d" s.Runtime.completed
+         s.Runtime.rejected s.Runtime.aborted s.Runtime.total ]
+   else [])
+  @ (if s.Runtime.dropped <> 0 then [ v "conservation" "dropped=%d" s.Runtime.dropped ] else [])
+  @
+  if s.Runtime.not_admitted <> 0 then [ v "conservation" "not_admitted=%d" s.Runtime.not_admitted ]
+  else []
+
+(* 5. Graceful-drain completeness: the final life flushed everything it
+   checkpointed and was not cut short. *)
+let drain_completeness ev =
+  let s = ev.summary in
+  (if s.Runtime.journal_dirty <> 0 then
+     [ v "drain-completeness" "journal left dirty=%d at exit" s.Runtime.journal_dirty ]
+   else [])
+  @ if s.Runtime.interrupted then [ v "drain-completeness" "final life was interrupted" ] else []
+
+let check ev =
+  let reload = Journal.load ~rotate_every:ev.rotate_every ev.journal_path in
+  let violations =
+    exactly_once ev @ replay_identity ev @ journal_integrity ev reload @ conservation ev
+    @ drain_completeness ev
+  in
+  { violations; salvaged = List.length (Journal.salvaged reload) }

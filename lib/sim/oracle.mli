@@ -1,0 +1,48 @@
+(** The crash-consistency invariant oracle.
+
+    After the harness runs a workload under a fault schedule (crashing
+    and resuming as the schedule dictates), the oracle inspects what is
+    left — the final life's summary, the fault-free baseline, and the
+    journal chain on disk — and checks five invariants:
+
+    + {b exactly-once}: every request id has exactly one terminal
+      outcome; no answers for ids never asked.
+    + {b replay-identity}: a request completed on the same ladder rung
+      as the fault-free baseline has the bit-identical makespan string —
+      faults may degrade, never silently change a result.
+    + {b journal-integrity}: a fresh {!Bss_service.Journal.load} of the
+      chain finds no corrupt lines, no orphaned segments beyond the
+      contiguous chain, no id recorded twice across segment files, and
+      every entry agreeing with the final outcome for its id.
+    + {b conservation}: done + rejected + aborted = total, with nothing
+      dropped or left unattempted.
+    + {b drain-completeness}: the final life exited with an empty dirty
+      set and was not interrupted.
+
+    Every detail string is a pure function of the evidence (ids, counts,
+    exact makespan strings — no clocks), so a replayed schedule yields a
+    bit-identical violation report; the [bss-torture/1] reproducer
+    depends on this. *)
+
+type violation = { invariant : string; detail : string }
+
+(** What one schedule run leaves behind. [baseline] maps request id to
+    the fault-free [(rung, makespan)]; [summary] is the final life's;
+    [journal_path]/[rotate_every] locate the chain for a fresh reload;
+    [lives] counts process lives (1 = the schedule never crashed). *)
+type evidence = {
+  requests : Bss_service.Request.t list;
+  baseline : (string * (string * string)) list;
+  summary : Bss_service.Runtime.summary;
+  journal_path : string;
+  rotate_every : int;
+  lives : int;
+}
+
+type verdict = {
+  violations : violation list;
+      (** invariant order, then request/entry order within one — deterministic *)
+  salvaged : int;  (** corrupt lines the verification reload salvaged around *)
+}
+
+val check : evidence -> verdict

@@ -1,0 +1,59 @@
+module Chaos = Bss_resilience.Chaos
+open Bss_util
+
+type fault = string * int * Chaos.action
+type t = fault list
+
+let describe = Chaos.describe_plan
+
+let fault_to_json (site, occurrence, action) =
+  Json.obj
+    ([ ("site", Json.str site); ("occurrence", Json.int occurrence) ]
+    @
+    match action with
+    | Chaos.Raise -> [ ("action", Json.str "raise") ]
+    | Chaos.Crash -> [ ("action", Json.str "crash") ]
+    | Chaos.Stall us -> [ ("action", Json.str "stall"); ("us", Json.int us) ])
+
+let to_json schedule = Json.arr (List.map fault_to_json schedule)
+
+let ( let* ) = Result.bind
+
+let fault_of_json v =
+  let str name =
+    match Json.member name v with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "fault: missing string %S" name)
+  in
+  let int name =
+    match Json.member name v with
+    | Some (Json.Num n) -> Ok (int_of_float n)
+    | _ -> Error (Printf.sprintf "fault: missing number %S" name)
+  in
+  let* site = str "site" in
+  let* occurrence = int "occurrence" in
+  if occurrence < 0 then Error "fault: negative occurrence"
+  else
+    let* action =
+      match str "action" with
+      | Ok "raise" -> Ok Chaos.Raise
+      | Ok "crash" -> Ok Chaos.Crash
+      | Ok "stall" ->
+        let* us = int "us" in
+        Ok (Chaos.Stall us)
+      | Ok other -> Error (Printf.sprintf "fault: unknown action %S" other)
+      | Error e -> Error e
+    in
+    Ok (site, occurrence, action)
+
+let of_json v =
+  match v with
+  | Json.Arr faults ->
+    List.fold_left
+      (fun acc fv ->
+        let* acc = acc in
+        let* f = fault_of_json fv in
+        Ok (f :: acc))
+      (Ok []) faults
+    |> Result.map List.rev
+  | _ -> Error "schedule: expected an array of faults"

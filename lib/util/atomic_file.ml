@@ -1,14 +1,18 @@
-let write path content =
+let write ?(hook = fun _ -> ()) path content =
   let dir = Filename.dirname path in
   let tmp = Filename.temp_file ~temp_dir:dir ("." ^ Filename.basename path ^ ".") ".tmp" in
   match
+    hook "write.before";
     let oc = open_out_bin tmp in
     (try output_string oc content
      with e ->
        close_out_noerr oc;
        raise e);
     close_out oc;
-    Sys.rename tmp path
+    hook "write.after";
+    hook "rename.before";
+    Sys.rename tmp path;
+    hook "rename.after"
   with
   | () -> ()
   | exception e ->

@@ -9,7 +9,18 @@
     never a truncated mixture. Used by the service checkpoint journal and
     the fuzz corpus writer. *)
 
-(** [write path content] atomically replaces [path] with [content].
+(** [write ?hook path content] atomically replaces [path] with [content].
     Raises [Sys_error] when the directory is not writable; on any
-    failure the temporary file is removed and [path] is untouched. *)
-val write : string -> string -> unit
+    failure the temporary file is removed and [path] is untouched.
+
+    [hook] (default ignore) is called at the four crash points of the
+    protocol, in order: ["write.before"] (nothing on disk yet),
+    ["write.after"] (bytes durable in the temporary file),
+    ["rename.before"] (about to publish) and ["rename.after"]
+    (published). A hook that raises aborts the remaining steps and is
+    treated like any other failure: the temporary is removed and [path]
+    keeps its previous contents — except after ["rename.after"], where
+    the replacement has already happened and only the (now nonexistent)
+    temporary cleanup runs. The torture harness injects simulated
+    crashes here to prove every interleaving leaves a readable file. *)
+val write : ?hook:(string -> unit) -> string -> string -> unit

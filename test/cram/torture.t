@@ -1,0 +1,112 @@
+Systematic fault-schedule exploration: bss torture censuses every fault
+opportunity a smoke workload exposes, runs every single-fault schedule
+with crash-resume, judges each run against the crash-consistency
+invariant oracle, and shrinks any violation to a minimal replayable
+reproducer.
+
+The census is a fault-free run under a counting scope: every chaos-site
+hit — the solver and coordinator sites plus the journal's
+write/rename/seal crash points — is a fault opportunity, and the counts
+are deterministic:
+
+  $ bss torture --census --dir .
+  +--------------------------+------+
+  | site                     | hits |
+  +--------------------------+------+
+  | journal.rename.after     |    4 |
+  | journal.rename.before    |    4 |
+  | journal.seal.after       |    2 |
+  | journal.seal.before      |    2 |
+  | journal.write.after      |    4 |
+  | journal.write.before     |    4 |
+  | nonp_search.guess        |   31 |
+  | pmtn_cj.bound_test       |  142 |
+  | pmtn_dual.test           |  145 |
+  | service.admit            |   12 |
+  | service.journal.flush    |    4 |
+  | service.solve            |   12 |
+  | splittable_cj.bound_test |   11 |
+  | two_approx.solve         |   12 |
+  +--------------------------+------+
+
+A clean sweep over the journal sites: every occurrence of every
+journal.* site, as both a contained fault (raise) and a simulated
+process death (crash), with the journal chain reloaded and re-judged
+after every run. No invariant violates on a healthy build, so the
+sweep exits 0:
+
+  $ bss torture --sites journal. --dir .
+  torture: 40 single-fault and 0 pairwise schedules queued (0 pairs beyond the bound)
+  torture: sites=14 opportunities=389
+  torture: schedules explored=40 violated=0 truncated=0 salvaged=0
+
+The deliberate-break hook is the harness's own acceptance test: treat
+any fired journal.seal fault as a lost answer, and the oracle must
+catch it, the shrinker must reduce it to one fault at occurrence 0, and
+the reproducer must land on disk with exit 1:
+
+  $ bss torture --sites journal.seal --break-invariant journal.seal --dir .
+  torture: 8 single-fault and 0 pairwise schedules queued (0 pairs beyond the bound)
+  torture: VIOLATED journal.seal.after@0:raise
+  torture: VIOLATED journal.seal.after@0:crash
+  torture: VIOLATED journal.seal.after@1:raise
+  torture: VIOLATED journal.seal.after@1:crash
+  torture: VIOLATED journal.seal.before@0:raise
+  torture: VIOLATED journal.seal.before@0:crash
+  torture: VIOLATED journal.seal.before@1:raise
+  torture: VIOLATED journal.seal.before@1:crash
+  torture: sites=14 opportunities=389
+  torture: schedules explored=8 violated=8 truncated=0 salvaged=0
+  violated: journal.seal.after@0:raise
+    exactly-once: test hook: fault at journal.seal.after@0 treated as a lost answer
+  violated: journal.seal.after@0:crash
+    exactly-once: test hook: fault at journal.seal.after@0 treated as a lost answer
+  violated: journal.seal.after@1:raise
+    exactly-once: test hook: fault at journal.seal.after@1 treated as a lost answer
+  violated: journal.seal.after@1:crash
+    exactly-once: test hook: fault at journal.seal.after@1 treated as a lost answer
+  violated: journal.seal.before@0:raise
+    exactly-once: test hook: fault at journal.seal.before@0 treated as a lost answer
+  violated: journal.seal.before@0:crash
+    exactly-once: test hook: fault at journal.seal.before@0 treated as a lost answer
+  violated: journal.seal.before@1:raise
+    exactly-once: test hook: fault at journal.seal.before@1 treated as a lost answer
+  violated: journal.seal.before@1:crash
+    exactly-once: test hook: fault at journal.seal.before@1 treated as a lost answer
+  shrunk to 1 fault(s) in 0 shrink run(s)
+  reproducer: journal.seal.after@0:raise
+    exactly-once: test hook: fault at journal.seal.after@0 treated as a lost answer
+  wrote ./torture-reproducer.json
+  [1]
+
+Replaying the artifact reproduces the violation bit-identically — the
+replayed report is byte-equal to the original reproducer:
+
+  $ bss torture --replay torture-reproducer.json --dir . --out replayed.json
+  reproducer: journal.seal.after@0:raise
+    exactly-once: test hook: fault at journal.seal.after@0 treated as a lost answer
+  wrote replayed.json
+  [1]
+  $ diff torture-reproducer.json replayed.json
+
+The JSON sweep summary is a bss-metrics/1 object, so bss report
+surfaces the exploration counters next to the service ones:
+
+  $ bss torture --sites journal.seal --json --dir . > torture.json
+  torture: 8 single-fault and 0 pairwise schedules queued (0 pairs beyond the bound)
+  $ bss report --metrics torture.json
+  metrics: torture.json (1 record)
+  +--------------------------+-------+
+  | counter                  | value |
+  +--------------------------+-------+
+  | completed                |    12 |
+  | rejected                 |     0 |
+  | aborted                  |     0 |
+  | retries                  |     0 |
+  | queue_peak               |     4 |
+  | waves                    |     3 |
+  | service.journal.salvaged |     0 |
+  | sim.schedules.explored   |     8 |
+  | sim.schedules.violated   |     0 |
+  +--------------------------+-------+
+  no histograms recorded

@@ -188,8 +188,22 @@ let test_quota_refill_deterministic () =
     List.init 7 (fun _ -> Quota.admit q "a")
   in
   check bool_c "pinned pattern" true
-    (run () = [ true; true; true; false; false; true; false ]);
+    (run () = [ true; true; false; true; false; false; true ]);
   check bool_c "replay identical" true (run () = run ())
+
+let test_quota_refill_boundary () =
+  (* A bucket emptied exactly at a window boundary must admit the first
+     attempt of the next window: with burst 3 and refill_every 3, the
+     first three attempts drain the bucket and complete the window, so
+     the fourth attempt draws from the refilled bucket instead of
+     shedding. *)
+  let q = Quota.create { Quota.rate = 1; burst = 3; refill_every = 3 } in
+  check bool_c "window attempt 1" true (Quota.admit q "a");
+  check bool_c "window attempt 2" true (Quota.admit q "a");
+  check bool_c "window attempt 3" true (Quota.admit q "a");
+  check int_c "bucket drained at boundary" 0 (Quota.tokens q "a");
+  check bool_c "first attempt of next window admits" true (Quota.admit q "a");
+  check int_c "nothing shed" 0 (Quota.shed_total q)
 
 let test_quota_invalid () =
   let raises c = match Quota.create c with exception Invalid_argument _ -> true | _ -> false in
@@ -393,6 +407,7 @@ let () =
         [
           Alcotest.test_case "burst and shed" `Quick test_quota_burst_and_shed;
           Alcotest.test_case "deterministic refill" `Quick test_quota_refill_deterministic;
+          Alcotest.test_case "refill at window boundary" `Quick test_quota_refill_boundary;
           Alcotest.test_case "invalid configs" `Quick test_quota_invalid;
         ] );
       ( "chaos",

@@ -300,6 +300,88 @@ let test_journal_rotation () =
     | _ -> false);
   clean ()
 
+(* Salvage at segment boundaries: a corrupt line in a sealed segment
+   abandons only that segment's tail — the rest of the chain, the active
+   file included, still loads — and the typed detail cites the segment
+   file. A corrupt active file leaves the sealed history untouched and
+   cites the active path. Either way the abandoned entries are simply
+   re-recorded by the resumed run. *)
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let chain_entry i =
+  { Journal.id = Printf.sprintf "s%d" i; rung = "requested"; makespan = string_of_int i }
+
+(* rotate_every 2, five adds with a flush each: seg1 = s1 s2, seg2 = s3 s4,
+   active = s5 *)
+let build_chain path =
+  if Sys.file_exists path then Sys.remove path;
+  for i = 1 to 6 do
+    let seg = path ^ "." ^ string_of_int i in
+    if Sys.file_exists seg then Sys.remove seg
+  done;
+  let j = Journal.fresh ~rotate_every:2 path in
+  for i = 1 to 5 do
+    Journal.add j (chain_entry i);
+    Journal.flush j
+  done
+
+let salvage_detail name j =
+  match Journal.salvaged j with
+  | [ Bss_resilience.Error.Invalid_input { line; field = "journal"; reason } ] -> (line, reason)
+  | other ->
+    Alcotest.failf "%s: expected one Invalid_input, got [%s]" name
+      (String.concat "; " (List.map Bss_resilience.Error.to_string other))
+
+let test_journal_salvage_sealed_segment () =
+  let path = tmp_path "salvage_seg.tsv" in
+  build_chain path;
+  (* tear seg2 mid-entry: s3 stays valid, s4 is cut *)
+  Out_channel.with_open_bin (path ^ ".2") (fun oc ->
+      output_string oc "s3\trequested\t3\ns4\treq");
+  let j = Journal.load ~rotate_every:2 path in
+  check bool_c "valid prefix of the torn segment kept" true (Journal.mem j "s3");
+  check bool_c "tail of the torn segment abandoned" true (not (Journal.mem j "s4"));
+  check bool_c "active file still loads past the corrupt segment" true (Journal.mem j "s5");
+  check int_c "chain length still counted" 2 (Journal.segments j);
+  let line, reason = salvage_detail "sealed segment" j in
+  check bool_c "detail cites the segment line" true (line = Some 2);
+  check bool_c "detail cites the segment file" true (contains ~needle:(path ^ ".2") reason);
+  (* the resumed run re-records the abandoned entry; nothing else moves *)
+  Journal.add j (chain_entry 4);
+  Journal.flush j;
+  let j' = Journal.load ~rotate_every:2 path in
+  check bool_c "re-solved entry persisted" true (Journal.mem j' "s4");
+  check int_c "every id recovered" 5 (List.length (Journal.entries j'));
+  build_chain path (* clean replacement chain, then remove *);
+  Sys.remove path;
+  for i = 1 to 6 do
+    let seg = path ^ "." ^ string_of_int i in
+    if Sys.file_exists seg then Sys.remove seg
+  done
+
+let test_journal_salvage_active_file () =
+  let path = tmp_path "salvage_active.tsv" in
+  build_chain path;
+  (* tear the active file instead: the sealed history must be untouched *)
+  Out_channel.with_open_bin path (fun oc -> output_string oc "s5\trequested\t5\ns6\treq");
+  let j = Journal.load ~rotate_every:2 path in
+  check bool_c "sealed chain intact" true
+    (List.for_all (fun i -> Journal.mem j (Printf.sprintf "s%d" i)) [ 1; 2; 3; 4 ]);
+  check bool_c "valid prefix of the active file kept" true (Journal.mem j "s5");
+  check bool_c "torn active tail abandoned" true (not (Journal.mem j "s6"));
+  let line, reason = salvage_detail "active file" j in
+  check bool_c "detail cites the active line" true (line = Some 2);
+  check bool_c "detail cites the active file, not a segment" true
+    (contains ~needle:(path ^ "; salvaged") reason);
+  Sys.remove path;
+  for i = 1 to 6 do
+    let seg = path ^ "." ^ string_of_int i in
+    if Sys.file_exists seg then Sys.remove seg
+  done
+
 (* ---------------- the runtime ---------------- *)
 
 (* a deterministic mixed batch: every variant, generated instances *)
@@ -669,6 +751,8 @@ let () =
           Alcotest.test_case "missing and corrupt" `Quick test_journal_missing_and_corrupt;
           Alcotest.test_case "flush fault keeps old" `Quick test_journal_flush_chaos_keeps_old;
           Alcotest.test_case "rotation" `Quick test_journal_rotation;
+          Alcotest.test_case "salvage in a sealed segment" `Quick test_journal_salvage_sealed_segment;
+          Alcotest.test_case "salvage in the active file" `Quick test_journal_salvage_active_file;
         ] );
       ( "runtime",
         [

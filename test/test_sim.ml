@@ -1,0 +1,184 @@
+(* Unit suite for lib/sim: the shrinker on pure predicates (no service
+   runs), schedule JSON round trips, census determinism, a clean
+   restricted sweep, and the deliberate-break end-to-end path —
+   detection, shrinking a two-fault schedule to one fault at occurrence
+   0, and bit-identical replay of the reproducer artifact. *)
+
+open Bss_util
+module Schedule = Bss_sim.Schedule
+module Harness = Bss_sim.Harness
+module Chaos = Bss_resilience.Chaos
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+
+let tmp_dir =
+  lazy
+    (let dir =
+       Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "bss-sim-test-%d" (Unix.getpid ()))
+     in
+     (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+     dir)
+
+(* ---------------- minimize on pure predicates ---------------- *)
+
+let fault site h action = (site, h, action)
+
+let test_minimize_drops_irrelevant () =
+  let schedule =
+    [ fault "a" 5 Chaos.Raise; fault "b" 3 Chaos.Crash; fault "c" 1 Chaos.Raise ]
+  in
+  let violates s = List.exists (fun (site, _, _) -> site = "a") s in
+  let shrunk = Harness.minimize ~budget:64 ~violates schedule in
+  check bool_c "only the relevant fault survives, at occurrence 0" true
+    (shrunk = [ fault "a" 0 Chaos.Raise ])
+
+let test_minimize_respects_occurrence_floor () =
+  (* The fault only matters from occurrence 4 on: direct-to-0 fails, the
+     halving descent must stop exactly at the floor. *)
+  let violates = function [ ("a", h, _) ] -> h >= 4 | _ -> false in
+  let shrunk = Harness.minimize ~budget:64 ~violates [ fault "a" 9 Chaos.Raise ] in
+  check bool_c "halved down to the floor" true (shrunk = [ fault "a" 4 Chaos.Raise ])
+
+let test_minimize_budget_exhausted () =
+  let schedule = [ fault "a" 5 Chaos.Raise; fault "b" 3 Chaos.Raise ] in
+  let shrunk = Harness.minimize ~budget:0 ~violates:(fun _ -> true) schedule in
+  check bool_c "no budget, no change" true (shrunk = schedule)
+
+let test_minimize_result_still_violates () =
+  let violates s = List.length s >= 2 in
+  let schedule = [ fault "a" 1 Chaos.Raise; fault "b" 2 Chaos.Raise; fault "c" 3 Chaos.Raise ] in
+  let shrunk = Harness.minimize ~budget:64 ~violates schedule in
+  check int_c "shrunk to the minimal violating size" 2 (List.length shrunk);
+  check bool_c "result violates" true (violates shrunk)
+
+(* ---------------- schedule JSON ---------------- *)
+
+let test_schedule_json_roundtrip () =
+  let schedule =
+    [ fault "service.solve" 0 Chaos.Raise;
+      fault "journal.seal.after" 3 Chaos.Crash;
+      fault "net.read" 2 (Chaos.Stall 10) ]
+  in
+  match Json.parse (Schedule.to_json schedule) with
+  | Error e -> Alcotest.failf "rendered schedule does not parse: %s" e
+  | Ok v -> (
+    match Schedule.of_json v with
+    | Ok parsed -> check bool_c "round trip" true (parsed = schedule)
+    | Error e -> Alcotest.failf "round trip failed: %s" e)
+
+let test_schedule_json_rejects () =
+  let parse s =
+    match Json.parse s with
+    | Ok v -> Schedule.of_json v
+    | Error e -> Error e
+  in
+  let is_error = function Error _ -> true | Ok _ -> false in
+  check bool_c "unknown action" true
+    (is_error (parse {|[{"site":"a","occurrence":0,"action":"explode"}]|}));
+  check bool_c "negative occurrence" true
+    (is_error (parse {|[{"site":"a","occurrence":-1,"action":"raise"}]|}))
+
+(* ---------------- census ---------------- *)
+
+let config () = { Harness.default_config with dir = Lazy.force tmp_dir }
+
+let test_census_deterministic () =
+  let cfg = config () in
+  let a = Harness.census cfg and b = Harness.census cfg in
+  check bool_c "census replay identical" true (a = b);
+  let hits site = Option.value ~default:0 (List.assoc_opt site a) in
+  check bool_c "journal write crash point counted" true (hits "journal.write.before" > 0);
+  check bool_c "journal seal crash point counted" true (hits "journal.seal.after" > 0);
+  check int_c "one solve opportunity per request" cfg.Harness.requests (hits "service.solve")
+
+(* ---------------- sweeps ---------------- *)
+
+let test_sweep_clean_on_admit_faults () =
+  let cfg = { (config ()) with sites = [ "service.admit" ] } in
+  let sweep = Harness.explore cfg in
+  let admit_hits =
+    Option.value ~default:0 (List.assoc_opt "service.admit" sweep.Harness.census)
+  in
+  check bool_c "site occurs" true (admit_hits > 0);
+  (* service.admit is crashable, so every occurrence enumerates Raise and
+     Crash *)
+  check int_c "every single-fault schedule ran" (2 * admit_hits) sweep.Harness.explored;
+  check int_c "no invariant violated" 0 sweep.Harness.violated;
+  check bool_c "no reproducer" true (sweep.Harness.reproducer = None)
+
+let test_break_invariant_shrinks_two_faults () =
+  (* A two-fault schedule where only the journal.seal fault matters: the
+     shrinker must drop the decoy solve fault and lower the survivor to
+     occurrence 0, re-running the real service loop at every step. *)
+  let cfg = { (config ()) with break_invariant = Some "journal.seal" } in
+  let violates schedule =
+    let r =
+      {
+        Harness.r_requests = cfg.Harness.requests;
+        r_seed = cfg.Harness.seed;
+        r_break = cfg.Harness.break_invariant;
+        r_schedule = schedule;
+        r_violations = [];
+      }
+    in
+    (Harness.replay ~dir:cfg.Harness.dir r).Harness.r_violations <> []
+  in
+  let schedule =
+    [ fault "service.solve" 7 Chaos.Raise; fault "journal.seal.after" 1 Chaos.Raise ]
+  in
+  check bool_c "the two-fault schedule violates" true (violates schedule);
+  let shrunk = Harness.minimize ~budget:64 ~violates schedule in
+  check bool_c "shrunk to the minimal schedule" true
+    (shrunk = [ fault "journal.seal.after" 0 Chaos.Raise ])
+
+let test_reproducer_roundtrip_and_replay_identity () =
+  let cfg =
+    { (config ()) with sites = [ "journal.seal" ]; break_invariant = Some "journal.seal" }
+  in
+  let sweep = Harness.explore cfg in
+  check bool_c "every seal fault violates under the hook" true
+    (sweep.Harness.violated = sweep.Harness.explored && sweep.Harness.violated > 0);
+  match sweep.Harness.reproducer with
+  | None -> Alcotest.fail "expected a reproducer"
+  | Some r -> (
+    check int_c "shrunk to one fault" 1 (List.length r.Harness.r_schedule);
+    let json = Harness.reproducer_json r in
+    match Harness.reproducer_of_string json with
+    | Error e -> Alcotest.failf "reproducer parse failed: %s" e
+    | Ok parsed ->
+      check bool_c "schedule round trips" true (parsed.Harness.r_schedule = r.Harness.r_schedule);
+      check bool_c "hook round trips" true (parsed.Harness.r_break = r.Harness.r_break);
+      check bool_c "parsed violations empty until replayed" true
+        (parsed.Harness.r_violations = []);
+      let replayed = Harness.replay ~dir:cfg.Harness.dir parsed in
+      check bool_c "replay is bit-identical" true (Harness.reproducer_json replayed = json))
+
+let () =
+  Alcotest.run "bss_sim"
+    [
+      ( "minimize",
+        [
+          Alcotest.test_case "drops irrelevant faults" `Quick test_minimize_drops_irrelevant;
+          Alcotest.test_case "respects occurrence floor" `Quick
+            test_minimize_respects_occurrence_floor;
+          Alcotest.test_case "budget exhausted" `Quick test_minimize_budget_exhausted;
+          Alcotest.test_case "result still violates" `Quick test_minimize_result_still_violates;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "JSON round trip" `Quick test_schedule_json_roundtrip;
+          Alcotest.test_case "rejects malformed JSON" `Quick test_schedule_json_rejects;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "census deterministic" `Slow test_census_deterministic;
+          Alcotest.test_case "clean sweep on admit faults" `Slow test_sweep_clean_on_admit_faults;
+          Alcotest.test_case "shrinks a two-fault schedule" `Slow
+            test_break_invariant_shrinks_two_faults;
+          Alcotest.test_case "reproducer round trip and replay identity" `Slow
+            test_reproducer_roundtrip_and_replay_identity;
+        ] );
+    ]
