@@ -128,13 +128,19 @@ let net_socket_path () =
   Filename.concat (Filename.get_temp_dir_name ())
     (Printf.sprintf "bss-bench-%d.sock" (Unix.getpid ()))
 
-let net_round_trip ~socket_path () =
+let net_round_trip ?(watch = false) ~socket_path () =
   (try Sys.remove socket_path with Sys_error _ -> ());
   let requests = Bss_service.Request.soak_stream ~seed:7 ~requests:net_requests () in
   let config =
     {
       Bss_net.Server.listen_path = socket_path;
-      service = { Bss_service.Runtime.default_config with workers = Some 2; seed = 7 };
+      service =
+        {
+          Bss_service.Runtime.default_config with
+          workers = Some 2;
+          seed = 7;
+          window_every = (if watch then Some 4 else None);
+        };
       quota = None;
       read_timeout_ms = Bss_net.Server.default_read_timeout_ms;
       write_timeout_ms = Bss_net.Server.default_write_timeout_ms;
@@ -144,7 +150,7 @@ let net_round_trip ~socket_path () =
   in
   let server = Domain.spawn (fun () -> Bss_net.Server.serve config) in
   let client =
-    { Bss_net.Client.default_config with connect_path = socket_path; window = 8; rounds = 3 }
+    { Bss_net.Client.default_config with connect_path = socket_path; window = 8; rounds = 3; watch }
   in
   let summary = Bss_net.Client.soak client requests in
   ignore (Domain.join server);
@@ -176,7 +182,28 @@ let net_entries ~progress ~quick =
         (List.map (fun r -> Int64.to_float r.Bss_net.Client.solve_ns) s.Bss_net.Client.rows)
   in
   progress (Printf.sprintf "%-28s %12.0f ns solve p99" "net/solve-p99" p99);
-  [ { name; ns_per_run = ns; runs }; { name = "net/solve-p99"; ns_per_run = p99; runs = 1 } ]
+  (* the same round trip with the live plane armed and the client
+     subscribed to the window stream: the entry is informational (the
+     "obs/" prefix is ungated — wall-clock deltas between two noisy
+     loopback soaks would flap a gate), but a grossly regressed live
+     plane shows up as a ratio shift against the baseline capture *)
+  let watched = ref None in
+  let watch_ns =
+    measure ~runs (fun () -> watched := Some (net_round_trip ~watch:true ~socket_path ()))
+  in
+  (try Sys.remove socket_path with Sys_error _ -> ());
+  (match !watched with
+  | Some s when s.Bss_net.Client.watch_windows = 0 ->
+    failwith "watch-overhead round trip saw no windows"
+  | _ -> ());
+  progress
+    (Printf.sprintf "%-28s %12.0f ns/run (%+.1f%% vs unwatched)" "obs/watch-overhead" watch_ns
+       (100.0 *. ((watch_ns /. ns) -. 1.0)));
+  [
+    { name; ns_per_run = ns; runs };
+    { name = "net/solve-p99"; ns_per_run = p99; runs = 1 };
+    { name = "obs/watch-overhead"; ns_per_run = watch_ns; runs };
+  ]
 
 let run ?(progress = fun _ -> ()) ~quick () =
   let runs = if quick then 5 else 9 in

@@ -547,6 +547,14 @@ let service_config_term =
                    histograms, plus a rolling SLO window under --slo) to stdout after every $(docv) \
                    completed requests.")
   in
+  let window_every =
+    Arg.(value & opt (some int) None
+         & info [ "window-every" ] ~docv:"N"
+             ~doc:"Arm the live telemetry plane (schema bss-watch/1): close one time-series window \
+                   every $(docv) processed requests — exact counter/histogram deltas, breaker-state \
+                   gauges and EWMA anomaly alerts. Under `bss serve` the windows feed the stats/watch \
+                   wire frames (`bss top`); under `bss soak` they only arm the detectors.")
+  in
   let trace_sample =
     Arg.(value & opt (some int) None
          & info [ "trace-sample" ] ~docv:"K"
@@ -560,7 +568,7 @@ let service_config_term =
              ~doc:"Evaluate the bss-slo/1 objectives in $(docv) (rolling windows per metrics emission, \
                    cumulative verdict in the summary) and exit nonzero when the final verdict fails.")
   in
-  let build queue burst workers retries breaker_k breaker_cooldown deadline_ms fuel checkpoint_every chaos seed metrics_every trace_sample slo =
+  let build queue burst workers retries breaker_k breaker_cooldown deadline_ms fuel checkpoint_every chaos seed metrics_every window_every trace_sample slo =
     let slo = Option.map load_slo slo in
     {
       default_config with
@@ -576,13 +584,14 @@ let service_config_term =
       chaos;
       seed;
       metrics_every;
+      window_every;
       trace_sample;
       slo;
     }
   in
   Term.(
     const build $ queue $ burst $ workers $ retries $ breaker_k $ breaker_cooldown $ deadline_ms $ fuel
-    $ checkpoint_every $ chaos $ seed $ metrics_every $ trace_sample $ slo)
+    $ checkpoint_every $ chaos $ seed $ metrics_every $ window_every $ trace_sample $ slo)
 
 (* SIGINT/SIGTERM request a graceful drain: stop admitting, finish the
    in-flight wave, flush the journal, exit 3. *)
@@ -987,8 +996,15 @@ let netsoak_cmd =
              ~doc:"Send this single raw line instead of a stream, print the first reply line, and \
                    exit — the protocol probe for scripted tests.")
   in
+  let watch =
+    Arg.(value & flag
+         & info [ "watch" ]
+             ~doc:"Also subscribe each connection to the live bss-watch/1 window stream (the server \
+                   must run with --window-every): windows interleave with result frames and are \
+                   counted in the summary — the live-plane overhead soak.")
+  in
   let run connect requests seed tenants window rounds connect_timeout_ms idle_timeout_ms slo out
-      frame =
+      frame watch =
     match frame with
     | Some raw -> (
       match Net.Client.send_raw ~path:connect ~connect_timeout_ms ~idle_timeout_ms raw with
@@ -1009,6 +1025,7 @@ let netsoak_cmd =
             connect_timeout_ms;
             idle_timeout_ms;
             slo;
+            watch;
           }
           stream
       in
@@ -1027,7 +1044,63 @@ let netsoak_cmd =
              every id is answered exactly once, with an optional SLO gate over the answers.")
     Term.(
       const run $ connect $ requests $ seed $ tenants $ window $ rounds $ connect_timeout_ms
-      $ idle_timeout_ms $ slo $ out $ frame)
+      $ idle_timeout_ms $ slo $ out $ frame $ watch)
+
+let top_cmd =
+  let connect =
+    Arg.(required & opt (some string) None
+         & info [ "connect" ] ~docv:"SOCKET"
+             ~doc:"The serving socket path (the server must run with --window-every).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Re-emit the raw bss-watch/1 window lines verbatim instead of rendering the \
+                   dashboard — the machine-readable stream CI parses.")
+  in
+  let windows =
+    Arg.(value & opt (some int) None
+         & info [ "windows" ] ~docv:"N"
+             ~doc:"Stop after $(docv) windows (default: stream until the server's final window or \
+                   shutdown).")
+  in
+  let connect_timeout_ms =
+    Arg.(value & opt int Net.Top.default_config.Net.Top.connect_timeout_ms
+         & info [ "connect-timeout-ms" ] ~docv:"MS"
+             ~doc:"Budget to reach the socket (retrying inside it).")
+  in
+  let idle_timeout_ms =
+    Arg.(value & opt int Net.Top.default_config.Net.Top.idle_timeout_ms
+         & info [ "idle-timeout-ms" ] ~docv:"MS"
+             ~doc:"Give up when the server pushes nothing this long.")
+  in
+  let run connect json windows connect_timeout_ms idle_timeout_ms =
+    let clear = (not json) && (try Unix.isatty Unix.stdout with _ -> false) in
+    match
+      Net.Top.run
+        {
+          Net.Top.connect_path = connect;
+          connect_timeout_ms;
+          idle_timeout_ms;
+          max_windows = windows;
+          json;
+          clear;
+        }
+    with
+    | Ok s ->
+      if not json then
+        Printf.printf "top: windows=%d alerts=%d final=%b\n" s.Net.Top.windows s.Net.Top.alerts
+          s.Net.Top.final_seen
+    | Error msg ->
+      prerr_endline ("bss top: " ^ msg);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Watch a serving socket's live telemetry window stream as a refreshing dashboard \
+             (queue, per-variant latency quantiles, breaker states, anomaly alerts), or as raw \
+             bss-watch/1 JSON lines with --json.")
+    Term.(const run $ connect $ json $ windows $ connect_timeout_ms $ idle_timeout_ms)
 
 (* ---------------- offline run analysis ---------------- *)
 
@@ -1080,6 +1153,7 @@ let report_cmd =
           (if List.length points = 1 then "" else "s");
         let baseline = Option.map (fun p -> Offline.last (load_points p)) against in
         print_string (Offline.counter_table ?baseline current);
+        if current.Offline.gauges <> [] then print_string (Offline.gauge_table current);
         print_string (Offline.percentile_table current))
       metrics;
     Option.iter
@@ -1314,6 +1388,7 @@ let () =
             serve_cmd;
             soak_cmd;
             netsoak_cmd;
+            top_cmd;
             report_cmd;
             torture_cmd;
             bench_cmd;

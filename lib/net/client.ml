@@ -1,6 +1,7 @@
 module Request = Bss_service.Request
 module Slo = Bss_obs.Slo
 module Hist = Bss_obs.Hist
+module Timeseries = Bss_obs.Timeseries
 
 type config = {
   connect_path : string;
@@ -9,6 +10,7 @@ type config = {
   connect_timeout_ms : int;
   idle_timeout_ms : int;
   slo : Slo.t option;
+  watch : bool;
 }
 
 let default_config =
@@ -19,6 +21,7 @@ let default_config =
     connect_timeout_ms = 5_000;
     idle_timeout_ms = 10_000;
     slo = None;
+    watch = false;
   }
 
 type row = {
@@ -48,6 +51,8 @@ type summary = {
   unanswered : string list;
   shed_by_tenant : (string * int) list;
   slo_verdict : Slo.verdict option;
+  watch_windows : int;
+  watch_alerts : int;
 }
 
 let now () = Monotonic_clock.now ()
@@ -85,23 +90,33 @@ let row_of_result ~id ~tenant ~status ~variant ~rung ~makespan ~retries ~checkpo
 (* One connection's worth of pumping: send [pending] (stream order)
    under a [window]-deep pipeline, collect result frames. Ends on
    everything-answered, EOF, a shutdown frame, or idle timeout. *)
-let pump fd config ~pending ~answered ~sent ~duplicates ~protocol_errors =
+let pump fd config ~pending ~answered ~sent ~duplicates ~protocol_errors ~watch_windows
+    ~watch_alerts =
   let rbuf = Buffer.create 1024 in
   let chunk = Bytes.create 4096 in
   let to_send = ref pending in
   let inflight = ref 0 in
   let stop = ref false in
-  let send_one (r : Request.t) =
-    let frame = Wire.solve_frame r ^ "\n" in
+  let write_all frame =
     let len = String.length frame in
     let off = ref 0 in
-    (try
-       while !off < len do
-         off := !off + Unix.write_substring fd frame !off (len - !off)
-       done;
-       incr sent;
-       incr inflight
-     with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> stop := true)
+    try
+      while !off < len do
+        off := !off + Unix.write_substring fd frame !off (len - !off)
+      done;
+      true
+    with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
+      stop := true;
+      false
+  in
+  (* subscribe before the first solve: windows interleave with result
+     frames on the same connection — the watch-overhead soak *)
+  if config.watch then ignore (write_all (Wire.watch_frame ^ "\n"));
+  let send_one (r : Request.t) =
+    if write_all (Wire.solve_frame r ^ "\n") then begin
+      incr sent;
+      incr inflight
+    end
   in
   let handle_line line =
     if line <> "" then
@@ -116,6 +131,9 @@ let pump fd config ~pending ~answered ~sent ~duplicates ~protocol_errors =
           decr inflight
         end
       | Ok Wire.Pong -> ()
+      | Ok (Wire.Window w) ->
+        incr watch_windows;
+        watch_alerts := !watch_alerts + List.length w.Timeseries.alerts
       | Ok (Wire.Shutdown _) -> stop := true
       | Ok (Wire.Error_frame _) | Error _ -> incr protocol_errors
   in
@@ -187,6 +205,7 @@ let soak config (requests : Request.t list) =
   if config.rounds < 1 then invalid_arg "Client: rounds < 1";
   let answered : (string, row) Hashtbl.t = Hashtbl.create (List.length requests) in
   let sent = ref 0 and duplicates = ref 0 and protocol_errors = ref 0 and reconnects = ref 0 in
+  let watch_windows = ref 0 and watch_alerts = ref 0 in
   let unanswered () =
     List.filter (fun (r : Request.t) -> not (Hashtbl.mem answered r.Request.id)) requests
   in
@@ -201,7 +220,8 @@ let soak config (requests : Request.t list) =
       Fun.protect
         ~finally:(fun () -> try Unix.close fd with _ -> ())
         (fun () ->
-          pump fd config ~pending:(unanswered ()) ~answered ~sent ~duplicates ~protocol_errors)
+          pump fd config ~pending:(unanswered ()) ~answered ~sent ~duplicates ~protocol_errors
+            ~watch_windows ~watch_alerts)
   done;
   let rows =
     List.filter_map (fun (r : Request.t) -> Hashtbl.find_opt answered r.Request.id) requests
@@ -235,6 +255,8 @@ let soak config (requests : Request.t list) =
     unanswered = List.map (fun (r : Request.t) -> r.Request.id) (unanswered ());
     shed_by_tenant;
     slo_verdict;
+    watch_windows = !watch_windows;
+    watch_alerts = !watch_alerts;
   }
 
 let ok s = s.unanswered = [] && s.duplicates = 0 && s.protocol_errors = 0
@@ -259,6 +281,9 @@ let render_summary s =
   Buffer.add_string b
     (Printf.sprintf "netsoak: reconnects=%d protocol_errors=%d unanswered=%d\n" s.reconnects
        s.protocol_errors (List.length s.unanswered));
+  if s.watch_windows > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "netsoak: watch windows=%d alerts=%d\n" s.watch_windows s.watch_alerts);
   if s.shed_by_tenant <> [] then begin
     Buffer.add_string b "netsoak: shed";
     List.iter

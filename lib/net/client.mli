@@ -19,9 +19,14 @@ type config = {
   connect_timeout_ms : int;  (** per-round budget to reach the socket (retries inside) *)
   idle_timeout_ms : int;  (** give up a round when the server sends nothing this long *)
   slo : Bss_obs.Slo.t option;
+  watch : bool;
+      (** also subscribe each connection to the live window stream
+          ([bss netsoak --watch]): windows interleave with result frames
+          and are counted, not stored — the watch-overhead soak *)
 }
 
-(** window 8, 1 round, 5 s connect, 10 s idle, no SLO, empty path. *)
+(** window 8, 1 round, 5 s connect, 10 s idle, no SLO, no watch, empty
+    path. *)
 val default_config : config
 
 type row = {
@@ -51,6 +56,8 @@ type summary = {
   unanswered : string list;
   shed_by_tenant : (string * int) list;
   slo_verdict : Bss_obs.Slo.verdict option;
+  watch_windows : int;  (** window frames received (0 unless [watch]) *)
+  watch_alerts : int;  (** alerts carried by those windows *)
 }
 
 (** [soak config requests] runs the stream to completion or round/

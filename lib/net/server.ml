@@ -7,6 +7,7 @@ module Chaos = Bss_resilience.Chaos
 module Guard = Bss_resilience.Guard
 module Rerror = Bss_resilience.Error
 module Prng = Bss_util.Prng
+module Timeseries = Bss_obs.Timeseries
 
 type config = {
   listen_path : string;
@@ -44,11 +45,16 @@ type conn = {
   cid : int;
   fd : Unix.file_descr;
   rbuf : Buffer.t;
-  wq : string Queue.t;
+  (* (frame, counted): whether completing the write increments
+     [frames_written] — shutdown frames are uncounted, so the counter
+     does not race the client closing first (it may or may not see them) *)
+  wq : (string * bool) Queue.t;
   mutable whead : string;
+  mutable whead_counted : bool;
   mutable woff : int;
   mutable last_read_ns : int64;
   mutable pending_since : int64 option;
+  mutable watching : bool;
   mutable alive : bool;
 }
 
@@ -144,7 +150,7 @@ let serve ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) ?(l
     else
       match Guard.point "net.write" with
       | () ->
-        Queue.push (frame ^ "\n") c.wq;
+        Queue.push (frame ^ "\n", true) c.wq;
         if c.pending_since = None then c.pending_since <- Some (now ());
         true
       | exception Chaos.Injected _ ->
@@ -153,6 +159,39 @@ let serve ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) ?(l
         false
   in
   let answer c frame = if queue_frame c frame then incr answers in
+  (* The live-plane broadcast: each closed window is pushed to every
+     watching connection the moment the engine closes it (mid-dispatch).
+     Pushes only enqueue — flushing stays in the select loop, so a slow
+     watcher backs up its own queue until the write deadline evicts it,
+     never blocking solve traffic. Watch frames ride [queue_frame], not
+     [answer]: they are counted as written frames but never as answers,
+     so [drain_after] accounting ignores them. *)
+  Engine.set_on_window engine (fun w ->
+      let line = Timeseries.window_json w in
+      Hashtbl.iter (fun _ c -> if c.alive && c.watching then ignore (queue_frame c line)) conns);
+  let plane_disabled =
+    Rerror.Invalid_input
+      { line = None; field = "op"; reason = "telemetry plane disabled (--window-every)" }
+  in
+  let handle_stats c =
+    match Engine.live_window engine with
+    | Some w -> ignore (queue_frame c (Timeseries.window_json w))
+    | None -> ignore (queue_frame c (Wire.error_frame plane_disabled))
+  in
+  (* subscribe: backfill the ring first (contiguity from the oldest
+     retained window), then stream every subsequent close *)
+  let handle_watch c =
+    match Engine.live_window engine with
+    | None -> ignore (queue_frame c (Wire.error_frame plane_disabled))
+    | Some _ ->
+      if not c.watching then begin
+        c.watching <- true;
+        Probe.count "net.watchers";
+        List.iter
+          (fun w -> ignore (queue_frame c (Timeseries.window_json w)))
+          (Engine.windows engine)
+      end
+  in
   let handle_solve c (r : Request.t) =
     if Hashtbl.mem owners r.Request.id then begin
       incr malformed;
@@ -197,6 +236,10 @@ let serve ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) ?(l
         Probe.count "net.frames.malformed";
         ignore (queue_frame c (Wire.error_frame e))
       | Ok Wire.Ping -> ignore (queue_frame c Wire.pong_frame)
+      (* stats/watch are control frames like ping: quota-exempt (the
+         tenant quota guards solve admission only) and never answers *)
+      | Ok Wire.Stats -> handle_stats c
+      | Ok Wire.Watch -> handle_watch c
       | Ok (Wire.Solve r) -> handle_solve c r)
     | exception Chaos.Injected _ -> evict c "chaos:net.read"
   in
@@ -244,9 +287,11 @@ let serve ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) ?(l
               rbuf = Buffer.create 256;
               wq = Queue.create ();
               whead = "";
+              whead_counted = true;
               woff = 0;
               last_read_ns = now ();
               pending_since = None;
+              watching = false;
               alive = true;
             }
           in
@@ -268,7 +313,9 @@ let serve ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) ?(l
          if c.whead = "" then
            if Queue.is_empty c.wq then progress := false
            else begin
-             c.whead <- Queue.pop c.wq;
+             let frame, counted = Queue.pop c.wq in
+             c.whead <- frame;
+             c.whead_counted <- counted;
              c.woff <- 0
            end
          else begin
@@ -276,8 +323,10 @@ let serve ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) ?(l
            c.woff <- c.woff + n;
            if c.woff = String.length c.whead then begin
              c.whead <- "";
-             incr written;
-             Probe.count "net.frames.written"
+             if c.whead_counted then begin
+               incr written;
+               Probe.count "net.frames.written"
+             end
            end
            else if n = 0 then progress := false
          end
@@ -329,9 +378,15 @@ let serve ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) ?(l
     while Engine.queued engine > 0 do
       route (Engine.dispatch engine)
     done;
+    (* close the final telemetry window before the shutdown frames, so a
+       watcher's stream terminates with [final:true] and reconciles *)
+    Engine.finalize_windows engine;
     let served = !answers in
+    (* pushed directly, not through [queue_frame]: uncounted, so
+       [frames_written] is deterministic whether or not the client is
+       still connected to receive the goodbye *)
     List.iter
-      (fun c -> Queue.push (Wire.shutdown_frame ~reason ~served ^ "\n") c.wq)
+      (fun c -> Queue.push (Wire.shutdown_frame ~reason ~served ^ "\n", false) c.wq)
       (live ());
     let deadline = Int64.add (now ()) 2_000_000_000L in
     let rec flush_all () =

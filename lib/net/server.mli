@@ -12,6 +12,16 @@
     kill-and-resume. Frames admitted in the same poll round form one
     dispatch wave, sharded across the worker pool by tenant hash.
 
+    The live telemetry plane (docs/observability.md) rides the same
+    loop when [service.window_every] is set: [stats] answers one
+    on-demand window, [watch] subscribes the connection to the pushed
+    [bss-watch/1] stream (ring backfill first, then every close —
+    windows close mid-dispatch, flushes stay in the select loop).
+    Both are control frames: quota-exempt and never counted as
+    answers. A watcher too slow to keep up backs up its own write
+    queue and is evicted by the ordinary write deadline — watch
+    traffic can never block solving.
+
     Slow clients are evicted on wall-clock deadlines: a partial frame
     older than [read_timeout_ms], or queued output stuck longer than
     [write_timeout_ms]. Chaos arms {!Bss_resilience.Chaos.net_sites}:
@@ -47,7 +57,11 @@ type summary = {
   closed : int;  (** orderly closes (client EOF or drain) *)
   frames_read : int;
   frames_malformed : int;  (** parse failures, duplicate in-flight ids, overflows *)
-  frames_written : int;  (** fully flushed to a socket, shutdown frames included *)
+  frames_written : int;
+      (** fully flushed to a socket. Shutdown frames are excluded: a
+          client may legitimately close before the goodbye lands, and
+          counting it would race that close (the count must be
+          deterministic for seed-pinned runs) *)
   frames_dropped : int;  (** responses addressed to a dead connection *)
   answers : int;  (** result/shed frames queued to live connections *)
   dedup_hits : int;  (** re-sent ids answered from the outcome cache *)

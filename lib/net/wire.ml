@@ -2,11 +2,12 @@ module Json = Bss_util.Json
 module Rerror = Bss_resilience.Error
 module Request = Bss_service.Request
 module Runtime = Bss_service.Runtime
+module Timeseries = Bss_obs.Timeseries
 open Bss_instances
 
 let schema_version = "bss-net/1"
 
-type frame = Solve of Request.t | Ping
+type frame = Solve of Request.t | Ping | Stats | Watch
 
 type reply =
   | Result of {
@@ -27,6 +28,7 @@ type reply =
   | Pong
   | Error_frame of { id : string option; error : string }
   | Shutdown of { reason : string; served : int }
+  | Window of Timeseries.window
 
 (* ---------------- buffered line framing ---------------- *)
 
@@ -92,6 +94,12 @@ let solve_frame (r : Request.t) =
 let ping_frame =
   Json.obj [ ("schema", Json.str schema_version); ("op", Json.str "ping") ]
 
+let stats_frame =
+  Json.obj [ ("schema", Json.str schema_version); ("op", Json.str "stats") ]
+
+let watch_frame =
+  Json.obj [ ("schema", Json.str schema_version); ("op", Json.str "watch") ]
+
 let parse_frame line =
   match Json.parse line with
   | Error msg -> bad ("not a JSON object: " ^ msg)
@@ -102,6 +110,8 @@ let parse_frame line =
       let* op = require "op" (str_field "op" v) in
       match op with
       | "ping" -> Ok Ping
+      | "stats" -> Ok Stats
+      | "watch" -> Ok Watch
       | "solve" -> (
         let* id = require "id" (str_field "id" v) in
         let tenant = Option.value ~default:Request.default_tenant (str_field "tenant" v) in
@@ -249,4 +259,12 @@ let parse_reply line =
              })
       | _ -> Error "result frame missing id/status")
     | Some op -> Error ("unknown op: " ^ op)
-    | None -> Error "frame has no op")
+    | None -> (
+      (* window lines are bare [bss-watch/1] objects with no [op]: the
+         watch stream and the [stats] answer share the client's framing *)
+      match str_field "schema" v with
+      | Some s when s = Timeseries.schema_version -> (
+        match Timeseries.window_of_json v with
+        | Ok w -> Ok (Window w)
+        | Error e -> Error e)
+      | _ -> Error "frame has no op"))

@@ -5,19 +5,24 @@
     Requests carry [{"schema":"bss-net/1","op":...}] with op [solve]
     (a {!Bss_service.Request.t}: id, tenant, variant, algorithm, and a
     source of either [{"file":path}] or
-    [{"gen":{family,seed,m,n}}]) or [ping]. Responses carry op
-    [result] (terminal per-request answer, status
+    [{"gen":{family,seed,m,n}}]), [ping], [stats] (one on-demand live
+    telemetry window) or [watch] (subscribe this connection to the
+    server-pushed window stream — see docs/observability.md). Responses
+    carry op [result] (terminal per-request answer, status
     [done|rejected|aborted|shed]), [pong], [error] (protocol-level
     rejection of a malformed or duplicate frame — the connection stays
     open), or [shutdown] (the server is draining; no further frames
-    will be answered).
+    will be answered). Telemetry windows are the exception to the op
+    rule: they travel as bare [bss-watch/1] objects
+    ({!Bss_obs.Timeseries.window_json}) with no [op], so the watch
+    stream is exactly the line format [bss top --json] re-emits.
 
     Generator seeds span the full native-int range — beyond the 2{^53}
     window where JSON numbers survive the parser's float round-trip —
     so ["seed"] travels as a decimal string. Instance realization must
     be bit-identical on both sides of the socket. *)
 
-type frame = Solve of Bss_service.Request.t | Ping
+type frame = Solve of Bss_service.Request.t | Ping | Stats | Watch
 
 (** A parsed server->client frame, as the soak client sees it. *)
 type reply =
@@ -39,6 +44,9 @@ type reply =
   | Pong
   | Error_frame of { id : string option; error : string }
   | Shutdown of { reason : string; served : int }
+  | Window of Bss_obs.Timeseries.window
+      (** a live telemetry window: a [stats] answer ([live = true]) or
+          one element of the [watch] stream *)
 
 val schema_version : string
 
@@ -53,6 +61,13 @@ val drain_lines : Buffer.t -> string list
 val solve_frame : Bss_service.Request.t -> string
 
 val ping_frame : string
+
+val stats_frame : string
+(** Request one on-demand live window (answered even mid-window). *)
+
+val watch_frame : string
+(** Subscribe the connection to the pushed window stream, starting with
+    a ring backfill for contiguity. Quota-exempt, like [ping]/[stats]. *)
 
 (** [parse_frame line] decodes a request frame; the typed error of a
     malformed one becomes the payload of the server's [error] frame. *)

@@ -9,6 +9,7 @@ type t =
   | Gap_closed of { volume : Rat.t }
   | Candidate_won of { name : string; makespan : Rat.t; margin : Rat.t }
   | Breaker_transition of { variant : string; change : string }
+  | Alert of { kind : string; series : string; window : int; value : float; baseline : float }
   | Note of { source : string; key : string; value : string }
 
 let tag = function
@@ -20,6 +21,7 @@ let tag = function
   | Gap_closed _ -> "gap_closed"
   | Candidate_won _ -> "candidate_won"
   | Breaker_transition _ -> "breaker_transition"
+  | Alert _ -> "alert"
   | Note _ -> "note"
 
 let summary ev =
@@ -34,6 +36,10 @@ let summary ev =
   | Candidate_won { name; makespan; margin } ->
     (tag ev, name, Printf.sprintf "makespan %s, margin %s" (Rat.to_string makespan) (Rat.to_string margin))
   | Breaker_transition { variant; change } -> (tag ev, change, variant)
+  | Alert { kind; series; window; value; baseline } ->
+    ( tag ev,
+      kind,
+      Printf.sprintf "%s window=%d value=%.6g baseline=%.6g" series window value baseline )
   | Note { source; key; value } -> (tag ev, value, source ^ ": " ^ key)
 
 let to_json ev =
@@ -51,6 +57,14 @@ let to_json ev =
       [ ("name", Json.str name); ("makespan", rat makespan); ("margin", rat margin) ]
     | Breaker_transition { variant; change } ->
       [ ("variant", Json.str variant); ("change", Json.str change) ]
+    | Alert { kind; series; window; value; baseline } ->
+      [
+        ("kind", Json.str kind);
+        ("series", Json.str series);
+        ("window", Json.int window);
+        ("value", Json.float value);
+        ("baseline", Json.float baseline);
+      ]
     | Note { source; key; value } ->
       [ ("source", Json.str source); ("key", Json.str key); ("value", Json.str value) ]
   in

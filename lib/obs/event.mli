@@ -30,6 +30,10 @@ type t =
   | Breaker_transition of { variant : string; change : string }
       (** a service circuit breaker changed state, e.g.
           [change = "closed->open"] (docs/service.md) *)
+  | Alert of { kind : string; series : string; window : int; value : float; baseline : float }
+      (** the live telemetry plane's anomaly detector fired on [series]
+          in window [window]: [kind] is ["rate_spike"], ["p99_drift"] or
+          ["burn_acceleration"] (docs/observability.md) *)
   | Note of { source : string; key : string; value : string }
       (** free-form scalar observation (e.g. the returned [T*]) *)
 

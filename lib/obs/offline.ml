@@ -19,6 +19,7 @@ type point = {
   schedules_explored : int option;
   schedules_violated : int option;
   hists : (string * Hist.snapshot) list;
+  gauges : (string * int) list;
 }
 
 let empty_point =
@@ -33,6 +34,7 @@ let empty_point =
     schedules_explored = None;
     schedules_violated = None;
     hists = [];
+    gauges = [];
   }
 
 let ( let* ) = Result.bind
@@ -44,6 +46,14 @@ let int_member name v =
    (the pinned tables predate them), so these parse to [None], not 0. *)
 let opt_int_member name v =
   match Json.member name v with Some (Json.Num n) -> Some (int_of_float n) | _ -> None
+
+let gauges_member v =
+  match Json.member "gauges" v with
+  | Some (Json.Obj kvs) ->
+    List.filter_map
+      (function k, Json.Num n -> Some (k, int_of_float n) | _ -> None)
+      kvs
+  | _ -> []
 
 let hists_member v =
   match Json.member "hists" v with
@@ -84,6 +94,7 @@ let point_of_json v =
         schedules_explored = opt_int_member "schedules_explored" m;
         schedules_violated = opt_int_member "schedules_violated" m;
         hists;
+        gauges = gauges_member m;
       }
   | None ->
     let* hists = hists_member v in
@@ -99,6 +110,7 @@ let point_of_json v =
         schedules_explored = opt_int_member "schedules_explored" v;
         schedules_violated = opt_int_member "schedules_violated" v;
         hists;
+        gauges = gauges_member v;
       }
 
 (* A captured stdout stream interleaves metrics lines with human text
@@ -147,6 +159,10 @@ let counters p =
   @ opt "service.journal.salvaged" p.salvaged
   @ opt "sim.schedules.explored" p.schedules_explored
   @ opt "sim.schedules.violated" p.schedules_violated
+
+(* breaker states travel as numerics; the table decodes the known ones *)
+let gauge_state v =
+  match v with 0 -> "closed" | 1 -> "open" | 2 -> "half-open" | _ -> "-"
 
 (* ---------------- the trace file ---------------- *)
 
@@ -266,6 +282,14 @@ let counter_table ?baseline p =
            let bv = Option.value ~default:0 (List.assoc_opt k base) in
            [ k; string_of_int bv; string_of_int v; Printf.sprintf "%+d" (v - bv) ])
          (counters p)))
+  ^ "\n"
+
+(* rendered only when the artifact carried gauges (a live-plane run) —
+   older artifacts keep their pinned reports byte-identical *)
+let gauge_table p =
+  Table.render ~header:[ "gauge"; "value"; "state" ]
+    ~align:[ Table.Left; Table.Right; Table.Left ]
+    (List.map (fun (k, v) -> [ k; string_of_int v; gauge_state v ]) p.gauges)
   ^ "\n"
 
 let phase_order = [ "queue"; "solve"; "retry"; "journal" ]

@@ -35,6 +35,10 @@ type point = {
   schedules_explored : int option;  (** [sim.schedules.explored] from [bss torture] *)
   schedules_violated : int option;  (** [sim.schedules.violated] from [bss torture] *)
   hists : (string * Hist.snapshot) list;
+  gauges : (string * int) list;
+      (** current-value gauges carried by the record (the breaker state
+          numerics [service.breaker.state.<variant>]); [] when the
+          artifact predates them *)
 }
 
 val empty_point : point
@@ -78,6 +82,11 @@ val percentile_table : point -> string
 val counter_table : ?baseline:point -> point -> string
 (** Counter table; with [baseline], a four-column diff
     (baseline/current/delta) between two runs. *)
+
+val gauge_table : point -> string
+(** Gauge table (name, numeric, decoded breaker state) — render only
+    when {!point.gauges} is non-empty, so reports on older artifacts
+    are unchanged. *)
 
 val trace_table : trace_row list -> string
 (** Critical-path table: per trace, total ms and the

@@ -9,6 +9,7 @@ module Hist = Bss_obs.Hist
 module Event = Bss_obs.Event
 module Trace_ctx = Bss_obs.Trace_ctx
 module Slo = Bss_obs.Slo
+module Timeseries = Bss_obs.Timeseries
 
 type config = {
   queue_capacity : int;
@@ -24,6 +25,7 @@ type config = {
   chaos : int option;
   seed : int;
   metrics_every : int option;
+  window_every : int option;
   trace_sample : int option;
   slo : Slo.t option;
 }
@@ -43,6 +45,7 @@ let default_config =
     chaos = None;
     seed = 0;
     metrics_every = None;
+    window_every = None;
     trace_sample = None;
     slo = None;
   }
@@ -217,12 +220,23 @@ module Engine = struct
     solve_slo_bound : float option;
     slo_engine : Slo.engine option;
     last_metrics : int ref;
+    (* the live telemetry plane: a ring of windowed deltas, armed by
+       [window_every]; [on_window] fans closed windows out to watchers *)
+    ts : Timeseries.t option;
+    mutable on_window : Timeseries.window -> unit;
+    mutable windows_done : bool;
+    (* last state numeric surfaced per variant, so the running sum of the
+       [service.breaker.state.<v>] counter equals the current state *)
+    breaker_gauge : (Variant.t * int ref) list;
   }
 
   let create ?journal ?(emit_metrics = ignore) config =
     if config.burst < 1 then invalid_arg "Runtime: burst < 1";
     if config.retries < 0 then invalid_arg "Runtime: retries < 0";
     if config.checkpoint_every < 1 then invalid_arg "Runtime: checkpoint_every < 1";
+    (match config.window_every with
+    | Some w when w < 1 -> invalid_arg "Runtime: window_every < 1"
+    | _ -> ());
     (* the armed chaos plan is process-global scoped state, so fault
        injection forces a single worker domain *)
     let workers =
@@ -278,6 +292,15 @@ module Engine = struct
       solve_slo_bound;
       slo_engine = Option.map Slo.engine config.slo;
       last_metrics = ref 0;
+      ts =
+        Option.map
+          (fun _ ->
+            Timeseries.create
+              { Timeseries.default_config with slo = config.slo; seed = config.seed })
+          config.window_every;
+      on_window = ignore;
+      windows_done = false;
+      breaker_gauge = List.map (fun v -> (v, ref 0)) Variant.all;
     }
 
   let workers t = t.workers
@@ -286,6 +309,19 @@ module Engine = struct
   let interrupt t ~pending = t.interrupted := true; t.not_admitted := pending
 
   let breaker t v = fst (List.assoc v t.breakers)
+
+  (* breaker state as a numeric gauge: Closed=0, Open=1, Half_open=2 *)
+  let breaker_state_num b =
+    match Breaker.state b with
+    | Breaker.Closed _ -> 0
+    | Breaker.Open _ -> 1
+    | Breaker.Half_open _ -> 2
+
+  let breaker_gauges t =
+    List.map
+      (fun (v, (b, _)) ->
+        ("service.breaker.state." ^ Variant.to_string v, breaker_state_num b))
+      t.breakers
 
   (* surface each state change once: a counter plus a typed event, fed
      after every route/record (the only operations that can flip state) *)
@@ -303,6 +339,16 @@ module Engine = struct
             end)
           ts;
       seen := total
+    end;
+    (* keep the probe-side counter's running sum equal to the current
+       state numeric: add the (possibly negative) delta since last surfaced *)
+    if Probe.enabled () then begin
+      let prev = List.assoc v t.breaker_gauge in
+      let cur = breaker_state_num b in
+      if cur <> !prev then begin
+        Probe.count ~n:(cur - !prev) ("service.breaker.state." ^ Variant.to_string v);
+        prev := cur
+      end
     end
 
   let record_outcome t o =
@@ -351,21 +397,97 @@ module Engine = struct
       hists = hist_snapshots t;
     }
 
+  (* ---------------- the live telemetry plane ---------------- *)
+
+  (* The window clock: completions plus aborts, i.e. requests that left
+     the system through the dispatch loop. Rejections move counters but
+     not the clock (they never enter a wave); checkpoint restores and
+     dedup hits bypass the loop entirely and are excluded — the stream
+     observes live processing only. *)
+  let processed t = !(t.completed_live) + !(t.aborted_live)
+
+  (* Counters are the deterministic prefix: their deltas at a window
+     boundary depend only on the admission/completion sequence, never on
+     worker count or kernel scheduling ([rejected] is admission-order-
+     deterministic in batch mode and zero in healthy server runs).
+     Queue/wave gauges and latency hists ride in the timing tail. *)
+  let window_sample t =
+    {
+      Timeseries.upto = processed t;
+      counters =
+        [
+          ("service.aborted", !(t.aborted_live));
+          ( "service.breaker.transitions",
+            List.fold_left
+              (fun acc (_, (b, _)) -> acc + List.length (Breaker.transitions b))
+              0 t.breakers );
+          ("service.completed", !(t.completed_live));
+          ("service.rejected", !(t.rejected_live));
+          ("service.retries", !(t.retries_total));
+        ];
+      gauges = breaker_gauges t;
+      load =
+        [
+          ("service.queue.depth", t.queued);
+          ("service.queue.peak", !(t.queue_peak));
+          ("service.waves", !(t.waves));
+        ];
+      hists = hist_snapshots t;
+    }
+
+  let emit_window ?final t =
+    match t.ts with
+    | None -> ()
+    | Some ts ->
+      let w = Timeseries.push ?final ts (window_sample t) in
+      t.on_window w
+
+  (* called after every processed outcome: each one advances the clock by
+     exactly 1, so the boundary test fires exactly once per window *)
+  let maybe_close_window t =
+    match (t.ts, t.config.window_every) with
+    | Some _, Some every when not t.windows_done ->
+      let p = processed t in
+      if p > 0 && p mod every = 0 then emit_window t
+    | _ -> ()
+
+  (* the drain-time window closing the stream (possibly partial, possibly
+     empty): cumulative sums over the full stream reconcile exactly with
+     the final summary. Idempotent. *)
+  let finalize_windows t =
+    match t.ts with
+    | Some _ when not t.windows_done ->
+      t.windows_done <- true;
+      emit_window ~final:true t
+    | _ -> ()
+
+  let set_on_window t f = t.on_window <- f
+  let windows t = match t.ts with None -> [] | Some ts -> Timeseries.windows ts
+  let live_window t = Option.map (fun ts -> Timeseries.peek ts (window_sample t)) t.ts
+
   let metrics_line t =
     Json.obj
       ([
          ("schema", Json.str Bss_obs.Offline.metrics_schema_version);
          ( "metrics",
            Json.obj
-             [
-               ("completed", Json.int !(t.completed_live));
-               ("rejected", Json.int !(t.rejected_live));
-               ("aborted", Json.int !(t.aborted_live));
-               ("retries", Json.int !(t.retries_total));
-               ("queue_peak", Json.int !(t.queue_peak));
-               ("waves", Json.int !(t.waves));
-               ("hists", Json.obj (List.map (fun (k, h) -> (k, Hist.to_json h)) (hist_snapshots t)));
-             ] );
+             ([
+                ("completed", Json.int !(t.completed_live));
+                ("rejected", Json.int !(t.rejected_live));
+                ("aborted", Json.int !(t.aborted_live));
+                ("retries", Json.int !(t.retries_total));
+                ("queue_peak", Json.int !(t.queue_peak));
+                ("waves", Json.int !(t.waves));
+                ("hists", Json.obj (List.map (fun (k, h) -> (k, Hist.to_json h)) (hist_snapshots t)));
+              ]
+             @
+             (* gauges ride the metrics line only on live-plane runs, so
+                reports over plain-soak artifacts keep their pinned shape *)
+             match t.ts with
+             | None -> []
+             | Some _ ->
+               [ ("gauges", Json.obj (List.map (fun (k, v) -> (k, Json.int v)) (breaker_gauges t))) ]
+             ) );
        ]
       @
       match t.slo_engine with
@@ -700,6 +822,9 @@ module Engine = struct
            in
            record_outcome t o;
            completed := o :: !completed);
+         (* the window clock ticks per outcome, in wave order on the
+            coordinator — identical across worker counts *)
+         maybe_close_window t;
          match t.journal with
          | Some j when Journal.dirty j >= t.config.checkpoint_every -> try_flush t
          | _ -> ())
@@ -817,9 +942,10 @@ let rec take n = function
     let front, rest = take (n - 1) xs in
     (x :: front, rest)
 
-let run ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) config
+let run ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) ?on_window config
     (requests : Request.t list) =
   let e = Engine.create ?journal ~emit_metrics config in
+  Option.iter (Engine.set_on_window e) on_window;
   (* restore checkpointed completions before admitting anything *)
   (match journal with
   | None -> ()
@@ -842,6 +968,7 @@ let run ?journal ?(should_stop = fun () -> false) ?(emit_metrics = ignore) confi
   in
   Chaos.with_plan (Engine.coordinator_plan config) (fun () ->
       loop pending;
+      Engine.finalize_windows e;
       Engine.final_flush e);
   Engine.summary ~requests e
 

@@ -37,6 +37,13 @@ type config = {
   metrics_every : int option;
       (** emit a periodic [metrics] JSON line through [emit_metrics] every
           N completions ([None] = never) *)
+  window_every : int option;
+      (** arm the live telemetry plane ({!Bss_obs.Timeseries}): close one
+          window every N processed requests (completions + aborts — the
+          wall-clock-free window clock) and hand it to the driver's
+          window sink ([?on_window] / [Engine.set_on_window]). The stream
+          is deterministic across worker counts in its counter/gauge
+          prefix; [None] = no windows (zero overhead). Must be >= 1. *)
   trace_sample : int option;
       (** [Some k] enables request-scoped tracing
           ({!Bss_obs.Trace_ctx}): every request gets a span tree with a
@@ -56,7 +63,7 @@ type config = {
 
 (** capacity 64, burst 64, workers [None], 2 retries, default backoff,
     breaker k=3 cooldown=4, no budgets, checkpoint every 8, no chaos,
-    seed 0, no periodic metrics, no tracing, no SLOs. *)
+    seed 0, no periodic metrics, no windows, no tracing, no SLOs. *)
 val default_config : config
 
 type status =
@@ -195,6 +202,29 @@ module Engine : sig
       list; without it (the socket front end), outcomes are in
       first-record order and [total] is the recorded count. *)
   val summary : ?requests:Request.t list -> t -> summary
+
+  (** {2 The live telemetry plane}
+
+      Armed by [config.window_every]; every call below is a no-op (or
+      [None]/[[]]) when it is unset. *)
+
+  (** Install the window sink: called on the coordinator with each window
+      the moment it closes (mid-dispatch) — the socket front end
+      broadcasts it to watchers. Default: ignore. *)
+  val set_on_window : t -> (Bss_obs.Timeseries.window -> unit) -> unit
+
+  (** Close the final (possibly partial, possibly empty) window, marked
+      [final], so the stream's cumulative deltas reconcile exactly with
+      the summary. Idempotent; call at drain, before {!final_flush}. *)
+  val finalize_windows : t -> unit
+
+  (** Ring contents, oldest first — the backfill a newly subscribed
+      watcher receives for stream contiguity. *)
+  val windows : t -> Bss_obs.Timeseries.window list
+
+  (** The window {!push} would close right now, marked [live], without
+      closing it — the [stats] frame's on-demand snapshot. *)
+  val live_window : t -> Bss_obs.Timeseries.window option
 end
 
 (** [run ?journal ?should_stop ?emit_metrics config requests] executes the
@@ -206,11 +236,14 @@ end
     [Some n], [emit_metrics] (default: ignore) receives a one-line
     [{"metrics":{...}}] JSON object after each wave that crosses another
     [n] completions — live counters plus current histogram snapshots.
-    Never raises: every failure is an outcome. *)
+    When [config.window_every] is [Some n], [on_window] (default: ignore)
+    receives each closed telemetry window, the final drain-time window
+    included. Never raises: every failure is an outcome. *)
 val run :
   ?journal:Journal.t ->
   ?should_stop:(unit -> bool) ->
   ?emit_metrics:(string -> unit) ->
+  ?on_window:(Bss_obs.Timeseries.window -> unit) ->
   config ->
   Request.t list ->
   summary

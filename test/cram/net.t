@@ -31,23 +31,28 @@ Exactly one of --batch and --listen must be given.
   [2]
 
 Protocol probes over a live socket. A malformed frame draws a typed
-error frame (the connection is not killed for it); ping draws pong; a
-well-formed solve draws a result frame. Latency fields are the only
-nondeterministic bytes, so the probe masks them.
+error frame (the connection is not killed for it); ping draws pong;
+the telemetry control frames draw a typed error while the plane is
+unarmed (no --window-every); a well-formed solve draws a result frame.
+Latency fields are the only nondeterministic bytes, so the probe masks
+them. Shutdown goodbyes are excluded from the written counter (a
+client may close first), so the frame counters pin exactly.
 
   $ bss serve --listen bss.sock --seed 7 --drain-after 1 > server.log 2>&1 &
   $ bss netsoak --connect bss.sock --connect-timeout-ms 20000 --frame 'garbage'
   {"schema":"bss-net/1","op":"error","error":{"kind":"invalid_input","field":"frame","reason":"not a JSON object: Json.parse: bad number  at offset 0"}}
   $ bss netsoak --connect bss.sock --connect-timeout-ms 20000 --frame '{"schema":"bss-net/1","op":"ping"}'
   {"schema":"bss-net/1","op":"pong"}
+  $ bss netsoak --connect bss.sock --connect-timeout-ms 20000 --frame '{"schema":"bss-net/1","op":"stats"}'
+  {"schema":"bss-net/1","op":"error","error":{"kind":"invalid_input","field":"op","reason":"telemetry plane disabled (--window-every)"}}
   $ bss netsoak --connect bss.sock --connect-timeout-ms 20000 --frame '{"schema":"bss-net/1","op":"solve","id":"probe-1","variant":"nonp","algorithm":"3/2","gen":{"family":"tiny","seed":"14","m":2,"n":8}}' | sed -E 's/"(solve|queue_wait)_ns":[0-9]+/"\1_ns":_/g'
   {"schema":"bss-net/1","op":"result","id":"probe-1","tenant":"default","status":"done","variant":"non-preemptive","rung":"requested","makespan":"43","routed":"requested","retries":0,"degraded":false,"checkpointed":false,"solve_ns":_,"queue_wait_ns":_}
   $ wait
-  $ sed -E 's/written=[0-9]+ dropped=[0-9]+/written=_ dropped=_/' server.log
+  $ cat server.log
   net: listening on bss.sock
   net: draining (drain-after)
-  net: conns accepted=3 refused=0 evicted=0 closed=3
-  net: frames read=3 malformed=1 written=_ dropped=_ answers=1 dedup=0
+  net: conns accepted=4 refused=0 evicted=0 closed=4
+  net: frames read=4 malformed=1 written=4 dropped=0 answers=1 dedup=0
   service: completed=1 checkpointed=0 rejected=0 aborted=0 retries=0
   rungs: requested=1
   journal: rotations=0 dirty=0
@@ -66,11 +71,11 @@ itself after the 30th answer and both sides exit 0.
   netsoak: reconnects=0 protocol_errors=0 unanswered=0
   netsoak: shed acme=6 biz=6 chi=6
   $ wait
-  $ sed -E 's/written=[0-9]+/written=_/' server.log
+  $ cat server.log
   net: listening on bss.sock
   net: draining (drain-after)
   net: conns accepted=1 refused=0 evicted=0 closed=1
-  net: frames read=30 malformed=0 written=_ dropped=0 answers=30 dedup=0
+  net: frames read=30 malformed=0 written=30 dropped=0 answers=30 dedup=0
   net: shed total=18 acme=6 biz=6 chi=6
   service: completed=12 checkpointed=0 rejected=0 aborted=0 retries=0
   rungs: requested=12
@@ -91,3 +96,51 @@ the already-journaled ids without re-solving anything.
   $ grep -E 'service:|drain:' server.log
   service: completed=30 checkpointed=12 rejected=0 aborted=0 retries=0
   drain: drain-after
+
+The live telemetry plane. --window-every N arms a windowed time
+series inside the engine: every N processed requests close a window
+whose counter deltas are exact against the previous one. Two control
+frames read it — stats answers the live (still-open) window once,
+watch subscribes the connection to the pushed stream, backfilled from
+the in-memory ring so a late subscriber reads the same stream as an
+early one. Control frames are quota-exempt and are not answers, so
+--drain-after accounting is unchanged. Everything from "load" onward
+in a window line is timing (masked here); the prefix — ids, spans,
+counter deltas, breaker gauges, alerts — is deterministic.
+
+  $ bss serve --listen bss.sock --seed 7 --workers 2 --window-every 4 > server.log 2>&1 &
+  $ SRV=$!
+  $ bss netsoak --connect bss.sock -n 8 --seed 7 --window 8 --connect-timeout-ms 20000
+  netsoak: sent=8 answered=8 done=8 shed=0 rejected=0 aborted=0 dup=0
+  netsoak: reconnects=0 protocol_errors=0 unanswered=0
+
+A stats probe after those 8 answers: the live window is the open one
+(id 2, nothing processed in it yet), marked live:true.
+
+  $ bss netsoak --connect bss.sock --connect-timeout-ms 20000 --frame '{"schema":"bss-net/1","op":"stats"}' | sed -E 's/,"load":.*//'
+  {"schema":"bss-watch/1","window":2,"upto":8,"span":0,"final":false,"live":true,"counters":{"service.aborted":0,"service.breaker.transitions":0,"service.completed":0,"service.rejected":0,"service.retries":0},"gauges":{"service.breaker.state.non-preemptive":0,"service.breaker.state.preemptive":0,"service.breaker.state.splittable":0},"alerts":[]
+
+A watcher arriving after the fact reads the whole stream from the
+ring: both closed windows, four completions each, no alerts (the
+detectors are still in warmup and nothing is anomalous).
+
+  $ bss top --connect bss.sock --json --windows 2 --connect-timeout-ms 20000 > top.jsonl
+  $ sed -E 's/,"load":.*//' top.jsonl
+  {"schema":"bss-watch/1","window":0,"upto":4,"span":4,"final":false,"live":false,"counters":{"service.aborted":0,"service.breaker.transitions":0,"service.completed":4,"service.rejected":0,"service.retries":0},"gauges":{"service.breaker.state.non-preemptive":0,"service.breaker.state.preemptive":0,"service.breaker.state.splittable":0},"alerts":[]
+  {"schema":"bss-watch/1","window":1,"upto":8,"span":4,"final":false,"live":false,"counters":{"service.aborted":0,"service.breaker.transitions":0,"service.completed":4,"service.rejected":0,"service.retries":0},"gauges":{"service.breaker.state.non-preemptive":0,"service.breaker.state.preemptive":0,"service.breaker.state.splittable":0},"alerts":[]
+
+Signal drain still exits cleanly; the stats window and the two
+backfill windows are counted written frames (the watcher read them),
+the goodbye is not.
+
+  $ kill -TERM $SRV
+  $ wait
+  $ cat server.log
+  net: listening on bss.sock
+  net: draining (signal)
+  net: conns accepted=3 refused=0 evicted=0 closed=3
+  net: frames read=10 malformed=0 written=11 dropped=0 answers=8 dedup=0
+  service: completed=8 checkpointed=0 rejected=0 aborted=0 retries=0
+  rungs: requested=8
+  journal: rotations=0 dirty=0
+  drain: signal
